@@ -1,0 +1,114 @@
+package refrecon_test
+
+import (
+	"strings"
+	"testing"
+
+	"refrecon"
+)
+
+// TestPublicAPIEndToEnd drives the whole supported surface: schema, store,
+// references, extraction, incremental reconciliation, explanation, and
+// both evaluation measures.
+func TestPublicAPIEndToEnd(t *testing.T) {
+	store := refrecon.NewStore()
+	x := refrecon.NewExtractor(store)
+
+	// Extract from a BibTeX fragment.
+	refs, err := x.AddBibTeX(`
+@inproceedings{w95,
+  author = {Jennifer Widom and Garcia-Molina, H.},
+  title = {Research problems in data warehousing},
+  booktitle = {CIKM},
+  year = {1995},
+  pages = {25-30}
+}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(refs) != 1 || len(refs[0].Authors) != 2 {
+		t.Fatalf("extraction shape: %+v", refs)
+	}
+	store.Get(refs[0].Authors[0]).Entity = "widom"
+	store.Get(refs[0].Authors[1]).Entity = "hector"
+	store.Get(refs[0].Article).Entity = "paper"
+
+	// Extract from an email message.
+	msg, err := refrecon.ParseMessage("From: Jennifer Widom <widom@stanford.edu>\nTo: Hector Garcia-Molina <hector@stanford.edu>\n\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ids := x.AddMessage(msg)
+	store.Get(ids[0]).Entity = "widom"
+	store.Get(ids[1]).Entity = "hector"
+
+	// Incremental reconciliation through a session.
+	sess := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig()).NewSession(store)
+	res, err := sess.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameEntity(refs[0].Authors[0], ids[0]) {
+		t.Error("Widom's citation and email references should reconcile")
+	}
+	if res.SameEntity(refs[0].Authors[0], refs[0].Authors[1]) {
+		t.Error("co-authors must stay distinct (constraint 1)")
+	}
+
+	// A second batch arrives.
+	late := refrecon.NewReference(refrecon.ClassPerson)
+	late.AddAtomic(refrecon.AttrEmail, "widom@stanford.edu")
+	late.Entity = "widom"
+	store.Add(late)
+	res2, err := sess.Reconcile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res2.SameEntity(late.ID, ids[0]) {
+		t.Error("incremental batch should join the email-key cluster")
+	}
+
+	// Explanation.
+	exp, err := sess.Explain(refs[0].Authors[0], ids[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Same || !strings.Contains(exp.String(), "same entity") {
+		t.Errorf("explanation = %s", exp.String())
+	}
+
+	// Both evaluation measures.
+	pair := refrecon.Evaluate(store, refrecon.ClassPerson, res2.Partitions[refrecon.ClassPerson])
+	bc := refrecon.EvaluateBCubed(store, refrecon.ClassPerson, res2.Partitions[refrecon.ClassPerson])
+	if pair.F1 != 1 || bc.F1 != 1 {
+		t.Errorf("pairwise F=%f bcubed F=%f, want perfect", pair.F1, bc.F1)
+	}
+}
+
+// TestPublicAPICustomSchema exercises NewSchema with a minimal two-class
+// domain through the facade.
+func TestPublicAPICustomSchema(t *testing.T) {
+	sch, err := refrecon.NewSchema(
+		&refrecon.Class{Name: "Tag", Attrs: []refrecon.Attribute{{Name: "label"}}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := refrecon.NewStore()
+	a := refrecon.NewReference("Tag")
+	a.AddAtomic("label", "database systems")
+	store.Add(a)
+	b := refrecon.NewReference("Tag")
+	b.AddAtomic("label", "database systems")
+	store.Add(b)
+	c := refrecon.NewReference("Tag")
+	c.AddAtomic("label", "compilers")
+	store.Add(c)
+	res, err := refrecon.New(sch, refrecon.DefaultConfig()).Reconcile(store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.SameEntity(a.ID, b.ID) || res.SameEntity(a.ID, c.ID) {
+		t.Errorf("custom schema partitions wrong: %v", res.Partitions)
+	}
+}

@@ -1,0 +1,298 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (§5). Each benchmark measures the reconciliation work behind one table
+// (dataset generation is excluded from the timing; datasets are cached in
+// a shared suite) and reports the table's headline numbers as custom
+// metrics so `go test -bench` output doubles as a compact reproduction of
+// the paper's results.
+//
+// The benchmarks run at a reduced dataset scale (see benchScale) so the
+// full suite completes in minutes; use cmd/benchtables -scale 1.0 for
+// paper-scale runs.
+package refrecon_test
+
+import (
+	"sync"
+	"testing"
+
+	"refrecon"
+	"refrecon/internal/experiments"
+	"refrecon/internal/schema"
+)
+
+// benchScale is the dataset scale used by all table benchmarks.
+const benchScale = 0.08
+
+var (
+	benchSuiteOnce sync.Once
+	benchSuite     *experiments.Suite
+)
+
+func suite() *experiments.Suite {
+	benchSuiteOnce.Do(func() {
+		benchSuite = experiments.NewSuite(benchScale)
+		// Generate all datasets up front so no benchmark times generation.
+		for _, name := range experiments.PIMNames() {
+			benchSuite.PIM(name)
+		}
+		benchSuite.Cora()
+	})
+	return benchSuite
+}
+
+// BenchmarkTable1Datasets measures dataset statistics collection and
+// reports the total reference count and reference-to-entity ratio.
+func BenchmarkTable1Datasets(b *testing.B) {
+	s := suite()
+	var rows []experiments.Table1Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.Table1()
+	}
+	refs, ents := 0, 0
+	for _, r := range rows {
+		refs += r.References
+		ents += r.Entities
+	}
+	b.ReportMetric(float64(refs), "refs")
+	b.ReportMetric(float64(refs)/float64(ents), "refs/entity")
+}
+
+// BenchmarkTable2PerClass reproduces Table 2 and reports the average
+// Person F-measures of both algorithms (x1000).
+func BenchmarkTable2PerClass(b *testing.B) {
+	s := suite()
+	var rows []experiments.ClassComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		rows = s.Table2()
+	}
+	for _, r := range rows {
+		if r.Class == schema.ClassPerson {
+			b.ReportMetric(1000*r.IndepDec.F1, "indepdec-personF*1e3")
+			b.ReportMetric(1000*r.DepGraph.F1, "depgraph-personF*1e3")
+		}
+		if r.Class == schema.ClassVenue {
+			b.ReportMetric(1000*r.IndepDec.Recall, "indepdec-venueR*1e3")
+			b.ReportMetric(1000*r.DepGraph.Recall, "depgraph-venueR*1e3")
+		}
+	}
+}
+
+// BenchmarkTable3Subsets reproduces Table 3 and reports the PArticle
+// recall gain (x1000), the paper's most dramatic number (30.7%).
+func BenchmarkTable3Subsets(b *testing.B) {
+	s := suite()
+	var rows []experiments.ClassComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		rows = s.Table3()
+	}
+	for _, r := range rows {
+		if r.Class == "PArticle" {
+			b.ReportMetric(1000*(r.DepGraph.Recall-r.IndepDec.Recall), "particle-recall-gain*1e3")
+		}
+	}
+}
+
+// BenchmarkTable4PerDataset reproduces Table 4 and reports partition
+// counts for dataset A under both algorithms.
+func BenchmarkTable4PerDataset(b *testing.B) {
+	s := suite()
+	var rows []experiments.Table4Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		rows = s.Table4()
+	}
+	for _, r := range rows {
+		if r.Dataset == "A" {
+			b.ReportMetric(float64(r.IndepDec.Partitions), "A-indepdec-partitions")
+			b.ReportMetric(float64(r.DepGraph.Partitions), "A-depgraph-partitions")
+			b.ReportMetric(float64(r.Persons), "A-entities")
+		}
+	}
+}
+
+// BenchmarkTable5Ablation reproduces the 4x4 Table 5 grid on dataset A and
+// reports the overall reduction percentage (the paper's 91.3%).
+func BenchmarkTable5Ablation(b *testing.B) {
+	s := suite()
+	var grid experiments.Table5
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		grid = s.Table5Ablation("A")
+	}
+	b.ReportMetric(grid.OverallReduction(), "overall-reduction-pct")
+	b.ReportMetric(float64(grid.Partitions[0][0]), "traditional-attrwise-partitions")
+	b.ReportMetric(float64(grid.Partitions[3][3]), "full-contact-partitions")
+}
+
+// BenchmarkFigure6Ablation renders the Figure 6 series from the Table 5
+// grid (same computation, presentation benchmark).
+func BenchmarkFigure6Ablation(b *testing.B) {
+	s := suite()
+	grid := s.Table5Ablation("A")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		experiments.FprintFigure6(discard{}, grid)
+	}
+	b.ReportMetric(float64(grid.Entities), "entities")
+}
+
+type discard struct{}
+
+func (discard) Write(p []byte) (int, error) { return len(p), nil }
+
+// BenchmarkTable6Constraints reproduces Table 6 on dataset A and reports
+// the false-positive entity counts with and without constraints.
+func BenchmarkTable6Constraints(b *testing.B) {
+	s := suite()
+	var rows []experiments.Table6Row
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		rows = s.Table6Constraints("A")
+	}
+	b.ReportMetric(float64(rows[0].EntitiesWithFalsePositives), "constrained-fp-entities")
+	b.ReportMetric(float64(rows[1].EntitiesWithFalsePositives), "unconstrained-fp-entities")
+	b.ReportMetric(float64(rows[0].GraphNodes), "constrained-nodes")
+}
+
+// BenchmarkTable7Cora reproduces Table 7 and reports the venue recall of
+// both algorithms (x1000).
+func BenchmarkTable7Cora(b *testing.B) {
+	s := suite()
+	var rows []experiments.ClassComparison
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.ClearRuns()
+		rows = s.Table7()
+	}
+	for _, r := range rows {
+		if r.Class == schema.ClassVenue {
+			b.ReportMetric(1000*r.IndepDec.Recall, "indepdec-venueR*1e3")
+			b.ReportMetric(1000*r.DepGraph.Recall, "depgraph-venueR*1e3")
+		}
+	}
+}
+
+// BenchmarkBlockingAblation measures candidate generation across the
+// strategies of the blocking ablation and reports canopy coverage (x1000).
+func BenchmarkBlockingAblation(b *testing.B) {
+	s := suite()
+	var rows []experiments.BlockingRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.BlockingAblation("A", 8)
+	}
+	for _, r := range rows {
+		if r.Strategy == "canopy" {
+			b.ReportMetric(1000*r.Coverage, "canopy-coverage*1e3")
+			b.ReportMetric(float64(r.Pairs), "canopy-pairs")
+		}
+	}
+}
+
+// BenchmarkNoiseSweep measures the robustness extension experiment and
+// reports the F gap between the algorithms at 40% corruption (x1000).
+func BenchmarkNoiseSweep(b *testing.B) {
+	s := suite()
+	var rows []experiments.NoiseRow
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rows = s.NoiseSweep("A", []float64{0, 0.4})
+	}
+	b.ReportMetric(1000*(rows[1].DepGraphF-rows[1].IndepDecF), "noisy-F-gap*1e3")
+	b.ReportMetric(1000*rows[1].DepGraphF, "depgraph-noisyF*1e3")
+}
+
+// BenchmarkIncrementalSession measures the marginal cost of reconciling
+// one additional batch into an already-reconciled session, versus the
+// from-scratch cost reported by BenchmarkReconcileDepGraph.
+func BenchmarkIncrementalSession(b *testing.B) {
+	s := suite()
+	d := s.PIM("B")
+	refs := d.Store.All()
+	cut := len(refs) * 9 / 10
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		// Rebuild a store with 90% of the data and reconcile it (untimed).
+		store := refrecon.NewStore()
+		clones := make([]*refrecon.Reference, len(refs))
+		remap := make(map[refrecon.ID]refrecon.ID, len(refs))
+		for j, r := range refs {
+			c := refrecon.NewReference(r.Class)
+			c.Source = r.Source
+			c.Entity = r.Entity
+			for _, attr := range r.AtomicAttrs() {
+				for _, v := range r.Atomic(attr) {
+					c.AddAtomic(attr, v)
+				}
+			}
+			clones[j] = c
+			if j < cut {
+				remap[r.ID] = store.Add(c)
+			}
+		}
+		addAssocs := func(from, to int) {
+			for j := from; j < to; j++ {
+				r := refs[j]
+				for _, attr := range r.AssocAttrs() {
+					for _, tgt := range r.Assoc(attr) {
+						if nt, ok := remap[tgt]; ok {
+							clones[j].AddAssoc(attr, nt)
+						}
+					}
+				}
+			}
+		}
+		addAssocs(0, cut)
+		sess := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig()).NewSession(store)
+		if _, err := sess.Reconcile(); err != nil {
+			b.Fatal(err)
+		}
+		// The timed part: the last 10% arrives.
+		for j := cut; j < len(refs); j++ {
+			remap[refs[j].ID] = store.Add(clones[j])
+		}
+		addAssocs(cut, len(refs))
+		b.StartTimer()
+		if _, err := sess.Reconcile(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(refs)-cut), "batch-refs")
+}
+
+// BenchmarkReconcileDepGraph measures raw DepGraph throughput on dataset A
+// (references reconciled per second).
+func BenchmarkReconcileDepGraph(b *testing.B) {
+	s := suite()
+	d := s.PIM("A")
+	r := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reconcile(d.Store); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.Store.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkReconcileIndepDec measures baseline throughput on dataset A.
+func BenchmarkReconcileIndepDec(b *testing.B) {
+	s := suite()
+	d := s.PIM("A")
+	r := refrecon.NewBaseline(refrecon.PIMSchema(), refrecon.DefaultBaselineConfig())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := r.Reconcile(d.Store); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(d.Store.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}

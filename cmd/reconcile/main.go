@@ -1,0 +1,166 @@
+// Command reconcile runs reference reconciliation over a dataset and
+// reports the resulting partitions and (when gold labels are present)
+// quality metrics.
+//
+// Usage:
+//
+//	reconcile -in dataset.json [-algo depgraph|indepdec] [-mode full|traditional|propagation|merge]
+//	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-dump partitions.json]
+//
+// The input is the JSON format written by cmd/pimgen (or dataset.WriteJSON).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"refrecon/internal/dataset"
+	"refrecon/internal/indepdec"
+	"refrecon/internal/metrics"
+	"refrecon/internal/recon"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reconcile: ")
+	in := flag.String("in", "", "input dataset JSON (required)")
+	algo := flag.String("algo", "depgraph", "algorithm: depgraph or indepdec")
+	mode := flag.String("mode", "full", "depgraph mode: full, traditional, propagation, merge")
+	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
+	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
+	dump := flag.String("dump", "", "write partitions as JSON to this file")
+	explain := flag.String("explain", "", "explain a pair decision, e.g. -explain 12,45 (depgraph only)")
+	dot := flag.String("dot", "", "write the dependency graph in Graphviz DOT format to this file (depgraph only)")
+	flag.Parse()
+	if *in == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var ds *dataset.Dataset
+	if strings.HasSuffix(*in, ".csv") {
+		ds, err = dataset.ReadCSV(strings.TrimSuffix(*in, ".csv"), f)
+	} else {
+		ds, err = dataset.ReadJSON(f)
+	}
+	f.Close()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dataset %s: %d references\n", ds.Name, ds.Store.Len())
+
+	var partitions map[string][][]reference.ID
+	start := time.Now()
+	switch *algo {
+	case "depgraph":
+		cfg := recon.DefaultConfig()
+		cfg.Constraints = *constraints
+		switch strings.ToLower(*mode) {
+		case "full":
+			cfg.Mode = recon.ModeFull
+		case "traditional":
+			cfg.Mode = recon.ModeTraditional
+		case "propagation":
+			cfg.Mode = recon.ModePropagation
+		case "merge":
+			cfg.Mode = recon.ModeMerge
+		default:
+			log.Fatalf("unknown mode %q", *mode)
+		}
+		switch strings.ToLower(*evidence) {
+		case "attr":
+			cfg.Evidence = recon.EvidenceAttrWise
+		case "nameemail":
+			cfg.Evidence = recon.EvidenceNameEmail
+		case "article":
+			cfg.Evidence = recon.EvidenceArticle
+		case "contact":
+			cfg.Evidence = recon.EvidenceContact
+		default:
+			log.Fatalf("unknown evidence level %q", *evidence)
+		}
+		sess := recon.New(schema.PIM(), cfg).NewSession(ds.Store)
+		res, err := sess.Reconcile()
+		if err != nil {
+			log.Fatal(err)
+		}
+		partitions = res.Partitions
+		fmt.Printf("graph: %d nodes, %d edges; engine: %d steps, %d merges, %d folds\n",
+			res.Stats.GraphNodes, res.Stats.GraphEdges,
+			res.Stats.Engine.Steps, res.Stats.Engine.Merges, res.Stats.Engine.Folds)
+		if *explain != "" {
+			var a, b int
+			if _, err := fmt.Sscanf(*explain, "%d,%d", &a, &b); err != nil {
+				log.Fatalf("bad -explain %q (want \"id,id\"): %v", *explain, err)
+			}
+			exp, err := sess.Explain(reference.ID(a), reference.ID(b))
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Print(exp.String())
+		}
+		if *dot != "" {
+			f, err := os.Create(*dot)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := sess.WriteDOT(f, nil); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("dependency graph written to %s\n", *dot)
+		}
+	case "indepdec":
+		if *explain != "" || *dot != "" {
+			log.Fatal("-explain and -dot require -algo depgraph")
+		}
+		res, err := indepdec.New(schema.PIM(), indepdec.DefaultConfig()).Reconcile(ds.Store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		partitions = res.Partitions
+	default:
+		log.Fatalf("unknown algorithm %q", *algo)
+	}
+	elapsed := time.Since(start).Round(time.Millisecond)
+
+	for _, class := range ds.Store.Classes() {
+		rep := metrics.Evaluate(ds.Store, class, partitions[class])
+		if rep.References > 0 {
+			fmt.Printf("%-10s %4d partitions  P=%.3f R=%.3f F=%.3f (over %d labeled refs, %d entities)\n",
+				class, len(partitions[class]), rep.Precision, rep.Recall, rep.F1, rep.References, rep.Entities)
+		} else {
+			fmt.Printf("%-10s %4d partitions (no gold labels)\n", class, len(partitions[class]))
+		}
+	}
+	fmt.Printf("reconciled in %s\n", elapsed)
+
+	if *dump != "" {
+		out, err := os.Create(*dump)
+		if err != nil {
+			log.Fatal(err)
+		}
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", " ")
+		if err := enc.Encode(partitions); err != nil {
+			log.Fatal(err)
+		}
+		if err := out.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("partitions written to %s\n", *dump)
+	}
+}

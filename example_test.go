@@ -1,0 +1,126 @@
+package refrecon_test
+
+import (
+	"fmt"
+	"log"
+
+	"refrecon"
+)
+
+// Example reconciles the references of the paper's running example
+// (Figure 1): two citations of one 1978 article plus email-extracted
+// person references collapse into five entities.
+func Example() {
+	store := refrecon.NewStore()
+
+	person := func(name, email string) *refrecon.Reference {
+		r := refrecon.NewReference(refrecon.ClassPerson)
+		r.AddAtomic(refrecon.AttrName, name)
+		r.AddAtomic(refrecon.AttrEmail, email)
+		store.Add(r)
+		return r
+	}
+	p2 := person("Michael Stonebraker", "")
+	p5 := person("Stonebraker, M.", "")
+	p8 := person("", "stonebraker@csail.mit.edu")
+	p9 := person("mike", "stonebraker@csail.mit.edu")
+
+	// One shared article makes the two name forms reconcile.
+	a := refrecon.NewReference(refrecon.ClassArticle)
+	a.AddAtomic(refrecon.AttrTitle, "Distributed query processing in a relational data base system")
+	a.AddAtomic(refrecon.AttrPages, "169-180")
+	a.AddAssoc(refrecon.AttrAuthoredBy, p2.ID)
+	store.Add(a)
+	b := refrecon.NewReference(refrecon.ClassArticle)
+	b.AddAtomic(refrecon.AttrTitle, "Distributed query processing in a relational data base system")
+	b.AddAtomic(refrecon.AttrPages, "169-180")
+	b.AddAssoc(refrecon.AttrAuthoredBy, p5.ID)
+	store.Add(b)
+
+	r := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig())
+	result, err := r.Reconcile(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("p2 ~ p5:", result.SameEntity(p2.ID, p5.ID))
+	fmt.Println("p8 ~ p9:", result.SameEntity(p8.ID, p9.ID))
+	fmt.Println("a ~ b:  ", result.SameEntity(a.ID, b.ID))
+	// Output:
+	// p2 ~ p5: true
+	// p8 ~ p9: true
+	// a ~ b:   true
+}
+
+// ExampleParseBibTeX shows the BibTeX extraction path.
+func ExampleParseBibTeX() {
+	entries, err := refrecon.ParseBibTeX(`
+@inproceedings{epstein78,
+  author    = {Robert S. Epstein and Michael Stonebraker and Eugene Wong},
+  title     = {Distributed query processing in a relational data base system},
+  booktitle = {ACM SIGMOD},
+  year      = 1978,
+}`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	e := entries[0]
+	fmt.Println(e.Key, len(e.Authors()), e.VenueName())
+	// Output:
+	// epstein78 3 ACM SIGMOD
+}
+
+// ExampleParseCitation shows free-text citation segmentation.
+func ExampleParseCitation() {
+	c, ok := refrecon.ParseCitation(
+		"R. Agrawal and R. Srikant. Fast algorithms for mining association rules. In Proc. VLDB, 1994, pp. 487-499.")
+	fmt.Println(ok, c.Title, "/", c.Year, "/", c.Pages)
+	// Output:
+	// true Fast algorithms for mining association rules / 1994 / 487-499
+}
+
+// ExampleEvaluate scores a partitioning against gold entity labels.
+func ExampleEvaluate() {
+	store := refrecon.NewStore()
+	mk := func(entity string) refrecon.ID {
+		r := refrecon.NewReference(refrecon.ClassPerson)
+		r.Entity = entity
+		return store.Add(r)
+	}
+	a1, a2, b1 := mk("A"), mk("A"), mk("B")
+	report := refrecon.Evaluate(store, refrecon.ClassPerson,
+		[][]refrecon.ID{{a1, a2}, {b1}})
+	fmt.Printf("P=%.1f R=%.1f\n", report.Precision, report.Recall)
+	// Output:
+	// P=1.0 R=1.0
+}
+
+// ExampleReconciler_NewSession shows incremental reconciliation with a
+// merge explanation.
+func ExampleReconciler_NewSession() {
+	store := refrecon.NewStore()
+	sess := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig()).NewSession(store)
+
+	a := refrecon.NewReference(refrecon.ClassPerson)
+	a.AddAtomic(refrecon.AttrName, "Alice Liddell")
+	a.AddAtomic(refrecon.AttrEmail, "alice@wonderland.org")
+	store.Add(a)
+	if _, err := sess.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+
+	// A later batch brings another presentation of the same account.
+	b := refrecon.NewReference(refrecon.ClassPerson)
+	b.AddAtomic(refrecon.AttrName, "Liddell, A.")
+	b.AddAtomic(refrecon.AttrEmail, "alice@wonderland.org")
+	store.Add(b)
+	res, err := sess.Reconcile()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("same entity:", res.SameEntity(a.ID, b.ID))
+	exp, _ := sess.Explain(a.ID, b.ID)
+	fmt.Println("hops on the decision path:", len(exp.Path))
+	// Output:
+	// same entity: true
+	// hops on the decision path: 1
+}

@@ -1,0 +1,106 @@
+// Quickstart reproduces Example 1 of the paper (Figure 1): two BibTeX
+// citations of the same 1978 article plus three email-extracted person
+// references, reconciled into five entities.
+//
+// Run with: go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"sort"
+
+	"refrecon"
+)
+
+func main() {
+	store := refrecon.NewStore()
+	labelOf := map[refrecon.ID]string{}
+	n := 0
+
+	person := func(name, email string) *refrecon.Reference {
+		r := refrecon.NewReference(refrecon.ClassPerson)
+		r.AddAtomic(refrecon.AttrName, name)
+		r.AddAtomic(refrecon.AttrEmail, email)
+		store.Add(r)
+		n++
+		labelOf[r.ID] = fmt.Sprintf("p%d", n)
+		return r
+	}
+	p1 := person("Robert S. Epstein", "")
+	p2 := person("Michael Stonebraker", "")
+	p3 := person("Eugene Wong", "")
+	p4 := person("Epstein, R.S.", "")
+	p5 := person("Stonebraker, M.", "")
+	p6 := person("Wong, E.", "")
+	p7 := person("Eugene Wong", "eugene@berkeley.edu")
+	p8 := person("", "stonebraker@csail.mit.edu")
+	person("mike", "stonebraker@csail.mit.edu")
+
+	// Co-author links from the two citations' author lists.
+	for _, trio := range [][]*refrecon.Reference{{p1, p2, p3}, {p4, p5, p6}} {
+		for _, a := range trio {
+			for _, b := range trio {
+				if a != b {
+					a.AddAssoc(refrecon.AttrCoAuthor, b.ID)
+				}
+			}
+		}
+	}
+	// Email correspondence between p7 and p8.
+	p7.AddAssoc(refrecon.AttrEmailContact, p8.ID)
+	p8.AddAssoc(refrecon.AttrEmailContact, p7.ID)
+
+	nv := 0
+	venue := func(name, year, location string) *refrecon.Reference {
+		r := refrecon.NewReference(refrecon.ClassVenue)
+		r.AddAtomic(refrecon.AttrName, name)
+		r.AddAtomic(refrecon.AttrYear, year)
+		r.AddAtomic(refrecon.AttrLocation, location)
+		store.Add(r)
+		nv++
+		labelOf[r.ID] = fmt.Sprintf("c%d", nv)
+		return r
+	}
+	c1 := venue("ACM Conference on Management of Data", "1978", "Austin, Texas")
+	c2 := venue("ACM SIGMOD", "1978", "")
+
+	na := 0
+	article := func(title, pages string, authors []*refrecon.Reference, v *refrecon.Reference) {
+		r := refrecon.NewReference(refrecon.ClassArticle)
+		r.AddAtomic(refrecon.AttrTitle, title)
+		r.AddAtomic(refrecon.AttrPages, pages)
+		for _, a := range authors {
+			r.AddAssoc(refrecon.AttrAuthoredBy, a.ID)
+		}
+		r.AddAssoc(refrecon.AttrPublishedIn, v.ID)
+		store.Add(r)
+		na++
+		labelOf[r.ID] = fmt.Sprintf("a%d", na)
+	}
+	const title = "Distributed query processing in a relational data base system"
+	article(title, "169-180", []*refrecon.Reference{p1, p2, p3}, c1)
+	article(title, "169-180", []*refrecon.Reference{p4, p5, p6}, c2)
+
+	r := refrecon.New(refrecon.PIMSchema(), refrecon.DefaultConfig())
+	result, err := r.Reconcile(store)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("Reconciled partitions (paper Figure 1(c) expects")
+	fmt.Println("  {a1,a2} {p1,p4} {p2,p5,p8,p9} {p3,p6,p7} {c1,c2}):")
+	fmt.Println()
+	for _, class := range []string{refrecon.ClassArticle, refrecon.ClassPerson, refrecon.ClassVenue} {
+		for _, part := range result.Partitions[class] {
+			var names []string
+			for _, id := range part {
+				if l, ok := labelOf[id]; ok {
+					names = append(names, l)
+				}
+			}
+			sort.Strings(names)
+			fmt.Printf("  %-8s %v\n", class, names)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module refrecon
+
+go 1.22

@@ -1,0 +1,138 @@
+// Package blocking generates candidate reference pairs via inverted-index
+// canopies, in the spirit of the canopy mechanism the paper adopts (§6):
+// only pairs that share at least one blocking key are considered by the
+// reconciler, keeping the dependency graph far below the quadratic
+// all-pairs size.
+//
+// Buckets that grow beyond a cap are skipped: an extremely common key
+// (a stopword-like title token, a huge mailing list) produces quadratically
+// many low-value candidates. Skipped keys are counted so callers can report
+// the coverage loss instead of silently truncating.
+package blocking
+
+import (
+	"sort"
+
+	"refrecon/internal/reference"
+)
+
+// Index is an inverted index from blocking keys to reference ids.
+type Index struct {
+	buckets   map[string][]reference.ID
+	bucketCap int
+	skipped   int
+}
+
+// New returns an index that ignores buckets larger than bucketCap when
+// emitting pairs. bucketCap <= 0 means unlimited.
+func New(bucketCap int) *Index {
+	return &Index{buckets: make(map[string][]reference.ID), bucketCap: bucketCap}
+}
+
+// Add records that the reference exposes the blocking key. Duplicate
+// (key, id) insertions are tolerated; Pairs deduplicates.
+func (x *Index) Add(key string, id reference.ID) {
+	if key == "" {
+		return
+	}
+	x.buckets[key] = append(x.buckets[key], id)
+}
+
+// Keys returns the number of distinct keys.
+func (x *Index) Keys() int { return len(x.buckets) }
+
+// SkippedBuckets returns how many over-cap buckets the last Pairs call
+// skipped.
+func (x *Index) SkippedBuckets() int { return x.skipped }
+
+// Pairs invokes fn once for every distinct unordered pair of references
+// sharing at least one non-skipped key, with a < b. Iteration order is
+// deterministic (keys sorted, ids sorted within buckets).
+func (x *Index) Pairs(fn func(a, b reference.ID)) {
+	x.skipped = 0
+	seen := make(map[uint64]bool)
+	keys := make([]string, 0, len(x.buckets))
+	for k := range x.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		ids := dedupIDs(x.buckets[k])
+		if x.bucketCap > 0 && len(ids) > x.bucketCap {
+			x.skipped++
+			continue
+		}
+		for i := 0; i < len(ids); i++ {
+			for j := i + 1; j < len(ids); j++ {
+				a, b := ids[i], ids[j]
+				pk := uint64(a)<<32 | uint64(uint32(b))
+				if seen[pk] {
+					continue
+				}
+				seen[pk] = true
+				fn(a, b)
+			}
+		}
+	}
+}
+
+// PairsInvolving invokes fn for every distinct unordered pair (a < b)
+// that shares a non-skipped key with at least one reference from ids —
+// the incremental variant of Pairs. Deterministic like Pairs.
+func (x *Index) PairsInvolving(ids []reference.ID, fn func(a, b reference.ID)) {
+	x.skipped = 0
+	want := make(map[reference.ID]bool, len(ids))
+	for _, id := range ids {
+		want[id] = true
+	}
+	seen := make(map[uint64]bool)
+	keys := make([]string, 0, len(x.buckets))
+	for k := range x.buckets {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		members := dedupIDs(x.buckets[k])
+		if x.bucketCap > 0 && len(members) > x.bucketCap {
+			x.skipped++
+			continue
+		}
+		touched := false
+		for _, id := range members {
+			if want[id] {
+				touched = true
+				break
+			}
+		}
+		if !touched {
+			continue
+		}
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if !want[a] && !want[b] {
+					continue
+				}
+				pk := uint64(a)<<32 | uint64(uint32(b))
+				if seen[pk] {
+					continue
+				}
+				seen[pk] = true
+				fn(a, b)
+			}
+		}
+	}
+}
+
+func dedupIDs(ids []reference.ID) []reference.ID {
+	sorted := make([]reference.ID, len(ids))
+	copy(sorted, ids)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+	out := sorted[:0]
+	for i, id := range sorted {
+		if i == 0 || id != sorted[i-1] {
+			out = append(out, id)
+		}
+	}
+	return out
+}

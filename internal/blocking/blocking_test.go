@@ -1,0 +1,113 @@
+package blocking
+
+import (
+	"testing"
+
+	"refrecon/internal/reference"
+)
+
+func collect(x *Index) map[[2]reference.ID]bool {
+	out := make(map[[2]reference.ID]bool)
+	x.Pairs(func(a, b reference.ID) {
+		if a >= b {
+			panic("pair not ordered")
+		}
+		out[[2]reference.ID{a, b}] = true
+	})
+	return out
+}
+
+func TestPairsBasic(t *testing.T) {
+	x := New(0)
+	x.Add("k", 1)
+	x.Add("k", 2)
+	x.Add("k", 3)
+	got := collect(x)
+	want := [][2]reference.ID{{1, 2}, {1, 3}, {2, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v", got)
+	}
+	for _, p := range want {
+		if !got[p] {
+			t.Errorf("missing pair %v", p)
+		}
+	}
+}
+
+func TestPairsDedupAcrossKeys(t *testing.T) {
+	x := New(0)
+	x.Add("k1", 1)
+	x.Add("k1", 2)
+	x.Add("k2", 1)
+	x.Add("k2", 2)
+	count := 0
+	x.Pairs(func(a, b reference.ID) { count++ })
+	if count != 1 {
+		t.Errorf("pair emitted %d times, want 1", count)
+	}
+}
+
+func TestPairsDedupWithinBucket(t *testing.T) {
+	x := New(0)
+	x.Add("k", 1)
+	x.Add("k", 1)
+	x.Add("k", 2)
+	count := 0
+	x.Pairs(func(a, b reference.ID) { count++ })
+	if count != 1 {
+		t.Errorf("pairs = %d, want 1", count)
+	}
+}
+
+func TestBucketCap(t *testing.T) {
+	x := New(2)
+	x.Add("huge", 1)
+	x.Add("huge", 2)
+	x.Add("huge", 3)
+	x.Add("ok", 4)
+	x.Add("ok", 5)
+	got := collect(x)
+	if len(got) != 1 || !got[[2]reference.ID{4, 5}] {
+		t.Errorf("pairs = %v, want only (4,5)", got)
+	}
+	if x.SkippedBuckets() != 1 {
+		t.Errorf("SkippedBuckets = %d", x.SkippedBuckets())
+	}
+}
+
+func TestEmptyKeyIgnored(t *testing.T) {
+	x := New(0)
+	x.Add("", 1)
+	x.Add("", 2)
+	if len(collect(x)) != 0 {
+		t.Error("empty key should be ignored")
+	}
+	if x.Keys() != 0 {
+		t.Errorf("Keys = %d", x.Keys())
+	}
+}
+
+func TestDeterministicOrder(t *testing.T) {
+	build := func() []reference.ID {
+		x := New(0)
+		x.Add("b", 3)
+		x.Add("b", 1)
+		x.Add("a", 5)
+		x.Add("a", 2)
+		var seq []reference.ID
+		x.Pairs(func(a, b reference.ID) { seq = append(seq, a, b) })
+		return seq
+	}
+	first := build()
+	for i := 0; i < 5; i++ {
+		again := build()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic pair count")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("nondeterministic pair order")
+			}
+		}
+	}
+}

@@ -1,0 +1,106 @@
+package blocking
+
+import (
+	"sort"
+
+	"refrecon/internal/reference"
+)
+
+// CanopyItem is one reference with the token signature its cheap distance
+// is computed over.
+type CanopyItem struct {
+	ID     reference.ID
+	Tokens []string
+}
+
+// Canopies implements the canopy clustering of McCallum, Nigam & Ungar
+// (the paper's reference [27]): items are grouped under a *cheap* distance
+// (Jaccard over token signatures) using two thresholds. Starting from the
+// first unconsumed item, every item with similarity >= loose joins the
+// canopy; items with similarity >= tight are consumed and cannot seed
+// further canopies. Canopies overlap, which is the point: the expensive
+// comparison then runs only on pairs sharing a canopy.
+//
+// fn is invoked for every distinct unordered pair (a < b) sharing at least
+// one canopy, in deterministic order. Requires tight >= loose to
+// guarantee progress; items with empty token signatures form singleton
+// canopies and pair with nothing.
+func Canopies(items []CanopyItem, loose, tight float64, fn func(a, b reference.ID)) {
+	if tight < loose {
+		tight = loose
+	}
+	n := len(items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.SliceStable(order, func(i, j int) bool { return items[order[i]].ID < items[order[j]].ID })
+
+	sets := make([]map[string]bool, n)
+	for i, it := range items {
+		if len(it.Tokens) > 0 {
+			s := make(map[string]bool, len(it.Tokens))
+			for _, t := range it.Tokens {
+				s[t] = true
+			}
+			sets[i] = s
+		}
+	}
+	jac := func(a, b int) float64 {
+		sa, sb := sets[a], sets[b]
+		if len(sa) == 0 || len(sb) == 0 {
+			return 0
+		}
+		if len(sb) < len(sa) {
+			sa, sb = sb, sa
+		}
+		inter := 0
+		for t := range sa {
+			if sb[t] {
+				inter++
+			}
+		}
+		return float64(inter) / float64(len(sa)+len(sb)-inter)
+	}
+
+	consumed := make([]bool, n)
+	seen := make(map[uint64]bool)
+	emit := func(a, b reference.ID) {
+		if a == b {
+			return
+		}
+		if b < a {
+			a, b = b, a
+		}
+		pk := uint64(a)<<32 | uint64(uint32(b))
+		if seen[pk] {
+			return
+		}
+		seen[pk] = true
+		fn(a, b)
+	}
+	for _, seed := range order {
+		if consumed[seed] {
+			continue
+		}
+		consumed[seed] = true
+		canopy := []int{seed}
+		for _, cand := range order {
+			if cand == seed {
+				continue
+			}
+			s := jac(seed, cand)
+			if s >= loose {
+				canopy = append(canopy, cand)
+				if s >= tight {
+					consumed[cand] = true
+				}
+			}
+		}
+		for i := 0; i < len(canopy); i++ {
+			for j := i + 1; j < len(canopy); j++ {
+				emit(items[canopy[i]].ID, items[canopy[j]].ID)
+			}
+		}
+	}
+}

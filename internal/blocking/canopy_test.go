@@ -1,0 +1,106 @@
+package blocking
+
+import (
+	"testing"
+
+	"refrecon/internal/reference"
+)
+
+func canopyPairs(items []CanopyItem, loose, tight float64) map[[2]reference.ID]bool {
+	out := make(map[[2]reference.ID]bool)
+	Canopies(items, loose, tight, func(a, b reference.ID) {
+		out[[2]reference.ID{a, b}] = true
+	})
+	return out
+}
+
+func TestCanopiesBasic(t *testing.T) {
+	items := []CanopyItem{
+		{0, []string{"michael", "stonebraker"}},
+		{1, []string{"stonebraker", "m"}},
+		{2, []string{"eugene", "wong"}},
+		{3, []string{"wong", "e"}},
+	}
+	got := canopyPairs(items, 0.3, 0.8)
+	if !got[[2]reference.ID{0, 1}] {
+		t.Error("stonebraker pair missing")
+	}
+	if !got[[2]reference.ID{2, 3}] {
+		t.Error("wong pair missing")
+	}
+	if got[[2]reference.ID{0, 2}] || got[[2]reference.ID{1, 3}] {
+		t.Errorf("cross-cluster pair emitted: %v", got)
+	}
+}
+
+func TestCanopiesOverlap(t *testing.T) {
+	// An item loosely similar to two tight clusters joins both canopies,
+	// pairing with members of each — the overlap that makes canopies safe.
+	items := []CanopyItem{
+		{0, []string{"a", "b", "c", "d"}},
+		{1, []string{"a", "b", "c", "d"}},
+		{2, []string{"e", "f", "g", "h"}},
+		{3, []string{"e", "f", "g", "h"}},
+		{4, []string{"a", "b", "e", "f"}}, // straddles both
+	}
+	got := canopyPairs(items, 0.25, 0.9)
+	if !got[[2]reference.ID{0, 4}] || !got[[2]reference.ID{2, 4}] {
+		t.Errorf("straddler should pair into both canopies: %v", got)
+	}
+	if !got[[2]reference.ID{0, 1}] || !got[[2]reference.ID{2, 3}] {
+		t.Errorf("tight clusters should pair internally: %v", got)
+	}
+}
+
+func TestCanopiesEmptySignatures(t *testing.T) {
+	items := []CanopyItem{
+		{0, nil},
+		{1, []string{"x"}},
+		{2, nil},
+	}
+	got := canopyPairs(items, 0.3, 0.8)
+	if len(got) != 0 {
+		t.Errorf("empty signatures must pair with nothing: %v", got)
+	}
+}
+
+func TestCanopiesTightBelowLooseClamped(t *testing.T) {
+	items := []CanopyItem{
+		{0, []string{"a"}},
+		{1, []string{"a"}},
+	}
+	// tight < loose would loop forever without clamping.
+	got := canopyPairs(items, 0.5, 0.1)
+	if !got[[2]reference.ID{0, 1}] {
+		t.Errorf("pairs = %v", got)
+	}
+}
+
+func TestCanopiesDeterministic(t *testing.T) {
+	items := []CanopyItem{
+		{5, []string{"x", "y"}},
+		{3, []string{"x", "y", "z"}},
+		{9, []string{"x"}},
+		{1, []string{"q"}},
+	}
+	run := func() []reference.ID {
+		var seq []reference.ID
+		Canopies(items, 0.2, 0.8, func(a, b reference.ID) { seq = append(seq, a, b) })
+		return seq
+	}
+	first := run()
+	if len(first) == 0 {
+		t.Fatal("expected pairs")
+	}
+	for i := 0; i < 4; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic count")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("nondeterministic order")
+			}
+		}
+	}
+}

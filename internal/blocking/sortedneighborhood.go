@@ -1,0 +1,56 @@
+package blocking
+
+import (
+	"sort"
+
+	"refrecon/internal/reference"
+)
+
+// Record is one (sort key, reference) entry for the sorted-neighborhood
+// method.
+type Record struct {
+	Key string
+	ID  reference.ID
+}
+
+// SortedNeighborhood implements the merge/purge candidate generation of
+// Hernandez & Stolfo (the paper's reference [21], and half of what the
+// INDEPDEC baseline "roughly corresponds to"): records are sorted by a
+// domain key and every pair within a sliding window of the sorted order
+// becomes a candidate. A reference may contribute several records (one
+// per key — multi-pass sorted neighborhood); pairs are deduplicated and
+// emitted with a < b in deterministic order.
+//
+// window is the number of consecutive records compared against each
+// record; window < 2 yields no pairs.
+func SortedNeighborhood(records []Record, window int, fn func(a, b reference.ID)) {
+	if window < 2 || len(records) < 2 {
+		return
+	}
+	sorted := make([]Record, len(records))
+	copy(sorted, records)
+	sort.Slice(sorted, func(i, j int) bool {
+		if sorted[i].Key != sorted[j].Key {
+			return sorted[i].Key < sorted[j].Key
+		}
+		return sorted[i].ID < sorted[j].ID
+	})
+	seen := make(map[uint64]bool)
+	for i := range sorted {
+		for j := i + 1; j < len(sorted) && j < i+window; j++ {
+			a, b := sorted[i].ID, sorted[j].ID
+			if a == b {
+				continue
+			}
+			if b < a {
+				a, b = b, a
+			}
+			pk := uint64(a)<<32 | uint64(uint32(b))
+			if seen[pk] {
+				continue
+			}
+			seen[pk] = true
+			fn(a, b)
+		}
+	}
+}

@@ -1,0 +1,85 @@
+package blocking
+
+import (
+	"testing"
+
+	"refrecon/internal/reference"
+)
+
+func TestSortedNeighborhoodBasic(t *testing.T) {
+	records := []Record{
+		{"smith", 0},
+		{"smyth", 1},
+		{"jones", 2},
+		{"smithe", 3},
+	}
+	got := make(map[[2]reference.ID]bool)
+	SortedNeighborhood(records, 2, func(a, b reference.ID) {
+		got[[2]reference.ID{a, b}] = true
+	})
+	// Sorted order: jones(2), smith(0), smithe(3), smyth(1).
+	want := [][2]reference.ID{{0, 2}, {0, 3}, {1, 3}}
+	if len(got) != len(want) {
+		t.Fatalf("pairs = %v", got)
+	}
+	for _, p := range want {
+		if !got[p] {
+			t.Errorf("missing %v", p)
+		}
+	}
+}
+
+func TestSortedNeighborhoodWindow(t *testing.T) {
+	records := []Record{{"a", 0}, {"b", 1}, {"c", 2}, {"d", 3}}
+	count := 0
+	SortedNeighborhood(records, 3, func(a, b reference.ID) { count++ })
+	// window 3: each record pairs with the next two -> (0,1)(0,2)(1,2)(1,3)(2,3)
+	if count != 5 {
+		t.Errorf("pairs = %d, want 5", count)
+	}
+	count = 0
+	SortedNeighborhood(records, 1, func(a, b reference.ID) { count++ })
+	if count != 0 {
+		t.Errorf("window 1 should yield nothing, got %d", count)
+	}
+}
+
+func TestSortedNeighborhoodMultiPassDedup(t *testing.T) {
+	// The same reference under two keys (multi-pass): duplicate pairs and
+	// self pairs are suppressed.
+	records := []Record{
+		{"aaa", 0}, {"aab", 1},
+		{"zza", 0}, {"zzb", 1},
+	}
+	count := 0
+	SortedNeighborhood(records, 2, func(a, b reference.ID) {
+		if a == b {
+			t.Fatal("self pair emitted")
+		}
+		count++
+	})
+	if count != 1 {
+		t.Errorf("pair emitted %d times, want 1", count)
+	}
+}
+
+func TestSortedNeighborhoodDeterministic(t *testing.T) {
+	records := []Record{{"m", 5}, {"m", 3}, {"m", 9}, {"n", 1}}
+	run := func() []reference.ID {
+		var seq []reference.ID
+		SortedNeighborhood(records, 3, func(a, b reference.ID) { seq = append(seq, a, b) })
+		return seq
+	}
+	first := run()
+	for i := 0; i < 5; i++ {
+		again := run()
+		if len(again) != len(first) {
+			t.Fatal("nondeterministic count")
+		}
+		for j := range first {
+			if first[j] != again[j] {
+				t.Fatal("nondeterministic order")
+			}
+		}
+	}
+}

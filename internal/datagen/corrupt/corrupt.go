@@ -1,0 +1,141 @@
+// Package corrupt injects reproducible noise into reference stores for
+// robustness experiments: how gracefully does reconciliation quality
+// degrade as attribute values get dirtier? The operators model the error
+// classes record-linkage data actually exhibits — typos, truncations,
+// OCR-style character confusions, dropped tokens.
+package corrupt
+
+import (
+	"math/rand"
+	"strings"
+
+	"refrecon/internal/reference"
+)
+
+// Op is one corruption operator: given randomness and a value, return the
+// corrupted value (possibly unchanged for inputs it cannot corrupt).
+type Op func(rng *rand.Rand, v string) string
+
+// Typo swaps two adjacent interior letters.
+func Typo(rng *rand.Rand, v string) string {
+	rs := []rune(v)
+	if len(rs) < 4 {
+		return v
+	}
+	i := 1 + rng.Intn(len(rs)-3)
+	if rs[i] == ' ' || rs[i+1] == ' ' || rs[i] == '@' || rs[i+1] == '@' {
+		return v
+	}
+	rs[i], rs[i+1] = rs[i+1], rs[i]
+	return string(rs)
+}
+
+// DropChar deletes one interior character.
+func DropChar(rng *rand.Rand, v string) string {
+	rs := []rune(v)
+	if len(rs) < 4 {
+		return v
+	}
+	i := 1 + rng.Intn(len(rs)-2)
+	if rs[i] == '@' {
+		return v
+	}
+	return string(rs[:i]) + string(rs[i+1:])
+}
+
+// DoubleChar duplicates one interior character.
+func DoubleChar(rng *rand.Rand, v string) string {
+	rs := []rune(v)
+	if len(rs) < 3 {
+		return v
+	}
+	i := 1 + rng.Intn(len(rs)-2)
+	if rs[i] == ' ' || rs[i] == '@' {
+		return v
+	}
+	return string(rs[:i+1]) + string(rs[i]) + string(rs[i+1:])
+}
+
+// OCRConfuse substitutes a character with a visually similar one
+// (1/l, 0/O, m/rn-style confusions).
+func OCRConfuse(rng *rand.Rand, v string) string {
+	pairs := map[rune]rune{
+		'l': '1', '1': 'l', 'o': '0', '0': 'o', 'e': 'c', 'c': 'e',
+		'u': 'v', 'v': 'u', 'i': 'j', 'j': 'i', 's': '5', '5': 's',
+	}
+	rs := []rune(v)
+	candidates := make([]int, 0, len(rs))
+	for i, r := range rs {
+		if _, ok := pairs[r]; ok {
+			candidates = append(candidates, i)
+		}
+	}
+	if len(candidates) == 0 {
+		return v
+	}
+	i := candidates[rng.Intn(len(candidates))]
+	rs[i] = pairs[rs[i]]
+	return string(rs)
+}
+
+// DropToken removes one whitespace-separated token (never the only one).
+func DropToken(rng *rand.Rand, v string) string {
+	toks := strings.Fields(v)
+	if len(toks) < 2 {
+		return v
+	}
+	i := rng.Intn(len(toks))
+	out := append(append([]string{}, toks[:i]...), toks[i+1:]...)
+	return strings.Join(out, " ")
+}
+
+// Truncate cuts the value to roughly three quarters of its length.
+func Truncate(rng *rand.Rand, v string) string {
+	rs := []rune(v)
+	if len(rs) < 8 {
+		return v
+	}
+	keep := len(rs)*3/4 + rng.Intn(len(rs)/4)
+	return strings.TrimSpace(string(rs[:keep]))
+}
+
+// DefaultOps is the standard operator mix.
+func DefaultOps() []Op {
+	return []Op{Typo, DropChar, DoubleChar, OCRConfuse, DropToken, Truncate}
+}
+
+// Store returns a deep copy of src in which each atomic value is corrupted
+// with probability rate by a randomly chosen operator. Associations,
+// classes, sources, and gold labels are preserved; the copy is
+// deterministic in seed. rate <= 0 returns a plain copy.
+func Store(src *reference.Store, seed int64, rate float64, ops []Op) *reference.Store {
+	if len(ops) == 0 {
+		ops = DefaultOps()
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := reference.NewStore()
+	for _, r := range src.All() {
+		c := reference.New(r.Class)
+		c.Source = r.Source
+		c.Entity = r.Entity
+		for _, attr := range r.AtomicAttrs() {
+			for _, v := range r.Atomic(attr) {
+				if rate > 0 && rng.Float64() < rate {
+					v = ops[rng.Intn(len(ops))](rng, v)
+				}
+				c.AddAtomic(attr, v)
+			}
+		}
+		out.Add(c)
+	}
+	// Second pass: associations (ids are preserved one-to-one).
+	for _, r := range src.All() {
+		c := out.Get(r.ID)
+		for _, attr := range r.AssocAttrs() {
+			for _, t := range r.Assoc(attr) {
+				c.AddAssoc(attr, t)
+			}
+		}
+	}
+	return out
+}

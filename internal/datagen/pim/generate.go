@@ -1,0 +1,472 @@
+package pim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+
+	"refrecon/internal/extract"
+	"refrecon/internal/names"
+	"refrecon/internal/reference"
+)
+
+// Generated is a synthetic dataset: a labeled reference store plus the
+// ground-truth entity counts.
+type Generated struct {
+	Profile Profile
+	Store   *reference.Store
+	// Entity counts in the generated world. The number of *referenced*
+	// entities can be lower; use metrics.Report.Entities for evaluation.
+	Persons, Articles, Venues int
+}
+
+type account struct{ local, domain string }
+
+func (a account) key() string { return a.local + "@" + a.domain }
+
+// entity is one ground-truth person (or mailing list).
+type entity struct {
+	label    string
+	region   Region
+	first    string
+	middle   string // initial or ""
+	last     string
+	nick     string
+	isList   bool
+	author   bool
+	variants []string
+	accounts []account
+	circle   []int
+
+	// Post-name-change state (dataset D's owner only).
+	changed         bool
+	changedVariants []string
+	changedAccounts []account
+}
+
+type articleEntity struct {
+	label   string
+	title   string
+	year    int
+	pages   string
+	authors []int // entity indexes
+	venue   int   // venuePool index
+}
+
+// Generate builds the world described by the profile, renders its raw
+// email and BibTeX corpora, runs them through the extractors, and labels
+// every extracted reference with its ground-truth entity.
+func Generate(p Profile) (*Generated, error) {
+	rng := rand.New(rand.NewSource(p.Seed))
+	w := &world{p: p, rng: rng, usedAccounts: make(map[string]bool), usedTitles: make(map[string]bool)}
+	w.buildPersons()
+	w.buildArticles()
+	// Circles are built after articles so that co-authors end up in each
+	// other's email circles: the paper's Contact evidence ("common people
+	// appearing in the coauthor or email-contact lists") only exists when
+	// collaboration and correspondence correlate.
+	w.buildCircles()
+
+	store := reference.NewStore()
+	acc := extract.NewAccumulator(store)
+	if err := w.renderBibliography(acc); err != nil {
+		return nil, err
+	}
+	if err := w.renderMail(acc); err != nil {
+		return nil, err
+	}
+	venues := make(map[int]bool)
+	for _, a := range w.articles {
+		venues[a.venue] = true
+	}
+	return &Generated{
+		Profile:  p,
+		Store:    store,
+		Persons:  len(w.persons),
+		Articles: len(w.articles),
+		Venues:   len(venues),
+	}, nil
+}
+
+type world struct {
+	p   Profile
+	rng *rand.Rand
+
+	persons      []*entity
+	articles     []*articleEntity
+	usedAccounts map[string]bool
+	usedTitles   map[string]bool
+}
+
+func (w *world) pick(pool []string) string { return pool[w.rng.Intn(len(pool))] }
+
+func (w *world) region() Region {
+	weights := w.p.RegionWeights
+	if len(weights) == 0 {
+		return US
+	}
+	total := 0.0
+	for _, v := range weights {
+		total += v
+	}
+	x := w.rng.Float64() * total
+	for _, r := range []Region{US, Chinese, Indian} {
+		x -= weights[r]
+		if x < 0 {
+			return r
+		}
+	}
+	return US
+}
+
+func (w *world) buildPersons() {
+	n := w.p.scaled(w.p.Persons)
+	for i := 0; i < n; i++ {
+		e := &entity{label: fmt.Sprintf("P%05d", i), region: w.region()}
+		w.nameFor(e)
+		if w.p.NameCollisionRate > 0 && i > 10 && w.rng.Float64() < w.p.NameCollisionRate {
+			// Deliberate exact-name collision with an earlier person
+			// (dataset C's short overlapping names).
+			other := w.persons[w.rng.Intn(i)]
+			if !other.isList {
+				e.first, e.middle, e.last, e.nick, e.region = other.first, other.middle, other.last, other.nick, other.region
+			}
+		}
+		e.accounts = w.accountsFor(e, 0)
+		e.variants = w.variantsFor(e.first, e.middle, e.last, e.nick)
+		w.persons = append(w.persons, e)
+	}
+	// The owner is the first person and, in dataset D, changes her last
+	// name and opens a new account on the same server as her primary one.
+	if w.p.OwnerNameChange {
+		owner := w.persons[0]
+		owner.changed = true
+		newLast := w.pick(lastPool(owner.region))
+		for newLast == owner.last {
+			newLast = w.pick(lastPool(owner.region))
+		}
+		owner.changedVariants = w.variantsFor(owner.first, owner.middle, newLast, owner.nick)
+		server := owner.accounts[0].domain
+		local := w.freshLocal(owner.first, newLast, server)
+		owner.changedAccounts = []account{{local, server}}
+	}
+	// Mailing lists are pseudo-persons with a list account and no real
+	// name variants.
+	for i := 0; i < w.p.scaled(w.p.MailingLists); i++ {
+		name := mailingListNames[i%len(mailingListNames)]
+		e := &entity{
+			label:  fmt.Sprintf("L%03d", i),
+			isList: true,
+			first:  name,
+		}
+		dom := w.pick(domains)
+		local := name
+		if w.usedAccounts[local+"@"+dom] {
+			local = fmt.Sprintf("%s%d", name, i)
+		}
+		w.usedAccounts[local+"@"+dom] = true
+		e.accounts = []account{{local, dom}}
+		e.variants = []string{titleCase(strings.ReplaceAll(name, "-", " "))}
+		w.persons = append(w.persons, e)
+	}
+}
+
+func firstPool(r Region) []string {
+	switch r {
+	case Chinese:
+		return chineseFirst
+	case Indian:
+		return indianFirst
+	default:
+		return usFirst
+	}
+}
+
+func lastPool(r Region) []string {
+	switch r {
+	case Chinese:
+		return chineseLast
+	case Indian:
+		return indianLast
+	default:
+		return usLast
+	}
+}
+
+func (w *world) nameFor(e *entity) {
+	e.first = w.pick(firstPool(e.region))
+	e.last = w.pick(lastPool(e.region))
+	switch e.region {
+	case US:
+		// The surname space must keep growing with the population, as
+		// real populations' do; otherwise a paper-scale dataset saturates
+		// the pool and full-name collisions (two real "Barbara Taylor"s)
+		// swamp precision. Half the surnames are synthetic compounds, and
+		// some people hyphenate.
+		if w.rng.Float64() < 0.5 {
+			e.last = titleCase(w.pick(surnamePrefixes) + w.pick(surnameSuffixes))
+		}
+		if w.rng.Float64() < 0.10 {
+			second := w.pick(usLast)
+			if second != e.last {
+				e.last = e.last + "-" + second
+			}
+		}
+		if w.rng.Float64() < 0.35 {
+			e.middle = string(w.pick(usFirst)[0])
+		}
+		e.nick = names.Nickname(strings.ToLower(e.first))
+	case Chinese:
+		// Most given names are two-syllable ("Xiaoming") and distinctive;
+		// dataset C lowers TwoSyllableGiven to flood the corpus with the
+		// short, heavily shared single-syllable names its owner's address
+		// book had.
+		if w.rng.Float64() < w.p.TwoSyllableGiven {
+			a := w.pick(chineseGivenSyllables)
+			b := w.pick(chineseGivenSyllables)
+			if a != b {
+				e.first = titleCase(a + b)
+			}
+		}
+	}
+}
+
+// accountsFor assigns 1-2 accounts on distinct servers.
+func (w *world) accountsFor(e *entity, extra int) []account {
+	count := 1 + extra
+	if w.rng.Float64() < w.p.SecondAccountRate {
+		count++
+	}
+	var out []account
+	usedDomains := make(map[string]bool)
+	for len(out) < count {
+		dom := w.pick(domains)
+		if usedDomains[dom] {
+			continue
+		}
+		usedDomains[dom] = true
+		out = append(out, account{w.freshLocal(e.first, e.last, dom), dom})
+	}
+	return out
+}
+
+// handleWords seed opaque account names that carry no name information
+// ("falcon7@..."): references presenting only such an account must be
+// reconciled through contacts or enrichment, never through the
+// name-vs-email comparator.
+var handleWords = []string{
+	"falcon", "wizard", "tiger", "comet", "raven", "orion", "zephyr",
+	"puma", "lotus", "ember", "quartz", "nimbus",
+}
+
+// freshLocal derives a globally-unique account name from a person's name
+// (or an opaque handle, for a fraction of accounts).
+func (w *world) freshLocal(first, last, domain string) string {
+	if w.rng.Float64() < 0.18 {
+		for i := 0; i < 50; i++ {
+			cand := fmt.Sprintf("%s%d", handleWords[w.rng.Intn(len(handleWords))], w.rng.Intn(100))
+			if !w.usedAccounts[cand+"@"+domain] {
+				w.usedAccounts[cand+"@"+domain] = true
+				return cand
+			}
+		}
+	}
+	f := strings.ToLower(first)
+	l := strings.ToLower(last)
+	patterns := []string{
+		l,
+		f + "." + l,
+		string(f[0]) + l,
+		f + l,
+		f + "_" + l,
+		f,
+	}
+	start := w.rng.Intn(len(patterns))
+	for i := 0; i < len(patterns); i++ {
+		cand := patterns[(start+i)%len(patterns)]
+		if !w.usedAccounts[cand+"@"+domain] {
+			w.usedAccounts[cand+"@"+domain] = true
+			return cand
+		}
+	}
+	for i := 2; ; i++ {
+		cand := fmt.Sprintf("%s%d", patterns[start], i)
+		if !w.usedAccounts[cand+"@"+domain] {
+			w.usedAccounts[cand+"@"+domain] = true
+			return cand
+		}
+	}
+}
+
+// variantsFor produces the distinct name presentations a person uses.
+// The full name and the comma-initial citation form always exist; the rest
+// are sampled up to the profile's NameVariety, optionally with a typo.
+func (w *world) variantsFor(first, middle, last, nick string) []string {
+	fi := string(first[0])
+	full := first + " " + last
+	if middle != "" && w.rng.Float64() < 0.5 {
+		full = first + " " + middle + ". " + last
+	}
+	commaInitial := last + ", " + fi + "."
+	if middle != "" {
+		commaInitial = last + ", " + fi + "." + middle + "."
+	}
+	candidates := []string{
+		fi + ". " + last,
+		last + ", " + first,
+		first,
+	}
+	if nick != "" {
+		candidates = append(candidates, titleCase(nick)+" "+last, titleCase(nick))
+	}
+	out := []string{full, commaInitial}
+	w.rng.Shuffle(len(candidates), func(i, j int) { candidates[i], candidates[j] = candidates[j], candidates[i] })
+	for _, c := range candidates {
+		if len(out) >= w.p.NameVariety {
+			break
+		}
+		out = append(out, c)
+	}
+	if w.p.TypoRate > 0 && w.rng.Float64() < w.p.TypoRate*4 {
+		out = append(out, typo(w.rng, full))
+	}
+	return out
+}
+
+// typo swaps two adjacent interior letters.
+func typo(rng *rand.Rand, s string) string {
+	rs := []rune(s)
+	if len(rs) < 4 {
+		return s
+	}
+	i := 1 + rng.Intn(len(rs)-3)
+	if rs[i] == ' ' || rs[i+1] == ' ' {
+		i = 1
+	}
+	rs[i], rs[i+1] = rs[i+1], rs[i]
+	return string(rs)
+}
+
+// buildCircles assigns everyone a contact circle. The world is
+// owner-centric (the owner is in every circle) and collaboration-driven:
+// a person's co-authors come first, then random acquaintances.
+func (w *world) buildCircles() {
+	real := 0
+	for _, e := range w.persons {
+		if !e.isList {
+			real++
+		}
+	}
+	coauthors := make(map[int]map[int]bool)
+	for _, a := range w.articles {
+		for _, x := range a.authors {
+			for _, y := range a.authors {
+				if x != y {
+					if coauthors[x] == nil {
+						coauthors[x] = make(map[int]bool)
+					}
+					coauthors[x][y] = true
+				}
+			}
+		}
+	}
+	for i, e := range w.persons {
+		if e.isList {
+			continue
+		}
+		size := w.p.CircleSize
+		if size < 2 {
+			size = 2
+		}
+		seen := map[int]bool{i: true}
+		add := func(j int) {
+			if !seen[j] {
+				seen[j] = true
+				e.circle = append(e.circle, j)
+			}
+		}
+		if i != 0 {
+			add(0) // the owner
+		}
+		co := make([]int, 0, len(coauthors[i]))
+		for j := range coauthors[i] {
+			co = append(co, j)
+		}
+		sort.Ints(co) // map order must not leak into the deterministic corpus
+		for _, j := range co {
+			add(j)
+		}
+		for len(e.circle) < size {
+			j := w.rng.Intn(real)
+			if seen[j] {
+				if len(seen) >= real {
+					break
+				}
+				continue
+			}
+			add(j)
+		}
+	}
+}
+
+func (w *world) buildArticles() {
+	n := w.p.scaled(w.p.Articles)
+	var authors []int
+	cut := int(w.p.AuthorFraction * float64(len(w.persons)))
+	if cut < 4 {
+		cut = min(4, len(w.persons))
+	}
+	for i := 0; i < len(w.persons) && len(authors) < cut; i++ {
+		if !w.persons[i].isList {
+			w.persons[i].author = true
+			authors = append(authors, i)
+		}
+	}
+	for i := 0; i < n; i++ {
+		a := &articleEntity{
+			label: fmt.Sprintf("A%05d", i),
+			year:  1990 + w.rng.Intn(15),
+			venue: w.rng.Intn(len(venuePool)),
+		}
+		start := 100 + w.rng.Intn(800)
+		a.pages = fmt.Sprintf("%d-%d", start, start+5+w.rng.Intn(25))
+		// Distinct articles must not share too much title vocabulary, or
+		// the corpus becomes adversarially harder than real bibliographies
+		// (the paper's bibtex data is "very well curated"): the
+		// (gerund, noun) pair — the title's distinctive core — is unique
+		// per article.
+		for attempt := 0; ; attempt++ {
+			g, n := w.pick(titleGerunds), w.pick(titleNouns)
+			if attempt > 50 {
+				// Combination space exhausted at large scales: disambiguate
+				// with an explicit part number, as real paper series do.
+				n = fmt.Sprintf("%s (part %d)", n, i)
+			}
+			core := g + "|" + n
+			if w.usedTitles[core] {
+				continue
+			}
+			w.usedTitles[core] = true
+			a.title = fmt.Sprintf("%s %s %s %s", g, w.pick(titleAdjectives), n, w.pick(titleTails))
+			break
+		}
+		count := 1 + w.rng.Intn(3)
+		seen := make(map[int]bool)
+		for len(a.authors) < count {
+			j := authors[w.rng.Intn(len(authors))]
+			if !seen[j] {
+				seen[j] = true
+				a.authors = append(a.authors, j)
+			}
+		}
+		w.articles = append(w.articles, a)
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

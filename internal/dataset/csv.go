@@ -1,0 +1,158 @@
+package dataset
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+
+	"refrecon/internal/reference"
+)
+
+// CSV interchange: one row per reference, in the flat format entity-
+// resolution corpora are usually shipped in. Multi-valued attributes join
+// with "|", associations serialize as "|"-joined reference ids. The header
+// is
+//
+//	id,class,source,entity,<attr>,...,@<assoc>,...
+//
+// with attribute columns ("name") and association columns ("@coAuthor")
+// discovered from the data on write and from the header on read.
+
+// WriteCSV serializes the dataset.
+func (d *Dataset) WriteCSV(w io.Writer) error {
+	atomicCols := map[string]bool{}
+	assocCols := map[string]bool{}
+	for _, r := range d.Store.All() {
+		for _, a := range r.AtomicAttrs() {
+			atomicCols[a] = true
+		}
+		for _, a := range r.AssocAttrs() {
+			assocCols[a] = true
+		}
+	}
+	atomics := sortedKeys(atomicCols)
+	assocs := sortedKeys(assocCols)
+
+	cw := csv.NewWriter(w)
+	header := []string{"id", "class", "source", "entity"}
+	header = append(header, atomics...)
+	for _, a := range assocs {
+		header = append(header, "@"+a)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	for _, r := range d.Store.All() {
+		row := []string{
+			strconv.Itoa(int(r.ID)), r.Class, r.Source, r.Entity,
+		}
+		for _, a := range atomics {
+			row = append(row, strings.Join(r.Atomic(a), "|"))
+		}
+		for _, a := range assocs {
+			ids := r.Assoc(a)
+			parts := make([]string, len(ids))
+			for i, id := range ids {
+				parts[i] = strconv.Itoa(int(id))
+			}
+			row = append(row, strings.Join(parts, "|"))
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadCSV deserializes a dataset written by WriteCSV (or assembled by hand
+// in the same format). References must appear with dense ids in order.
+func ReadCSV(name string, r io.Reader) (*Dataset, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1
+	header, err := cr.Read()
+	if err != nil {
+		return nil, fmt.Errorf("dataset: csv header: %w", err)
+	}
+	if len(header) < 4 || header[0] != "id" || header[1] != "class" {
+		return nil, fmt.Errorf("dataset: csv header must start with id,class,source,entity")
+	}
+	type col struct {
+		name  string
+		assoc bool
+	}
+	var cols []col
+	for _, h := range header[4:] {
+		if rest, ok := strings.CutPrefix(h, "@"); ok {
+			cols = append(cols, col{rest, true})
+		} else {
+			cols = append(cols, col{h, false})
+		}
+	}
+
+	store := reference.NewStore()
+	type pendingAssoc struct {
+		from reference.ID
+		attr string
+		to   reference.ID
+	}
+	var pending []pendingAssoc
+	for rowNo := 2; ; rowNo++ {
+		row, err := cr.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: %w", rowNo, err)
+		}
+		if len(row) < 4 {
+			return nil, fmt.Errorf("dataset: csv row %d: too few fields", rowNo)
+		}
+		id, err := strconv.Atoi(row[0])
+		if err != nil {
+			return nil, fmt.Errorf("dataset: csv row %d: bad id %q", rowNo, row[0])
+		}
+		if id != store.Len() {
+			return nil, fmt.Errorf("dataset: csv row %d: non-dense id %d", rowNo, id)
+		}
+		ref := reference.New(row[1])
+		ref.Source = row[2]
+		ref.Entity = row[3]
+		for i, c := range cols {
+			if 4+i >= len(row) || row[4+i] == "" {
+				continue
+			}
+			for _, v := range strings.Split(row[4+i], "|") {
+				if c.assoc {
+					t, err := strconv.Atoi(v)
+					if err != nil {
+						return nil, fmt.Errorf("dataset: csv row %d: bad link %q", rowNo, v)
+					}
+					pending = append(pending, pendingAssoc{reference.ID(id), c.name, reference.ID(t)})
+				} else {
+					ref.AddAtomic(c.name, v)
+				}
+			}
+		}
+		store.Add(ref)
+	}
+	for _, p := range pending {
+		if int(p.to) >= store.Len() {
+			return nil, fmt.Errorf("dataset: link to unknown reference %d", p.to)
+		}
+		store.Get(p.from).AddAssoc(p.attr, p.to)
+	}
+	return &Dataset{Name: name, Store: store}, nil
+}
+
+func sortedKeys(m map[string]bool) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

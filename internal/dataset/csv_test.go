@@ -1,0 +1,99 @@
+package dataset
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"refrecon/internal/schema"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	d := sample()
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(d.Name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Store.Len() != d.Store.Len() {
+		t.Fatalf("len %d vs %d", back.Store.Len(), d.Store.Len())
+	}
+	for i := 0; i < d.Store.Len(); i++ {
+		a := d.Store.All()[i]
+		b := back.Store.All()[i]
+		if a.String() != b.String() || a.Entity != b.Entity || a.Source != b.Source {
+			t.Errorf("ref %d: %v vs %v", i, a, b)
+		}
+		for _, attr := range a.AssocAttrs() {
+			if len(a.Assoc(attr)) != len(b.Assoc(attr)) {
+				t.Errorf("ref %d assoc %s lost", i, attr)
+			}
+		}
+	}
+	if err := back.Store.Validate(schema.PIM()); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCSVMultiValued(t *testing.T) {
+	var buf bytes.Buffer
+	buf.WriteString("id,class,source,entity,email,name,@emailContact\n")
+	buf.WriteString("0,Person,email,E1,a@x.edu|b@y.org,Alice,1\n")
+	buf.WriteString("1,Person,email,E2,c@z.com,,0\n")
+	d, err := ReadCSV("t", &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r0 := d.Store.Get(0)
+	if got := r0.Atomic(schema.AttrEmail); len(got) != 2 {
+		t.Errorf("multi-valued email = %v", got)
+	}
+	if got := r0.Assoc(schema.AttrEmailContact); len(got) != 1 || got[0] != 1 {
+		t.Errorf("assoc = %v", got)
+	}
+	if d.Store.Get(1).FirstAtomic(schema.AttrName) != "" {
+		t.Error("empty cell must mean no value")
+	}
+}
+
+func TestCSVErrors(t *testing.T) {
+	cases := []string{
+		"",                                       // no header
+		"wrong,header,entirely\n",                // bad header
+		"id,class,source,entity\nx,P,s,e\n",      // bad id
+		"id,class,source,entity\n5,P,s,e\n",      // non-dense
+		"id,class,source,entity,@l\n0,P,s,e,q\n", // bad link
+		"id,class,source,entity,@l\n0,P,s,e,9\n", // dangling link
+	}
+	for _, src := range cases {
+		if _, err := ReadCSV("t", strings.NewReader(src)); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestCSVValuesWithCommas(t *testing.T) {
+	d := sample()
+	d.Store.Get(0).AddAtomic(schema.AttrName, "Liddell, Alice")
+	var buf bytes.Buffer
+	if err := d.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadCSV(d.Name, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := back.Store.Get(0).Atomic(schema.AttrName)
+	found := false
+	for _, n := range names {
+		if n == "Liddell, Alice" {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("comma value lost: %v", names)
+	}
+}

@@ -1,0 +1,167 @@
+// Package dataset bundles a reference store with its provenance and
+// provides the subset operations the paper's evaluation needs (§5.3 splits
+// each PIM dataset into PEmail and PArticle person subsets) plus JSON
+// serialization for dumping and reloading corpora.
+package dataset
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"refrecon/internal/extract"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+// Dataset is a named, labeled reference store.
+type Dataset struct {
+	Name  string
+	Store *reference.Store
+}
+
+// EntityCount returns the number of distinct gold entities of a class
+// (references with empty labels are ignored).
+func (d *Dataset) EntityCount(class string) int {
+	seen := make(map[string]bool)
+	for _, id := range d.Store.ByClass(class) {
+		if e := d.Store.Get(id).Entity; e != "" {
+			seen[e] = true
+		}
+	}
+	return len(seen)
+}
+
+// Filter builds a new dataset containing the references accepted by keep,
+// with ids remapped densely and association links to dropped references
+// removed.
+func (d *Dataset) Filter(name string, keep func(*reference.Reference) bool) *Dataset {
+	out := reference.NewStore()
+	mapping := make(map[reference.ID]reference.ID)
+	var kept []*reference.Reference
+	for _, r := range d.Store.All() {
+		if !keep(r) {
+			continue
+		}
+		clone := reference.New(r.Class)
+		clone.Source = r.Source
+		clone.Entity = r.Entity
+		for _, attr := range r.AtomicAttrs() {
+			for _, v := range r.Atomic(attr) {
+				clone.AddAtomic(attr, v)
+			}
+		}
+		mapping[r.ID] = out.Add(clone)
+		kept = append(kept, r)
+	}
+	for _, r := range kept {
+		clone := out.Get(mapping[r.ID])
+		for _, attr := range r.AssocAttrs() {
+			for _, target := range r.Assoc(attr) {
+				if nt, ok := mapping[target]; ok {
+					clone.AddAssoc(attr, nt)
+				}
+			}
+		}
+	}
+	return &Dataset{Name: name, Store: out}
+}
+
+// PEmail returns the §5.3 email subset: only the person references
+// extracted from email, with their mutual contact links. It is a
+// single-class information space with rich associations.
+func (d *Dataset) PEmail() *Dataset {
+	return d.Filter(d.Name+"/PEmail", func(r *reference.Reference) bool {
+		return r.Class == schema.ClassPerson && r.Source == extract.SourceEmail
+	})
+}
+
+// PArticle returns the §5.3 article subset: everything except the
+// email-extracted persons — the bibliography world of name-only person
+// references, articles, and venues.
+func (d *Dataset) PArticle() *Dataset {
+	return d.Filter(d.Name+"/PArticle", func(r *reference.Reference) bool {
+		return !(r.Class == schema.ClassPerson && r.Source == extract.SourceEmail)
+	})
+}
+
+// jsonRef is the serialized form of one reference.
+type jsonRef struct {
+	ID     reference.ID              `json:"id"`
+	Class  string                    `json:"class"`
+	Source string                    `json:"source,omitempty"`
+	Entity string                    `json:"entity,omitempty"`
+	Atomic map[string][]string       `json:"atomic,omitempty"`
+	Assoc  map[string][]reference.ID `json:"assoc,omitempty"`
+}
+
+type jsonDataset struct {
+	Name string    `json:"name"`
+	Refs []jsonRef `json:"references"`
+}
+
+// WriteJSON serializes the dataset.
+func (d *Dataset) WriteJSON(w io.Writer) error {
+	out := jsonDataset{Name: d.Name}
+	for _, r := range d.Store.All() {
+		jr := jsonRef{ID: r.ID, Class: r.Class, Source: r.Source, Entity: r.Entity}
+		if attrs := r.AtomicAttrs(); len(attrs) > 0 {
+			jr.Atomic = make(map[string][]string, len(attrs))
+			for _, a := range attrs {
+				jr.Atomic[a] = append([]string(nil), r.Atomic(a)...)
+			}
+		}
+		if attrs := r.AssocAttrs(); len(attrs) > 0 {
+			jr.Assoc = make(map[string][]reference.ID, len(attrs))
+			for _, a := range attrs {
+				jr.Assoc[a] = append([]reference.ID(nil), r.Assoc(a)...)
+			}
+		}
+		out.Refs = append(out.Refs, jr)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(out)
+}
+
+// ReadJSON deserializes a dataset written by WriteJSON. References must be
+// listed with dense ids in order.
+func ReadJSON(r io.Reader) (*Dataset, error) {
+	var in jsonDataset
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("dataset: decode: %w", err)
+	}
+	sort.Slice(in.Refs, func(i, j int) bool { return in.Refs[i].ID < in.Refs[j].ID })
+	store := reference.NewStore()
+	for i, jr := range in.Refs {
+		if int(jr.ID) != i {
+			return nil, fmt.Errorf("dataset: non-dense reference id %d at position %d", jr.ID, i)
+		}
+		ref := reference.New(jr.Class)
+		ref.Source = jr.Source
+		ref.Entity = jr.Entity
+		atomicAttrs := make([]string, 0, len(jr.Atomic))
+		for a := range jr.Atomic {
+			atomicAttrs = append(atomicAttrs, a)
+		}
+		sort.Strings(atomicAttrs)
+		for _, a := range atomicAttrs {
+			for _, v := range jr.Atomic[a] {
+				ref.AddAtomic(a, v)
+			}
+		}
+		assocAttrs := make([]string, 0, len(jr.Assoc))
+		for a := range jr.Assoc {
+			assocAttrs = append(assocAttrs, a)
+		}
+		sort.Strings(assocAttrs)
+		for _, a := range assocAttrs {
+			for _, t := range jr.Assoc[a] {
+				ref.AddAssoc(a, t)
+			}
+		}
+		store.Add(ref)
+	}
+	return &Dataset{Name: in.Name, Store: store}, nil
+}

@@ -1,0 +1,82 @@
+package depgraph
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteDOT(t *testing.T) {
+	g := New()
+	a := g.AddRefPair(0, 1, "Person")
+	v := g.AddValuePair("name", "x", "y", 0.7)
+	g.AddEdge(v, a, RealValued, "name")
+	b := g.AddRefPair(2, 3, "Article")
+	b.Status = Merged
+	g.AddEdge(b, a, StrongBoolean, "article")
+	c := g.AddRefPair(4, 5, "Person")
+	g.MarkNonMerge(c)
+	g.AddEdge(c, a, WeakBoolean, "contact")
+
+	var sb strings.Builder
+	if err := g.WriteDOT(&sb, nil); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		"digraph depgraph {",
+		"shape=box",
+		"shape=ellipse",
+		"color=green4",
+		"color=red3",
+		"style=bold",
+		"style=dashed",
+		`label="article"`,
+		"}",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestWriteDOTFilter(t *testing.T) {
+	g := New()
+	a := g.AddRefPair(0, 1, "Person")
+	b := g.AddRefPair(2, 3, "Venue")
+	g.AddEdge(a, b, RealValued, "x")
+	var sb strings.Builder
+	err := g.WriteDOT(&sb, func(n *Node) bool { return n.Class == "Person" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if strings.Contains(out, "r2|r3") {
+		t.Error("filtered node leaked into DOT output")
+	}
+	if strings.Contains(out, "->") {
+		t.Error("edge to excluded node must be dropped")
+	}
+}
+
+func TestWriteDOTDeterministic(t *testing.T) {
+	build := func() string {
+		g := New()
+		a := g.AddRefPair(0, 1, "Person")
+		b := g.AddRefPair(2, 3, "Person")
+		v := g.AddValuePair("name", "p", "q", 0.4)
+		g.AddEdge(v, a, RealValued, "name")
+		g.AddEdge(v, b, RealValued, "name")
+		g.AddEdge(a, b, WeakBoolean, "contact")
+		var sb strings.Builder
+		if err := g.WriteDOT(&sb, nil); err != nil {
+			t.Fatal(err)
+		}
+		return sb.String()
+	}
+	first := build()
+	for i := 0; i < 3; i++ {
+		if build() != first {
+			t.Fatal("nondeterministic DOT output")
+		}
+	}
+}

@@ -1,0 +1,243 @@
+package depgraph
+
+// Scorer computes a node's similarity from its incoming edges. Score must
+// be monotone in the incoming similarities (§3.2's termination condition):
+// raising a neighbor's similarity may only raise the result. The engine
+// additionally clamps scores to [0,1] and never lets a node's similarity
+// decrease.
+type Scorer interface {
+	Score(n *Node) float64
+}
+
+// ScorerFunc adapts a function to the Scorer interface.
+type ScorerFunc func(n *Node) float64
+
+// Score implements Scorer.
+func (f ScorerFunc) Score(n *Node) float64 { return f(n) }
+
+// Options configure a propagation run.
+type Options struct {
+	// Scorer computes node similarities. Required.
+	Scorer Scorer
+	// MergeThreshold returns the similarity at which a node merges.
+	// Required. (The paper uses 0.85 for reference pairs and 1.0 for
+	// attribute-value pairs.)
+	MergeThreshold func(n *Node) float64
+	// Epsilon is the minimum similarity increase that re-activates
+	// neighbors; it guarantees termination (§3.2). Default 1e-6.
+	Epsilon float64
+	// Propagate enables dependency-driven re-activation (§3.2). When
+	// false, every seeded node is scored exactly once in seed order (the
+	// TRADITIONAL and MERGE ablation modes).
+	Propagate bool
+	// Enrich enables reference enrichment (§3.3): merging (r1,r2) folds
+	// every node (r2,r3) into (r1,r3).
+	Enrich bool
+	// OnMerge, if set, is invoked whenever a RefPair node first becomes
+	// merged. The reconciler uses it to feed its union-find.
+	OnMerge func(n *Node)
+	// MaxSteps caps the number of node evaluations as a safety net
+	// against non-monotone scorers. 0 means 1000 * initial node count.
+	MaxSteps int
+}
+
+// Stats reports what a Run did.
+type Stats struct {
+	Steps      int  // node evaluations performed
+	Merges     int  // RefPair nodes that became merged
+	Folds      int  // nodes removed by enrichment
+	Reactivate int  // re-activations pushed by propagation
+	Truncated  bool // true if MaxSteps was hit
+}
+
+// Run executes the propagation algorithm of Figure 4 over the graph. seed
+// lists the RefPair nodes to evaluate, in the desired initial order
+// (callers order dependees before dependents per §3.2's heuristic).
+func (g *Graph) Run(seed []*Node, opt Options) Stats {
+	if opt.Scorer == nil || opt.MergeThreshold == nil {
+		panic("depgraph: Options.Scorer and Options.MergeThreshold are required")
+	}
+	eps := opt.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	maxSteps := opt.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1000 * (g.liveNodes + 1)
+	}
+	var st Stats
+
+	for _, n := range seed {
+		if n.alive && n.Status != NonMerge {
+			n.Status = Active
+			g.queue.pushBack(n)
+		}
+	}
+
+	for {
+		n := g.queue.pop()
+		if n == nil {
+			break
+		}
+		if n.Status == NonMerge {
+			continue
+		}
+		if st.Steps >= maxSteps {
+			st.Truncated = true
+			break
+		}
+		st.Steps++
+
+		wasMerged := n.Status == Merged
+		old := n.Sim
+		s := opt.Scorer.Score(n)
+		if s > 1 {
+			s = 1
+		}
+		if s > n.Sim {
+			n.Sim = s
+		}
+		increased := n.Sim > old+eps
+
+		if n.Sim >= opt.MergeThreshold(n) {
+			n.Status = Merged
+		} else if n.Status != Merged {
+			n.Status = Inactive
+		}
+		newlyMerged := n.Status == Merged && !wasMerged
+
+		if opt.Propagate && increased {
+			for _, e := range n.out {
+				if e.Dep == RealValued && g.activate(e.To) {
+					st.Reactivate++
+				}
+			}
+		}
+		if newlyMerged {
+			if n.Kind == RefPair {
+				st.Merges++
+				if opt.OnMerge != nil {
+					opt.OnMerge(n)
+				}
+			}
+			if opt.Propagate {
+				// Strong-boolean neighbors jump the queue; weak-boolean
+				// neighbors go to the back (§3.2).
+				for _, e := range n.out {
+					if e.Dep != StrongBoolean {
+						continue
+					}
+					if g.activateFront(e.To) {
+						st.Reactivate++
+					}
+				}
+				for _, e := range n.out {
+					if e.Dep != WeakBoolean {
+						continue
+					}
+					if g.activate(e.To) {
+						st.Reactivate++
+					}
+				}
+			}
+			if opt.Enrich && n.Kind == RefPair {
+				st.Folds += g.enrich(n)
+			}
+		}
+	}
+	return st
+}
+
+// activate pushes m to the back of the queue if it is eligible for
+// recomputation, reporting whether it was pushed. A merged node keeps its
+// Merged status while queued: downgrading it would erase the evidence it
+// provides to others' similarity functions and would make it fire its
+// "newly merged" activations a second time.
+func (g *Graph) activate(m *Node) bool {
+	if !g.eligible(m) {
+		return false
+	}
+	if m.Status == Inactive {
+		m.Status = Active
+	}
+	g.queue.pushBack(m)
+	return true
+}
+
+// activateFront pushes m to the front of the queue if eligible.
+func (g *Graph) activateFront(m *Node) bool {
+	if !g.eligible(m) {
+		return false
+	}
+	if m.Status == Inactive {
+		m.Status = Active
+	}
+	g.queue.pushFront(m)
+	return true
+}
+
+func (g *Graph) eligible(m *Node) bool {
+	return m.alive && !m.queued && m.Status != NonMerge && m.Sim < 1
+}
+
+// enrich implements §3.3: after merging n = (r1, r2), every node (r2, r3)
+// whose counterpart (r1, r3) exists is folded into the counterpart —
+// neighbors are reconnected, the duplicate is removed, and nodes that
+// gained incoming neighbors are re-queued at the back. Returns the number
+// of folded (removed) nodes.
+func (g *Graph) enrich(n *Node) int {
+	r1, r2 := n.RefA, n.RefB
+	folds := 0
+	// Copy the index slice: fold mutates g.refNodes via removeNode.
+	for _, l := range g.RefPairNodesOf(r2) {
+		if l == n || !l.alive {
+			continue
+		}
+		r3 := l.Other(r2)
+		if r3 == r1 {
+			continue
+		}
+		m := g.LookupRefPair(r1, r3)
+		if m == nil || m == l {
+			continue
+		}
+		g.fold(l, m)
+		folds++
+	}
+	return folds
+}
+
+// fold moves l's dependencies onto m and removes l.
+func (g *Graph) fold(l, m *Node) {
+	gainedIncoming := false
+	for _, e := range l.in {
+		if g.AddEdge(e.From, m, e.Dep, e.Evidence) != nil {
+			gainedIncoming = true
+		}
+	}
+	for _, e := range l.out {
+		if g.AddEdge(m, e.To, e.Dep, e.Evidence) != nil {
+			// e.To gained a new incoming neighbor: reconsider it.
+			g.activate(e.To)
+		}
+	}
+	switch {
+	case l.Status == NonMerge:
+		// r2 and r3 are constrained distinct; r1 ~ r2, so r1 and r3 are
+		// too.
+		g.MarkNonMerge(m)
+	case m.Status != NonMerge && l.Sim > m.Sim:
+		// Inherit the similarity but not the status: re-queueing m lets
+		// the normal pop path mark it merged and fire its neighbors.
+		m.Sim = l.Sim
+		gainedIncoming = true
+	}
+	g.removeNode(l)
+	// Bypass the sim<1 eligibility check: even a node whose inherited
+	// similarity is already 1 must be evaluated once more so its merged
+	// status and downstream activations take effect.
+	if gainedIncoming && !m.queued && m.Status != NonMerge && m.Status != Merged {
+		m.Status = Active
+		g.queue.pushBack(m)
+	}
+}

@@ -1,0 +1,472 @@
+package depgraph
+
+import (
+	"testing"
+)
+
+// sumScorer is a simple monotone scorer for tests: a node's similarity is
+// its own current sim for ValuePair nodes, and for RefPair nodes the sum of
+//
+//	max over incoming real-valued edges of the source sim,
+//	0.3 per merged incoming strong-boolean neighbor,
+//	0.1 per merged incoming weak-boolean neighbor,
+//
+// clamped by the engine.
+func sumScorer(n *Node) float64 {
+	if n.Kind == ValuePair {
+		s := n.Sim
+		for _, e := range n.in {
+			if e.Dep == StrongBoolean && e.From.Status == Merged && s < 1 {
+				s = 1
+			}
+		}
+		return s
+	}
+	real := 0.0
+	boost := 0.0
+	for _, e := range n.in {
+		switch e.Dep {
+		case RealValued:
+			if e.From.Sim > real {
+				real = e.From.Sim
+			}
+		case StrongBoolean:
+			if e.From.Status == Merged {
+				boost += 0.3
+			}
+		case WeakBoolean:
+			if e.From.Status == Merged {
+				boost += 0.1
+			}
+		}
+	}
+	return real + boost
+}
+
+func thresholds(refT float64) func(*Node) float64 {
+	return func(n *Node) float64 {
+		if n.Kind == ValuePair {
+			return 1
+		}
+		return refT
+	}
+}
+
+func opts(propagate, enrich bool) Options {
+	return Options{
+		Scorer:         ScorerFunc(sumScorer),
+		MergeThreshold: thresholds(0.85),
+		Propagate:      propagate,
+		Enrich:         enrich,
+	}
+}
+
+func TestRunSimplePass(t *testing.T) {
+	g := New()
+	m := g.AddRefPair(0, 1, "Person")
+	v := g.AddValuePair("name", "x", "x", 1.0)
+	v.Status = Merged
+	g.AddEdge(v, m, RealValued, "name")
+	st := g.Run([]*Node{m}, opts(false, false))
+	if st.Steps != 1 {
+		t.Errorf("Steps = %d, want 1", st.Steps)
+	}
+	if m.Status != Merged || m.Sim != 1 {
+		t.Errorf("node not merged: %v", m)
+	}
+	if st.Merges != 1 {
+		t.Errorf("Merges = %d", st.Merges)
+	}
+}
+
+func TestRunBelowThreshold(t *testing.T) {
+	g := New()
+	m := g.AddRefPair(0, 1, "Person")
+	v := g.AddValuePair("name", "x", "y", 0.5)
+	g.AddEdge(v, m, RealValued, "name")
+	st := g.Run([]*Node{m}, opts(true, true))
+	if m.Status != Inactive || m.Sim != 0.5 {
+		t.Errorf("node = %v", m)
+	}
+	if st.Merges != 0 {
+		t.Errorf("Merges = %d", st.Merges)
+	}
+}
+
+// TestPropagationChain reproduces §3.2's cascade: merging an article pair
+// makes its venue pair merge via a strong-boolean dependency, which in turn
+// merges the venue-name value pair (alias learning), which raises a second
+// article pair above threshold.
+func TestPropagationChain(t *testing.T) {
+	g := New()
+	article1 := g.AddRefPair(0, 1, "Article")
+	venue := g.AddRefPair(2, 3, "Venue")
+	article2 := g.AddRefPair(4, 5, "Article")
+
+	title := g.AddValuePair("title", "t1", "t1", 1.0)
+	title.Status = Merged
+	g.AddEdge(title, article1, RealValued, "title")
+
+	// Venue depends (strong-boolean) on article1 being merged.
+	g.AddEdge(article1, venue, StrongBoolean, "article")
+	// Venue-name aliases merge when the venue pair merges.
+	vname := g.AddValuePair("vname", "sigmod", "acm conf mgmt data", 0.2)
+	g.AddEdge(venue, vname, StrongBoolean, "venue")
+	// article2 sees the venue-name value similarity plus its own title.
+	title2 := g.AddValuePair("title", "t2", "t2'", 0.7)
+	g.AddEdge(title2, article2, RealValued, "title")
+	g.AddEdge(vname, article2, RealValued, "vname")
+
+	st := g.Run([]*Node{venue, article2, article1}, opts(true, false))
+	if article1.Status != Merged {
+		t.Fatal("article1 should merge from its title")
+	}
+	// Venue: 0.3 boost from strong-boolean — below 0.85, so not merged.
+	if venue.Status == Merged {
+		t.Fatal("venue should not merge from one strong-boolean alone")
+	}
+	// Raise the stakes: give the venue real-valued name evidence too.
+	g2 := New()
+	a1 := g2.AddRefPair(0, 1, "Article")
+	ve := g2.AddRefPair(2, 3, "Venue")
+	a2 := g2.AddRefPair(4, 5, "Article")
+	ti := g2.AddValuePair("title", "t1", "t1", 1.0)
+	ti.Status = Merged
+	g2.AddEdge(ti, a1, RealValued, "title")
+	vn0 := g2.AddValuePair("vnameReal", "v1", "v2", 0.6)
+	g2.AddEdge(vn0, ve, RealValued, "vname")
+	g2.AddEdge(a1, ve, StrongBoolean, "article")
+	alias := g2.AddValuePair("vname", "sigmod", "acm", 0.2)
+	g2.AddEdge(ve, alias, StrongBoolean, "venue")
+	t2 := g2.AddValuePair("title", "t2", "t2'", 0.7)
+	g2.AddEdge(t2, a2, RealValued, "title")
+	g2.AddEdge(alias, a2, RealValued, "vname")
+
+	st = g2.Run([]*Node{ve, a2, a1}, opts(true, false))
+	if a1.Status != Merged {
+		t.Fatal("a1 should merge")
+	}
+	if ve.Status != Merged { // 0.6 + 0.3 = 0.9 >= 0.85
+		t.Fatal("venue should merge with real + strong-boolean evidence")
+	}
+	if alias.Sim != 1 || alias.Status != Merged {
+		t.Fatalf("alias value node should become merged, got %v", alias)
+	}
+	if a2.Status != Merged { // max(0.7, 1.0) = 1 via alias
+		t.Fatalf("a2 should merge through alias learning, got %v", a2)
+	}
+	if st.Reactivate == 0 {
+		t.Error("expected reactivations")
+	}
+}
+
+// TestNoPropagationMode verifies that with Propagate=false later merges do
+// not revisit earlier decisions (the TRADITIONAL ablation).
+func TestNoPropagationMode(t *testing.T) {
+	g := New()
+	person := g.AddRefPair(0, 1, "Person")
+	article := g.AddRefPair(2, 3, "Article")
+	ti := g.AddValuePair("title", "t", "t", 1.0)
+	ti.Status = Merged
+	g.AddEdge(ti, article, RealValued, "title")
+	// Person depends on the article pair merging.
+	g.AddEdge(article, person, StrongBoolean, "article")
+	nm := g.AddValuePair("name", "wong e", "eugene wong", 0.6)
+	g.AddEdge(nm, person, RealValued, "name")
+
+	// Person is seeded BEFORE article (rank order): without propagation
+	// the article's merge comes too late to help the person.
+	g.Run([]*Node{person, article}, opts(false, false))
+	if person.Status == Merged {
+		t.Error("person should not merge without propagation")
+	}
+
+	// Same graph with propagation: the strong-boolean activation carries
+	// the article's merge back to the person (0.6 + 0.3 >= 0.85).
+	g2 := New()
+	person2 := g2.AddRefPair(0, 1, "Person")
+	article2 := g2.AddRefPair(2, 3, "Article")
+	ti2 := g2.AddValuePair("title", "t", "t", 1.0)
+	ti2.Status = Merged
+	g2.AddEdge(ti2, article2, RealValued, "title")
+	g2.AddEdge(article2, person2, StrongBoolean, "article")
+	nm2 := g2.AddValuePair("name", "wong e", "eugene wong", 0.6)
+	g2.AddEdge(nm2, person2, RealValued, "name")
+	g2.Run([]*Node{person2, article2}, opts(true, false))
+	if person2.Status != Merged {
+		t.Error("person should merge with propagation")
+	}
+}
+
+// TestEnrichmentFold reproduces Figure 3: nodes m6=(p5,p8) and m8=(p5,p9)
+// exist; reconciling (p8,p9) folds m8 into m6, moving m8's evidence onto
+// m6, after which m6 can merge.
+func TestEnrichmentFold(t *testing.T) {
+	const p5, p8, p9 = 5, 8, 9
+	g := New()
+	m6 := g.AddRefPair(p5, p8, "Person")
+	m8 := g.AddRefPair(p5, p9, "Person")
+	merger := g.AddRefPair(p8, p9, "Person")
+
+	// (p8,p9) share an email key: sim 1.
+	emailKey := g.AddValuePair("email", "s@mit", "s@mit", 1.0)
+	emailKey.Status = Merged
+	g.AddEdge(emailKey, merger, RealValued, "email")
+
+	// m6 has evidence 0.5 (name-vs-email); m8 has evidence 0.5
+	// (first-initial), on distinct value nodes.
+	n8 := g.AddValuePair("nameEmail", "stonebraker m", "s@mit", 0.5)
+	g.AddEdge(n8, m6, RealValued, "nameEmail")
+	n9 := g.AddValuePair("name", "stonebraker m", "mike", 0.5)
+	g.AddEdge(n9, m8, RealValued, "name")
+
+	st := g.Run([]*Node{m6, m8, merger}, Options{
+		Scorer: ScorerFunc(func(n *Node) float64 {
+			if n.Kind == ValuePair {
+				return n.Sim
+			}
+			// Sum of distinct real-valued evidence (so folding m8's
+			// evidence into m6 pushes it over threshold).
+			s := 0.0
+			for _, e := range n.in {
+				if e.Dep == RealValued {
+					s += e.From.Sim
+				}
+			}
+			return s
+		}),
+		MergeThreshold: thresholds(0.85),
+		Propagate:      true,
+		Enrich:         true,
+	})
+	if merger.Status != Merged {
+		t.Fatal("(p8,p9) should merge on the email key")
+	}
+	if m8.Alive() {
+		t.Fatal("m8 should have been folded away")
+	}
+	if st.Folds != 1 {
+		t.Errorf("Folds = %d, want 1", st.Folds)
+	}
+	if m6.Status != Merged {
+		t.Errorf("m6 should merge after enrichment: sim=%f", m6.Sim)
+	}
+	if len(m6.In()) != 2 {
+		t.Errorf("m6 should have inherited n9: in=%d", len(m6.In()))
+	}
+}
+
+// TestEnrichmentWithoutPropagation checks the MERGE ablation: folds still
+// reactivate the absorbing node even though dependency propagation is off.
+func TestEnrichmentWithoutPropagation(t *testing.T) {
+	const p5, p8, p9 = 5, 8, 9
+	g := New()
+	m6 := g.AddRefPair(p5, p8, "Person")
+	m8 := g.AddRefPair(p5, p9, "Person")
+	merger := g.AddRefPair(p8, p9, "Person")
+	emailKey := g.AddValuePair("email", "s@mit", "s@mit", 1.0)
+	emailKey.Status = Merged
+	g.AddEdge(emailKey, merger, RealValued, "email")
+	n8 := g.AddValuePair("x", "a", "b", 0.5)
+	g.AddEdge(n8, m6, RealValued, "x")
+	n9 := g.AddValuePair("y", "c", "d", 0.5)
+	g.AddEdge(n9, m8, RealValued, "y")
+
+	g.Run([]*Node{m6, m8, merger}, Options{
+		Scorer: ScorerFunc(func(n *Node) float64 {
+			if n.Kind == ValuePair {
+				return n.Sim
+			}
+			s := 0.0
+			for _, e := range n.in {
+				if e.Dep == RealValued {
+					s += e.From.Sim
+				}
+			}
+			return s
+		}),
+		MergeThreshold: thresholds(0.85),
+		Propagate:      false,
+		Enrich:         true,
+	})
+	if m8.Alive() {
+		t.Fatal("fold should happen in MERGE mode")
+	}
+	if m6.Status != Merged {
+		t.Errorf("m6 should merge via enrichment reactivation: %v", m6)
+	}
+}
+
+func TestNonMergeNeverScored(t *testing.T) {
+	g := New()
+	m := g.AddRefPair(0, 1, "Person")
+	v := g.AddValuePair("email", "k", "k", 1.0)
+	v.Status = Merged
+	g.AddEdge(v, m, RealValued, "email")
+	g.MarkNonMerge(m)
+	st := g.Run([]*Node{m}, opts(true, true))
+	if m.Status != NonMerge || m.Sim != 0 {
+		t.Errorf("non-merge node mutated: %v", m)
+	}
+	if st.Steps != 0 {
+		t.Errorf("Steps = %d, want 0", st.Steps)
+	}
+}
+
+// TestFoldPropagatesNonMerge: if (r2,r3) is non-merge and (r1,r2) merges,
+// (r1,r3) must become non-merge during the fold.
+func TestFoldPropagatesNonMerge(t *testing.T) {
+	g := New()
+	m := g.AddRefPair(1, 3, "Person") // (r1,r3)
+	l := g.AddRefPair(2, 3, "Person") // (r2,r3) constrained
+	merger := g.AddRefPair(1, 2, "Person")
+	g.MarkNonMerge(l)
+	key := g.AddValuePair("email", "k", "k", 1.0)
+	key.Status = Merged
+	g.AddEdge(key, merger, RealValued, "email")
+	// Give l an edge so it is not isolated.
+	v := g.AddValuePair("name", "a", "b", 0.3)
+	g.AddEdge(v, l, RealValued, "name")
+	g.AddEdge(v, m, RealValued, "name")
+
+	g.Run([]*Node{m, merger}, opts(true, true))
+	if merger.Status != Merged {
+		t.Fatal("merger should merge")
+	}
+	if l.Alive() {
+		t.Fatal("l should be folded")
+	}
+	if m.Status != NonMerge {
+		t.Errorf("non-merge must propagate through folds: %v", m)
+	}
+}
+
+// TestCyclicDependencyTerminates: two nodes that depend on each other with
+// a monotone scorer must reach a fixed point.
+func TestCyclicDependencyTerminates(t *testing.T) {
+	g := New()
+	a := g.AddRefPair(0, 1, "Person")
+	b := g.AddRefPair(2, 3, "Person")
+	g.AddEdge(a, b, RealValued, "contact")
+	g.AddEdge(b, a, RealValued, "contact")
+	va := g.AddValuePair("name", "x", "x'", 0.5)
+	g.AddEdge(va, a, RealValued, "name")
+	vb := g.AddValuePair("name", "y", "y'", 0.5)
+	g.AddEdge(vb, b, RealValued, "name")
+
+	scorer := ScorerFunc(func(n *Node) float64 {
+		if n.Kind == ValuePair {
+			return n.Sim
+		}
+		base, bonus := 0.0, 0.0
+		for _, e := range n.in {
+			if e.From.Kind == ValuePair {
+				base = e.From.Sim
+			} else {
+				bonus = 0.4 * e.From.Sim
+			}
+		}
+		return base + bonus
+	})
+	st := g.Run([]*Node{a, b}, Options{
+		Scorer:         scorer,
+		MergeThreshold: thresholds(0.85),
+		Propagate:      true,
+		Epsilon:        0.001,
+	})
+	if st.Truncated {
+		t.Fatal("cyclic run hit the step cap")
+	}
+	// Fixed point of s = 0.5 + 0.4 s is 5/6 ≈ 0.833; with eps 0.001 the
+	// loop should settle close to it and below the 0.85 threshold.
+	if a.Sim < 0.8 || a.Sim > 0.85 || a.Status == Merged {
+		t.Errorf("a = %v", a)
+	}
+}
+
+// TestMutualWeakMergeTerminates is a regression test: two person pairs
+// that are weak-boolean neighbors of each other and both merge must not
+// ping-pong re-activations forever. (A merged node re-queued for a
+// similarity refresh must not count as newly merged again.)
+func TestMutualWeakMergeTerminates(t *testing.T) {
+	g := New()
+	a := g.AddRefPair(0, 1, "Person")
+	b := g.AddRefPair(2, 3, "Person")
+	g.AddEdge(a, b, WeakBoolean, "contact")
+	g.AddEdge(b, a, WeakBoolean, "contact")
+	va := g.AddValuePair("name", "x", "x'", 0.9) // merges on its own
+	g.AddEdge(va, a, RealValued, "name")
+	vb := g.AddValuePair("name", "y", "y'", 0.82) // needs a's weak boost
+	g.AddEdge(vb, b, RealValued, "name")
+
+	scorer := ScorerFunc(func(n *Node) float64 {
+		if n.Kind == ValuePair {
+			return n.Sim
+		}
+		s := 0.0
+		for _, e := range n.in {
+			switch {
+			case e.Dep == RealValued:
+				s += e.From.Sim
+			case e.Dep == WeakBoolean && e.From.Status == Merged:
+				s += 0.05
+			}
+		}
+		return s
+	})
+	st := g.Run([]*Node{a, b}, Options{
+		Scorer:         scorer,
+		MergeThreshold: thresholds(0.85),
+		Propagate:      true,
+		Enrich:         true,
+		MaxSteps:       1000,
+	})
+	if st.Truncated {
+		t.Fatalf("mutual weak merge did not terminate: %+v", st)
+	}
+	if a.Status != Merged || b.Status != Merged {
+		t.Errorf("both should merge: %v %v", a, b)
+	}
+	if st.Merges != 2 {
+		t.Errorf("Merges = %d, want 2 (each node merges exactly once)", st.Merges)
+	}
+}
+
+func TestMaxStepsTruncates(t *testing.T) {
+	g := New()
+	a := g.AddRefPair(0, 1, "Person")
+	b := g.AddRefPair(2, 3, "Person")
+	g.AddEdge(a, b, RealValued, "x")
+	g.AddEdge(b, a, RealValued, "x")
+	// Deliberately non-monotone scorer that keeps increasing: the step cap
+	// must stop the run.
+	i := 0.0
+	st := g.Run([]*Node{a, b}, Options{
+		Scorer: ScorerFunc(func(n *Node) float64 {
+			i += 1e-9
+			if i >= 0.8 {
+				i = 0
+			}
+			return n.Sim + 1e-9
+		}),
+		MergeThreshold: thresholds(2), // unreachable
+		Propagate:      true,
+		Epsilon:        1e-12,
+		MaxSteps:       100,
+	})
+	if !st.Truncated {
+		t.Error("expected truncation")
+	}
+	if st.Steps != 100 {
+		t.Errorf("Steps = %d", st.Steps)
+	}
+}
+
+func TestRunPanicsWithoutScorer(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Run without scorer should panic")
+		}
+	}()
+	New().Run(nil, Options{})
+}

@@ -1,0 +1,200 @@
+package depgraph
+
+import (
+	"fmt"
+
+	"refrecon/internal/reference"
+)
+
+// Graph is the dependency graph plus the machinery to run similarity
+// propagation over it. Construct with New, add nodes and edges, then call
+// Run. Graph is not safe for concurrent use.
+type Graph struct {
+	nodes []*Node
+	byKey map[string]*Node
+	// refNodes indexes, for every reference, the RefPair nodes that
+	// mention it; enrichment walks this index.
+	refNodes map[reference.ID][]*Node
+	queue    *nodeQueue
+
+	liveNodes int
+	edgeCount int
+}
+
+// New returns an empty graph.
+func New() *Graph {
+	return &Graph{
+		byKey:    make(map[string]*Node),
+		refNodes: make(map[reference.ID][]*Node),
+		queue:    newNodeQueue(64),
+	}
+}
+
+// NodeCount returns the number of live nodes (the paper's Table 6 metric).
+func (g *Graph) NodeCount() int { return g.liveNodes }
+
+// EdgeCount returns the number of live directed edges.
+func (g *Graph) EdgeCount() int { return g.edgeCount }
+
+// Lookup returns the live node for key, or nil.
+func (g *Graph) Lookup(key string) *Node {
+	n := g.byKey[key]
+	if n != nil && !n.alive {
+		return nil
+	}
+	return n
+}
+
+// LookupRefPair returns the live node for the reference pair, or nil.
+func (g *Graph) LookupRefPair(a, b reference.ID) *Node {
+	return g.Lookup(RefPairKey(a, b))
+}
+
+// AddRefPair inserts (or returns the existing) node for a pair of
+// references of the given class, with initial similarity 0.
+func (g *Graph) AddRefPair(a, b reference.ID, class string) *Node {
+	if a == b {
+		panic(fmt.Sprintf("depgraph: self-pair for reference %d", a))
+	}
+	if b < a {
+		a, b = b, a
+	}
+	key := RefPairKey(a, b)
+	if n := g.Lookup(key); n != nil {
+		return n
+	}
+	n := &Node{
+		Key: key, Kind: RefPair, RefA: a, RefB: b, Class: class,
+		alive: true, edgeSet: make(map[edgeKey]bool),
+	}
+	g.insert(n)
+	g.refNodes[a] = append(g.refNodes[a], n)
+	g.refNodes[b] = append(g.refNodes[b], n)
+	return n
+}
+
+// AddValuePair inserts (or returns the existing) node for a pair of
+// attribute values under an evidence type, with the given precomputed
+// similarity. elemX and elemY are the canonical element keys of the two
+// values.
+func (g *Graph) AddValuePair(evidence, elemX, elemY string, sim float64) *Node {
+	key := ValuePairKey(evidence, elemX, elemY)
+	if n := g.Lookup(key); n != nil {
+		if sim > n.Sim && n.Status != NonMerge {
+			n.Sim = sim
+		}
+		return n
+	}
+	n := &Node{
+		Key: key, Kind: ValuePair, RefA: -1, RefB: -1, Class: evidence,
+		Sim: sim, alive: true, edgeSet: make(map[edgeKey]bool),
+	}
+	g.insert(n)
+	return n
+}
+
+func (g *Graph) insert(n *Node) {
+	g.nodes = append(g.nodes, n)
+	g.byKey[n.Key] = n
+	g.liveNodes++
+}
+
+// AddEdge inserts a directed dependency from -> to, deduplicating on
+// (endpoint, type, evidence). Self-edges are rejected.
+func (g *Graph) AddEdge(from, to *Node, dep DepType, evidence string) *Edge {
+	if from == to {
+		return nil
+	}
+	k := edgeKey{otherKey: to.Key, outgoing: true, dep: dep, evidence: evidence}
+	if from.edgeSet[k] {
+		return nil
+	}
+	e := &Edge{From: from, To: to, Dep: dep, Evidence: evidence}
+	from.edgeSet[k] = true
+	to.edgeSet[edgeKey{otherKey: from.Key, outgoing: false, dep: dep, evidence: evidence}] = true
+	from.out = append(from.out, e)
+	to.in = append(to.in, e)
+	g.edgeCount++
+	return e
+}
+
+// RemoveIfIsolated removes a node that has no edges (construction step
+// 1(2) of §3.1). It reports whether the node was removed.
+func (g *Graph) RemoveIfIsolated(n *Node) bool {
+	if len(n.in) == 0 && len(n.out) == 0 {
+		g.removeNode(n)
+		return true
+	}
+	return false
+}
+
+// removeNode unlinks n from every neighbor and drops it from the indexes.
+func (g *Graph) removeNode(n *Node) {
+	if !n.alive {
+		return
+	}
+	for _, e := range n.in {
+		e.From.dropEdge(e, true)
+		g.edgeCount--
+	}
+	for _, e := range n.out {
+		e.To.dropEdge(e, false)
+		g.edgeCount--
+	}
+	n.in, n.out = nil, nil
+	n.edgeSet = nil
+	n.alive = false
+	delete(g.byKey, n.Key)
+	g.liveNodes--
+	g.queue.remove(n)
+}
+
+// dropEdge removes e from the node's adjacency on the given side
+// (outgoing=true removes from out).
+func (n *Node) dropEdge(e *Edge, outgoing bool) {
+	var s *[]*Edge
+	var other *Node
+	if outgoing {
+		s, other = &n.out, e.To
+	} else {
+		s, other = &n.in, e.From
+	}
+	for i, x := range *s {
+		if x == e {
+			(*s)[i] = (*s)[len(*s)-1]
+			*s = (*s)[:len(*s)-1]
+			break
+		}
+	}
+	delete(n.edgeSet, edgeKey{otherKey: other.Key, outgoing: outgoing, dep: e.Dep, evidence: e.Evidence})
+}
+
+// MarkNonMerge marks the node as constrained-distinct. A non-merge node is
+// frozen at similarity 0 and never enters the queue.
+func (g *Graph) MarkNonMerge(n *Node) {
+	n.Status = NonMerge
+	n.Sim = 0
+	g.queue.remove(n)
+}
+
+// Nodes invokes fn for every live node, in insertion order.
+func (g *Graph) Nodes(fn func(*Node)) {
+	for _, n := range g.nodes {
+		if n.alive {
+			fn(n)
+		}
+	}
+}
+
+// RefPairNodesOf returns the live RefPair nodes that mention r. The caller
+// must not retain the slice across graph mutations.
+func (g *Graph) RefPairNodesOf(r reference.ID) []*Node {
+	all := g.refNodes[r]
+	out := all[:0:0]
+	for _, n := range all {
+		if n.alive {
+			out = append(out, n)
+		}
+	}
+	return out
+}

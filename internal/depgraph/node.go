@@ -1,0 +1,187 @@
+// Package depgraph implements the dependency graph of §3 of the paper: an
+// engine that propagates reference-similarity decisions between dependent
+// reconciliation decisions until a fixed point.
+//
+// Nodes represent the similarity of a pair of *elements* — either two
+// references of the same class, or two attribute values. Directed edges
+// represent dependency: an edge n -> m means m's similarity must be
+// reconsidered when n's similarity grows. Edges are typed (§3.1):
+//
+//   - real-valued: m's score uses n's actual similarity value;
+//   - strong-boolean: reconciling n's references implies (strong evidence
+//     for) reconciling m's;
+//   - weak-boolean: reconciling n's references merely increases m's score.
+//
+// The engine is generic: it knows nothing about classes or attribute
+// semantics. A Scorer supplied by the caller computes each node's
+// similarity from its incoming edges, and per-node merge thresholds decide
+// when a node becomes "merged". Reference enrichment (§3.3) and non-merge
+// constraint handling (§3.4) are implemented as graph operations here; the
+// reconciliation-specific policy lives in package recon.
+package depgraph
+
+import (
+	"fmt"
+
+	"refrecon/internal/reference"
+)
+
+// Kind distinguishes the two node populations.
+type Kind uint8
+
+const (
+	// RefPair nodes represent the similarity of two references.
+	RefPair Kind = iota
+	// ValuePair nodes represent the similarity of two attribute values
+	// (possibly of different attributes, e.g. a name vs an email).
+	ValuePair
+)
+
+func (k Kind) String() string {
+	if k == ValuePair {
+		return "value-pair"
+	}
+	return "ref-pair"
+}
+
+// Status is the propagation state of a node (§3.2, §3.4).
+type Status uint8
+
+const (
+	// Inactive nodes have an up-to-date similarity.
+	Inactive Status = iota
+	// Active nodes are queued for (re)computation.
+	Active
+	// Merged nodes exceeded their merge threshold: the elements are
+	// reconciled.
+	Merged
+	// NonMerge nodes are constrained: the elements are guaranteed
+	// distinct and must never be reconciled.
+	NonMerge
+)
+
+func (s Status) String() string {
+	switch s {
+	case Active:
+		return "active"
+	case Merged:
+		return "merged"
+	case NonMerge:
+		return "non-merge"
+	default:
+		return "inactive"
+	}
+}
+
+// DepType classifies how the edge's target depends on its source (§3.1).
+type DepType uint8
+
+const (
+	// RealValued dependencies feed the source's similarity value into the
+	// target's score.
+	RealValued DepType = iota
+	// StrongBoolean dependencies matter only once the source is merged,
+	// and then imply the target should merge.
+	StrongBoolean
+	// WeakBoolean dependencies matter only once the source is merged, and
+	// then merely increase the target's score.
+	WeakBoolean
+)
+
+func (d DepType) String() string {
+	switch d {
+	case StrongBoolean:
+		return "strong-boolean"
+	case WeakBoolean:
+		return "weak-boolean"
+	default:
+		return "real-valued"
+	}
+}
+
+// Edge is a directed, typed dependency. Evidence labels the kind of
+// evidence the source contributes to the target's similarity function
+// (e.g. "name", "email", "name-email", "coauthor"); the Scorer interprets
+// it.
+type Edge struct {
+	From, To *Node
+	Dep      DepType
+	Evidence string
+}
+
+// Node is one similarity decision.
+type Node struct {
+	// Key uniquely identifies the element pair (the paper's uniqueness
+	// requirement).
+	Key string
+	// Kind says whether this is a reference pair or a value pair.
+	Kind Kind
+	// RefA, RefB are set for RefPair nodes (RefA < RefB).
+	RefA, RefB reference.ID
+	// Class is the references' class for RefPair nodes; for ValuePair
+	// nodes it is the evidence type of the value comparison.
+	Class string
+	// Sim is the current similarity score in [0, 1].
+	Sim float64
+	// Status is the propagation state.
+	Status Status
+
+	in      []*Edge
+	out     []*Edge
+	edgeSet map[edgeKey]bool
+
+	alive   bool
+	queued  bool
+	queueID uint64 // generation marker used by the queue to skip stale entries
+}
+
+type edgeKey struct {
+	otherKey string
+	outgoing bool
+	dep      DepType
+	evidence string
+}
+
+// In returns the incoming edges. The slice must not be mutated.
+func (n *Node) In() []*Edge { return n.in }
+
+// Out returns the outgoing edges. The slice must not be mutated.
+func (n *Node) Out() []*Edge { return n.out }
+
+// Alive reports whether the node is still part of the graph (enrichment
+// removes nodes).
+func (n *Node) Alive() bool { return n.alive }
+
+// Other returns the mate of r in a RefPair node. It panics if r is not one
+// of the node's references.
+func (n *Node) Other(r reference.ID) reference.ID {
+	switch r {
+	case n.RefA:
+		return n.RefB
+	case n.RefB:
+		return n.RefA
+	}
+	panic(fmt.Sprintf("depgraph: reference %d not in node %s", r, n.Key))
+}
+
+// String renders a compact description for debugging.
+func (n *Node) String() string {
+	return fmt.Sprintf("%s(%s sim=%.3f %s)", n.Kind, n.Key, n.Sim, n.Status)
+}
+
+// RefPairKey builds the canonical key for a reference pair.
+func RefPairKey(a, b reference.ID) string {
+	if b < a {
+		a, b = b, a
+	}
+	return fmt.Sprintf("r%d|r%d", a, b)
+}
+
+// ValuePairKey builds the canonical key for a value pair under an evidence
+// type. The two element keys are ordered so (x,y) and (y,x) collide.
+func ValuePairKey(evidence, x, y string) string {
+	if y < x {
+		x, y = y, x
+	}
+	return evidence + "|" + x + "|" + y
+}

@@ -1,0 +1,127 @@
+package depgraph
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"refrecon/internal/reference"
+)
+
+// TestRandomOperationsInvariants drives the graph through long random
+// sequences of construction, propagation, and enrichment operations and
+// checks the structural invariants the algorithm depends on:
+//
+//   - at most one live node per element-pair key;
+//   - adjacency symmetry: every out-edge is its target's in-edge;
+//   - no edge touches a dead node;
+//   - NodeCount/EdgeCount agree with a full recount.
+func TestRandomOperationsInvariants(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := New()
+
+		const refs = 24
+		var pairs []*Node
+		// Random construction.
+		for i := 0; i < 60; i++ {
+			a := reference.ID(rng.Intn(refs))
+			b := reference.ID(rng.Intn(refs))
+			if a == b {
+				continue
+			}
+			n := g.AddRefPair(a, b, "Person")
+			pairs = append(pairs, n)
+			if rng.Intn(2) == 0 {
+				v := g.AddValuePair("name",
+					fmt.Sprintf("x%d", rng.Intn(10)),
+					fmt.Sprintf("x%d", rng.Intn(10)),
+					rng.Float64())
+				g.AddEdge(v, n, RealValued, "name")
+			}
+		}
+		// Random inter-pair edges.
+		for i := 0; i < 40 && len(pairs) > 1; i++ {
+			a := pairs[rng.Intn(len(pairs))]
+			b := pairs[rng.Intn(len(pairs))]
+			dep := DepType(rng.Intn(3))
+			g.AddEdge(a, b, dep, "contact")
+		}
+		// Random constraint marks.
+		for i := 0; i < 5; i++ {
+			g.MarkNonMerge(pairs[rng.Intn(len(pairs))])
+		}
+		// Run with a randomized monotone scorer and enrichment on.
+		g.Run(pairs, Options{
+			Scorer: ScorerFunc(func(n *Node) float64 {
+				if n.Kind == ValuePair {
+					return n.Sim
+				}
+				best := n.Sim
+				for _, e := range n.in {
+					if e.Dep == RealValued && e.From.Sim > best {
+						best = e.From.Sim
+					}
+				}
+				return best
+			}),
+			MergeThreshold: func(n *Node) float64 {
+				if n.Kind == ValuePair {
+					return 1
+				}
+				return 0.7
+			},
+			Propagate: true,
+			Enrich:    true,
+			MaxSteps:  100000,
+		})
+
+		checkInvariants(t, g, seed)
+	}
+}
+
+func checkInvariants(t *testing.T, g *Graph, seed int64) {
+	t.Helper()
+	seenKeys := make(map[string]bool)
+	nodeCount, edgeCount := 0, 0
+	g.Nodes(func(n *Node) {
+		nodeCount++
+		if seenKeys[n.Key] {
+			t.Fatalf("seed %d: duplicate live node for key %s", seed, n.Key)
+		}
+		seenKeys[n.Key] = true
+		if g.Lookup(n.Key) != n {
+			t.Fatalf("seed %d: index does not resolve %s to its node", seed, n.Key)
+		}
+		for _, e := range n.Out() {
+			edgeCount++
+			if !e.To.Alive() {
+				t.Fatalf("seed %d: edge from %s to dead node %s", seed, n.Key, e.To.Key)
+			}
+			found := false
+			for _, in := range e.To.In() {
+				if in == e {
+					found = true
+					break
+				}
+			}
+			if !found {
+				t.Fatalf("seed %d: asymmetric adjacency %s -> %s", seed, n.Key, e.To.Key)
+			}
+		}
+		for _, e := range n.In() {
+			if !e.From.Alive() {
+				t.Fatalf("seed %d: edge into %s from dead node %s", seed, n.Key, e.From.Key)
+			}
+		}
+		if n.Sim < 0 || n.Sim > 1 {
+			t.Fatalf("seed %d: node %s sim out of range: %f", seed, n.Key, n.Sim)
+		}
+	})
+	if nodeCount != g.NodeCount() {
+		t.Fatalf("seed %d: NodeCount %d, recount %d", seed, g.NodeCount(), nodeCount)
+	}
+	if edgeCount != g.EdgeCount() {
+		t.Fatalf("seed %d: EdgeCount %d, recount %d", seed, g.EdgeCount(), edgeCount)
+	}
+}

@@ -1,0 +1,94 @@
+package depgraph
+
+// nodeQueue is a double-ended queue of nodes supporting the two insertion
+// disciplines of §3.2: strong-boolean activations jump the queue (front),
+// real-valued and weak-boolean activations wait their turn (back).
+//
+// A node may be superseded while queued (enrichment removes nodes; a node
+// may be re-enqueued). Each enqueue stamps the node with a generation id;
+// stale queue entries whose stamp no longer matches are skipped on pop.
+type nodeQueue struct {
+	buf        []queueEntry
+	head, tail int // head: next pop; tail: next back-push slot
+	size       int
+	nextGen    uint64
+}
+
+type queueEntry struct {
+	node *Node
+	gen  uint64
+}
+
+func newNodeQueue(capacity int) *nodeQueue {
+	if capacity < 16 {
+		capacity = 16
+	}
+	return &nodeQueue{buf: make([]queueEntry, ceilPow2(capacity)), nextGen: 1}
+}
+
+func ceilPow2(n int) int {
+	c := 16
+	for c < n {
+		c <<= 1
+	}
+	return c
+}
+
+func (q *nodeQueue) len() int { return q.size }
+
+func (q *nodeQueue) grow() {
+	if q.size < len(q.buf) {
+		return
+	}
+	nb := make([]queueEntry, len(q.buf)*2)
+	for i := 0; i < q.size; i++ {
+		nb[i] = q.buf[(q.head+i)&(len(q.buf)-1)]
+	}
+	q.buf = nb
+	q.head = 0
+	q.tail = q.size
+}
+
+// pushBack enqueues n at the tail and marks it queued.
+func (q *nodeQueue) pushBack(n *Node) {
+	q.grow()
+	gen := q.nextGen
+	q.nextGen++
+	n.queued = true
+	n.queueID = gen
+	q.buf[q.tail] = queueEntry{n, gen}
+	q.tail = (q.tail + 1) & (len(q.buf) - 1)
+	q.size++
+}
+
+// pushFront enqueues n at the head and marks it queued.
+func (q *nodeQueue) pushFront(n *Node) {
+	q.grow()
+	gen := q.nextGen
+	q.nextGen++
+	n.queued = true
+	n.queueID = gen
+	q.head = (q.head - 1) & (len(q.buf) - 1)
+	q.buf[q.head] = queueEntry{n, gen}
+	q.size++
+}
+
+// pop removes and returns the next live node, or nil when the queue is
+// drained. Stale entries (dead nodes, superseded generations) are skipped.
+func (q *nodeQueue) pop() *Node {
+	for q.size > 0 {
+		e := q.buf[q.head]
+		q.buf[q.head] = queueEntry{}
+		q.head = (q.head + 1) & (len(q.buf) - 1)
+		q.size--
+		n := e.node
+		if n.alive && n.queued && n.queueID == e.gen {
+			n.queued = false
+			return n
+		}
+	}
+	return nil
+}
+
+// remove marks any queued entry for n stale.
+func (q *nodeQueue) remove(n *Node) { n.queued = false }

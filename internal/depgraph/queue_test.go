@@ -1,0 +1,98 @@
+package depgraph
+
+import "testing"
+
+func qnode(key string) *Node {
+	return &Node{Key: key, alive: true}
+}
+
+func TestQueueFIFO(t *testing.T) {
+	q := newNodeQueue(4)
+	a, b, c := qnode("a"), qnode("b"), qnode("c")
+	q.pushBack(a)
+	q.pushBack(b)
+	q.pushBack(c)
+	if q.len() != 3 {
+		t.Fatalf("len = %d", q.len())
+	}
+	for _, want := range []*Node{a, b, c} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop = %v, want %v", got, want)
+		}
+	}
+	if q.pop() != nil {
+		t.Error("empty queue should pop nil")
+	}
+}
+
+func TestQueueFront(t *testing.T) {
+	q := newNodeQueue(4)
+	a, b, c := qnode("a"), qnode("b"), qnode("c")
+	q.pushBack(a)
+	q.pushFront(b)
+	q.pushFront(c)
+	for _, want := range []*Node{c, b, a} {
+		if got := q.pop(); got != want {
+			t.Fatalf("pop = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestQueueGrowth(t *testing.T) {
+	q := newNodeQueue(2)
+	nodes := make([]*Node, 100)
+	for i := range nodes {
+		nodes[i] = qnode(string(rune('A' + i%26)))
+		if i%3 == 0 {
+			q.pushFront(nodes[i])
+		} else {
+			q.pushBack(nodes[i])
+		}
+	}
+	count := 0
+	for q.pop() != nil {
+		count++
+	}
+	if count != 100 {
+		t.Errorf("popped %d, want 100", count)
+	}
+}
+
+func TestQueueStaleEntries(t *testing.T) {
+	q := newNodeQueue(4)
+	a, b := qnode("a"), qnode("b")
+	q.pushBack(a)
+	q.pushBack(b)
+	q.remove(a) // a's entry is now stale
+	if got := q.pop(); got != b {
+		t.Errorf("pop = %v, want b (a was removed)", got)
+	}
+}
+
+func TestQueueReEnqueueSupersedes(t *testing.T) {
+	q := newNodeQueue(4)
+	a, b := qnode("a"), qnode("b")
+	q.pushBack(a)
+	q.pushBack(b)
+	q.pushFront(a) // supersedes the earlier entry
+	if got := q.pop(); got != a {
+		t.Fatalf("first pop = %v, want a", got)
+	}
+	if got := q.pop(); got != b {
+		t.Fatalf("second pop = %v, want b", got)
+	}
+	if got := q.pop(); got != nil {
+		t.Fatalf("third pop = %v, want nil (stale a skipped)", got)
+	}
+}
+
+func TestQueueDeadNodeSkipped(t *testing.T) {
+	q := newNodeQueue(4)
+	a, b := qnode("a"), qnode("b")
+	q.pushBack(a)
+	q.pushBack(b)
+	a.alive = false
+	if got := q.pop(); got != b {
+		t.Errorf("pop = %v, want b (a is dead)", got)
+	}
+}

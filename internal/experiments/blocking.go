@@ -1,0 +1,180 @@
+package experiments
+
+import (
+	"io"
+	"sort"
+	"strings"
+
+	"refrecon/internal/blocking"
+	"refrecon/internal/dataset"
+	"refrecon/internal/emailaddr"
+	"refrecon/internal/names"
+	"refrecon/internal/recon"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/tokenizer"
+)
+
+// BlockingRow reports one candidate-generation strategy's cost/coverage
+// trade-off on Person references: how many candidate pairs it proposes and
+// what fraction of the true (same-entity) pairs it covers. Pairs missed by
+// blocking can never be reconciled, so coverage bounds achievable recall —
+// this is the ablation behind the repository's choice of multi-key
+// canopies (DESIGN.md).
+type BlockingRow struct {
+	Strategy  string
+	Pairs     int
+	TruePairs int
+	Covered   int
+	Coverage  float64
+	// PairsPerRef is the candidate workload per reference.
+	PairsPerRef float64
+}
+
+// BlockingAblation compares candidate-generation strategies on one PIM
+// dataset's Person references:
+//
+//   - canopy: the reconciler's multi-key inverted index (surname, account,
+//     cross name/email keys);
+//   - sn-name: sorted neighborhood over the normalized name (merge/purge);
+//   - sn-multi: multi-pass sorted neighborhood over name and email keys;
+//   - exact-name: a naive exact-key blocker, as a floor.
+func (s *Suite) BlockingAblation(name string, window int) []BlockingRow {
+	d := s.PIM(name)
+	ids := d.Store.ByClass(schema.ClassPerson)
+
+	gold := make(map[[2]reference.ID]bool)
+	byEntity := make(map[string][]reference.ID)
+	for _, id := range ids {
+		r := d.Store.Get(id)
+		if r.Entity != "" {
+			byEntity[r.Entity] = append(byEntity[r.Entity], id)
+		}
+	}
+	for _, members := range byEntity {
+		for i := 0; i < len(members); i++ {
+			for j := i + 1; j < len(members); j++ {
+				a, b := members[i], members[j]
+				if b < a {
+					a, b = b, a
+				}
+				gold[[2]reference.ID{a, b}] = true
+			}
+		}
+	}
+
+	evaluate := func(strategy string, run func(fn func(a, b reference.ID))) BlockingRow {
+		row := BlockingRow{Strategy: strategy, TruePairs: len(gold)}
+		covered := make(map[[2]reference.ID]bool)
+		run(func(a, b reference.ID) {
+			row.Pairs++
+			if b < a {
+				a, b = b, a
+			}
+			if gold[[2]reference.ID{a, b}] {
+				covered[[2]reference.ID{a, b}] = true
+			}
+		})
+		row.Covered = len(covered)
+		if row.TruePairs > 0 {
+			row.Coverage = float64(row.Covered) / float64(row.TruePairs)
+		}
+		if len(ids) > 0 {
+			row.PairsPerRef = float64(row.Pairs) / float64(len(ids))
+		}
+		return row
+	}
+
+	var rows []BlockingRow
+
+	rows = append(rows, evaluate("canopy", func(fn func(a, b reference.ID)) {
+		idx := blocking.New(512)
+		for _, id := range ids {
+			recon.BlockingKeys(d.Store.Get(id), func(k string) { idx.Add(k, id) })
+		}
+		idx.Pairs(fn)
+	}))
+
+	rows = append(rows, evaluate("sn-name", func(fn func(a, b reference.ID)) {
+		records := nameRecords(d, ids, false)
+		blocking.SortedNeighborhood(records, window, fn)
+	}))
+
+	rows = append(rows, evaluate("sn-multi", func(fn func(a, b reference.ID)) {
+		records := nameRecords(d, ids, true)
+		blocking.SortedNeighborhood(records, window, fn)
+	}))
+
+	rows = append(rows, evaluate("canopy-jac", func(fn func(a, b reference.ID)) {
+		// Classic McCallum canopy clustering under cheap Jaccard over
+		// name + email tokens (single-key-space, unlike our multi-key
+		// inverted index).
+		var items []blocking.CanopyItem
+		for _, id := range ids {
+			r := d.Store.Get(id)
+			var toks []string
+			for _, v := range r.Atomic(schema.AttrName) {
+				toks = append(toks, tokenizer.Words(v)...)
+			}
+			for _, v := range r.Atomic(schema.AttrEmail) {
+				if a, ok := emailaddr.Parse(v); ok {
+					toks = append(toks, a.LocalTokens()...)
+				}
+			}
+			items = append(items, blocking.CanopyItem{ID: id, Tokens: toks})
+		}
+		blocking.Canopies(items, 0.3, 0.8, fn)
+	}))
+
+	rows = append(rows, evaluate("exact-name", func(fn func(a, b reference.ID)) {
+		idx := blocking.New(512)
+		for _, id := range ids {
+			for _, v := range d.Store.Get(id).Atomic(schema.AttrName) {
+				n := names.Parse(v)
+				idx.Add(n.String(), id)
+			}
+		}
+		idx.Pairs(fn)
+	}))
+
+	return rows
+}
+
+// nameRecords builds sorted-neighborhood records: surname-first name keys,
+// plus (for multi-pass) email-address keys.
+func nameRecords(d *dataset.Dataset, ids []reference.ID, multi bool) []blocking.Record {
+	var records []blocking.Record
+	for _, id := range ids {
+		r := d.Store.Get(id)
+		for _, v := range r.Atomic(schema.AttrName) {
+			n := names.Parse(v)
+			key := strings.TrimSpace(n.Last + " " + n.First)
+			if key == "" {
+				continue
+			}
+			records = append(records, blocking.Record{Key: key, ID: id})
+		}
+		if multi {
+			for _, v := range r.Atomic(schema.AttrEmail) {
+				records = append(records, blocking.Record{Key: "@" + v, ID: id})
+			}
+		}
+	}
+	sort.Slice(records, func(i, j int) bool {
+		if records[i].Key != records[j].Key {
+			return records[i].Key < records[j].Key
+		}
+		return records[i].ID < records[j].ID
+	})
+	return records
+}
+
+// FprintBlockingAblation renders the ablation rows.
+func FprintBlockingAblation(w io.Writer, dataset string, rows []BlockingRow) {
+	fprintf(w, "Blocking ablation (dataset %s, Person references)\n", dataset)
+	fprintf(w, "%-12s %12s %12s %10s %12s\n", "Strategy", "#Pairs", "Pairs/Ref", "Coverage", "Covered/True")
+	for _, r := range rows {
+		fprintf(w, "%-12s %12d %12.1f %9.1f%% %7d/%d\n",
+			r.Strategy, r.Pairs, r.PairsPerRef, 100*r.Coverage, r.Covered, r.TruePairs)
+	}
+}

@@ -1,0 +1,211 @@
+// Package experiments reproduces every table and figure of the paper's
+// evaluation (§5): dataset statistics (Table 1), per-class quality
+// (Table 2), person-subset quality (Table 3), per-dataset person quality
+// (Table 4), the evidence-by-mode ablation grid (Table 5 and Figure 6),
+// constraint effects (Table 6), and the Cora benchmark (Table 7).
+//
+// A Suite generates the synthetic datasets once (at a configurable scale)
+// and caches reconciliation runs shared between tables.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sync"
+
+	"refrecon/internal/datagen/cora"
+	"refrecon/internal/datagen/pim"
+	"refrecon/internal/dataset"
+	"refrecon/internal/indepdec"
+	"refrecon/internal/metrics"
+	"refrecon/internal/recon"
+	"refrecon/internal/schema"
+)
+
+// Classes evaluated, in the paper's presentation order.
+var Classes = []string{schema.ClassPerson, schema.ClassArticle, schema.ClassVenue}
+
+// Suite generates and caches datasets and reconciliation runs.
+type Suite struct {
+	// Scale multiplies the paper-scale dataset sizes (1.0 reproduces
+	// Table 1's reference counts; the test suite uses ~0.1).
+	Scale float64
+
+	mu       sync.Mutex
+	pimSets  map[string]*dataset.Dataset
+	coraSet  *dataset.Dataset
+	coraFree *dataset.Dataset
+	runs     map[string]map[string]metrics.Report
+	stats    map[string]recon.Stats
+}
+
+// NewSuite returns a suite at the given scale (<= 0 means 1.0).
+func NewSuite(scale float64) *Suite {
+	if scale <= 0 {
+		scale = 1
+	}
+	return &Suite{
+		Scale:   scale,
+		pimSets: make(map[string]*dataset.Dataset),
+		runs:    make(map[string]map[string]metrics.Report),
+		stats:   make(map[string]recon.Stats),
+	}
+}
+
+// PIMNames lists the four personal datasets.
+func PIMNames() []string { return []string{"A", "B", "C", "D"} }
+
+// PIM returns (generating on first use) one of the four PIM datasets.
+func (s *Suite) PIM(name string) *dataset.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d, ok := s.pimSets[name]; ok {
+		return d
+	}
+	var p pim.Profile
+	switch name {
+	case "A":
+		p = pim.DatasetA(s.Scale)
+	case "B":
+		p = pim.DatasetB(s.Scale)
+	case "C":
+		p = pim.DatasetC(s.Scale)
+	case "D":
+		p = pim.DatasetD(s.Scale)
+	default:
+		panic(fmt.Sprintf("experiments: unknown PIM dataset %q", name))
+	}
+	g, err := pim.Generate(p)
+	if err != nil {
+		panic(fmt.Sprintf("experiments: generate PIM %s: %v", name, err))
+	}
+	d := &dataset.Dataset{Name: name, Store: g.Store}
+	s.pimSets[name] = d
+	return d
+}
+
+// Cora returns (generating on first use) the Cora-like citation dataset.
+func (s *Suite) Cora() *dataset.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coraSet == nil {
+		g, err := cora.Generate(cora.Default(s.Scale))
+		if err != nil {
+			panic(fmt.Sprintf("experiments: generate cora: %v", err))
+		}
+		s.coraSet = &dataset.Dataset{Name: "Cora", Store: g.Store}
+	}
+	return s.coraSet
+}
+
+// CoraFreeText returns the Cora corpus generated as free-text citation
+// strings and extracted with the heuristic citation parser — the form the
+// real corpus takes, with extraction noise included.
+func (s *Suite) CoraFreeText() *dataset.Dataset {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.coraFree == nil {
+		p := cora.Default(s.Scale)
+		p.FreeText = true
+		g, err := cora.Generate(p)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: generate cora free-text: %v", err))
+		}
+		s.coraFree = &dataset.Dataset{Name: "CoraFT", Store: g.Store}
+	}
+	return s.coraFree
+}
+
+// Algo identifies one reconciliation configuration for caching.
+type Algo struct {
+	// Name is "indepdec" or "depgraph".
+	Name string
+	// Config applies to depgraph runs only.
+	Config recon.Config
+}
+
+// DepGraph returns the full published configuration.
+func DepGraph() Algo { return Algo{Name: "depgraph", Config: recon.DefaultConfig()} }
+
+// DepGraphWith customizes the configuration.
+func DepGraphWith(f func(*recon.Config)) Algo {
+	cfg := recon.DefaultConfig()
+	f(&cfg)
+	return Algo{Name: "depgraph", Config: cfg}
+}
+
+// IndepDec returns the baseline configuration.
+func IndepDec() Algo { return Algo{Name: "indepdec"} }
+
+func (a Algo) key(ds string) string {
+	if a.Name == "indepdec" {
+		return ds + "/indepdec"
+	}
+	return fmt.Sprintf("%s/depgraph/m=%s/e=%s/c=%v", ds, a.Config.Mode, a.Config.Evidence, a.Config.Constraints)
+}
+
+// Run reconciles a dataset under an algorithm and returns per-class
+// reports, cached per (dataset, configuration).
+func (s *Suite) Run(d *dataset.Dataset, a Algo) map[string]metrics.Report {
+	key := a.key(d.Name)
+	s.mu.Lock()
+	if r, ok := s.runs[key]; ok {
+		s.mu.Unlock()
+		return r
+	}
+	s.mu.Unlock()
+
+	reports := make(map[string]metrics.Report)
+	var st recon.Stats
+	switch a.Name {
+	case "indepdec":
+		res, err := indepdec.New(schema.PIM(), indepdec.DefaultConfig()).Reconcile(d.Store)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: indepdec on %s: %v", d.Name, err))
+		}
+		for _, class := range Classes {
+			reports[class] = metrics.Evaluate(d.Store, class, res.Partitions[class])
+		}
+	case "depgraph":
+		res, err := recon.New(schema.PIM(), a.Config).Reconcile(d.Store)
+		if err != nil {
+			panic(fmt.Sprintf("experiments: depgraph on %s: %v", d.Name, err))
+		}
+		st = res.Stats
+		for _, class := range Classes {
+			reports[class] = metrics.Evaluate(d.Store, class, res.Partitions[class])
+		}
+	default:
+		panic("experiments: unknown algorithm " + a.Name)
+	}
+
+	s.mu.Lock()
+	s.runs[key] = reports
+	s.stats[key] = st
+	s.mu.Unlock()
+	return reports
+}
+
+// ClearRuns drops cached reconciliation results (datasets are kept), so
+// benchmarks can re-measure the reconciliation work itself.
+func (s *Suite) ClearRuns() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.runs = make(map[string]map[string]metrics.Report)
+	s.stats = make(map[string]recon.Stats)
+}
+
+// RunStats returns the recon.Stats of a cached depgraph run (zero value
+// for indepdec or uncached runs).
+func (s *Suite) RunStats(d *dataset.Dataset, a Algo) recon.Stats {
+	s.Run(d, a)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stats[a.key(d.Name)]
+}
+
+// fprintf writes formatted output, ignoring errors (experiment printing is
+// best-effort console output).
+func fprintf(w io.Writer, format string, args ...any) {
+	fmt.Fprintf(w, format, args...)
+}

@@ -1,0 +1,82 @@
+package extract
+
+import (
+	"regexp"
+	"strings"
+)
+
+var bibitemRe = regexp.MustCompile(`\\bibitem(?:\[[^\]]*\])?\{[^}]*\}`)
+
+// ParseBibItems extracts the citation strings from a LaTeX
+// thebibliography environment (or any text containing \bibitem entries —
+// the "Latex files" among the paper's desktop sources). Each entry's text
+// runs from its \bibitem marker to the next marker or to
+// \end{thebibliography}; LaTeX line wrapping, comments, and common inline
+// markup ({\em ...}, \newblock) are cleaned. The returned strings are
+// ready for ParseCitation.
+func ParseBibItems(src string) []string {
+	// Cut to the bibliography environment when present.
+	if i := strings.Index(src, `\begin{thebibliography}`); i >= 0 {
+		src = src[i:]
+		if j := strings.Index(src, "}"); j >= 0 {
+			src = src[j+1:]
+		}
+	}
+	if i := strings.Index(src, `\end{thebibliography}`); i >= 0 {
+		src = src[:i]
+	}
+	marks := bibitemRe.FindAllStringIndex(src, -1)
+	if len(marks) == 0 {
+		return nil
+	}
+	var out []string
+	for i, m := range marks {
+		end := len(src)
+		if i+1 < len(marks) {
+			end = marks[i+1][0]
+		}
+		text := cleanLaTeX(src[m[1]:end])
+		if text != "" {
+			out = append(out, text)
+		}
+	}
+	return out
+}
+
+// cleanLaTeX strips comments, collapses wrapped lines, and removes the
+// markup commands common in bibliography entries.
+func cleanLaTeX(s string) string {
+	var lines []string
+	for _, line := range strings.Split(s, "\n") {
+		if i := strings.IndexByte(line, '%'); i >= 0 && (i == 0 || line[i-1] != '\\') {
+			line = line[:i]
+		}
+		lines = append(lines, strings.TrimSpace(line))
+	}
+	s = strings.Join(lines, " ")
+	for _, cmd := range []string{`\newblock`, `\em`, `\it`, `\bf`, `\sl`, `\textit`, `\textbf`, `\emph`} {
+		s = strings.ReplaceAll(s, cmd+" ", " ")
+		s = strings.ReplaceAll(s, cmd+"{", "{")
+		s = strings.ReplaceAll(s, cmd, " ")
+	}
+	s = strings.NewReplacer("{", "", "}", "", "~", " ", `\&`, "&", "--", "-").Replace(s)
+	return strings.Join(strings.Fields(s), " ")
+}
+
+// AddBibItems extracts and adds every parseable citation from a LaTeX
+// bibliography, returning the references of the citations that could be
+// segmented (unparseable strings are skipped, matching real extraction
+// pipelines).
+func (a *Accumulator) AddBibItems(src string) []BibRefs {
+	var out []BibRefs
+	for _, text := range ParseBibItems(src) {
+		c, ok := ParseCitation(text)
+		if !ok {
+			continue
+		}
+		if refs, added := a.AddCitation(c); added {
+			out = append(out, refs)
+		}
+	}
+	return out
+}

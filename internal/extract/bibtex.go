@@ -1,0 +1,297 @@
+// Package extract turns raw personal-information sources — BibTeX
+// bibliographies and email messages — into references conforming to the
+// PIM schema, playing the role of the paper's "extractor program" (§2.1).
+//
+// Extraction deliberately produces *sparse* references: a person mentioned
+// in a BibTeX author list yields a reference with only a name; a person in
+// an email header yields only a display name and an address. Reconciling
+// those sparse references is exactly the problem the paper studies.
+package extract
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// BibEntry is one parsed BibTeX entry.
+type BibEntry struct {
+	Type   string // "inproceedings", "article", ...
+	Key    string // citation key
+	Fields map[string]string
+	Line   int // 1-based line of the '@' in the source
+}
+
+// Field returns the named field (lowercase), or "".
+func (e BibEntry) Field(name string) string { return e.Fields[name] }
+
+// Authors splits the author field on the BibTeX "and" separator.
+func (e BibEntry) Authors() []string {
+	raw := e.Field("author")
+	if raw == "" {
+		return nil
+	}
+	parts := strings.Split(raw, " and ")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VenueName returns the venue string: booktitle for proceedings entries,
+// journal otherwise.
+func (e BibEntry) VenueName() string {
+	if v := e.Field("booktitle"); v != "" {
+		return v
+	}
+	return e.Field("journal")
+}
+
+// ParseBibTeX parses a BibTeX document. It supports @type{key, k = {v},
+// k = "v", k = 123} entries with arbitrarily nested braces, ignores
+// @comment and @preamble blocks and free text between entries, and
+// collapses internal whitespace in values. A syntax error aborts parsing
+// with a line-numbered error.
+func ParseBibTeX(src string) ([]BibEntry, error) {
+	p := &bibParser{src: src, line: 1}
+	var out []BibEntry
+	for {
+		if !p.seekTo('@') {
+			return out, nil
+		}
+		e, err := p.entry()
+		if err != nil {
+			return out, err
+		}
+		if e != nil {
+			out = append(out, *e)
+		}
+	}
+}
+
+type bibParser struct {
+	src  string
+	pos  int
+	line int
+}
+
+func (p *bibParser) errf(format string, args ...any) error {
+	return fmt.Errorf("bibtex: line %d: %s", p.line, fmt.Sprintf(format, args...))
+}
+
+func (p *bibParser) next() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	c := p.src[p.pos]
+	p.pos++
+	if c == '\n' {
+		p.line++
+	}
+	return c, true
+}
+
+func (p *bibParser) peek() (byte, bool) {
+	if p.pos >= len(p.src) {
+		return 0, false
+	}
+	return p.src[p.pos], true
+}
+
+// seekTo advances to just past the next occurrence of c, returning false
+// at end of input.
+func (p *bibParser) seekTo(c byte) bool {
+	for {
+		ch, ok := p.next()
+		if !ok {
+			return false
+		}
+		if ch == c {
+			return true
+		}
+	}
+}
+
+func (p *bibParser) skipSpace() {
+	for {
+		c, ok := p.peek()
+		if !ok || !unicode.IsSpace(rune(c)) {
+			return
+		}
+		p.next()
+	}
+}
+
+func (p *bibParser) ident() string {
+	start := p.pos
+	for {
+		c, ok := p.peek()
+		if !ok {
+			break
+		}
+		if !isBibIdent(c) {
+			break
+		}
+		p.next()
+	}
+	return strings.ToLower(p.src[start:p.pos])
+}
+
+func isBibIdent(c byte) bool {
+	switch {
+	case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9':
+		return true
+	case c == '_', c == '-', c == ':', c == '.', c == '+', c == '/':
+		return true
+	}
+	return false
+}
+
+// entry parses one @type{...} block; the '@' has been consumed.
+func (p *bibParser) entry() (*BibEntry, error) {
+	startLine := p.line
+	typ := p.ident()
+	if typ == "" {
+		return nil, p.errf("missing entry type after @")
+	}
+	if typ == "comment" || typ == "preamble" || typ == "string" {
+		// Skip the balanced block.
+		p.skipSpace()
+		if c, ok := p.peek(); ok && (c == '{' || c == '(') {
+			if _, err := p.balanced(); err != nil {
+				return nil, err
+			}
+		}
+		return nil, nil
+	}
+	p.skipSpace()
+	open, ok := p.next()
+	if !ok || (open != '{' && open != '(') {
+		return nil, p.errf("expected '{' after @%s", typ)
+	}
+	closeCh := byte('}')
+	if open == '(' {
+		closeCh = ')'
+	}
+	p.skipSpace()
+	key := p.ident()
+	e := &BibEntry{Type: typ, Key: key, Fields: make(map[string]string), Line: startLine}
+	p.skipSpace()
+	if c, ok := p.peek(); ok && c == ',' {
+		p.next()
+	}
+	for {
+		p.skipSpace()
+		c, ok := p.peek()
+		if !ok {
+			return nil, p.errf("unterminated entry @%s{%s", typ, key)
+		}
+		if c == closeCh {
+			p.next()
+			return e, nil
+		}
+		name := p.ident()
+		if name == "" {
+			return nil, p.errf("expected field name in @%s{%s", typ, key)
+		}
+		p.skipSpace()
+		eq, ok := p.next()
+		if !ok || eq != '=' {
+			return nil, p.errf("expected '=' after field %q", name)
+		}
+		val, err := p.value(closeCh)
+		if err != nil {
+			return nil, err
+		}
+		e.Fields[name] = val
+		p.skipSpace()
+		if c, ok := p.peek(); ok && c == ',' {
+			p.next()
+		}
+	}
+}
+
+// value parses a field value: a braced group, a quoted string, or a bare
+// word (number or macro name).
+func (p *bibParser) value(closeCh byte) (string, error) {
+	p.skipSpace()
+	c, ok := p.peek()
+	if !ok {
+		return "", p.errf("unterminated field value")
+	}
+	switch c {
+	case '{':
+		return p.balanced()
+	case '"':
+		p.next()
+		var b strings.Builder
+		depth := 0
+		for {
+			ch, ok := p.next()
+			if !ok {
+				return "", p.errf("unterminated quoted value")
+			}
+			switch ch {
+			case '{':
+				depth++
+			case '}':
+				depth--
+			case '"':
+				if depth == 0 {
+					return clean(b.String()), nil
+				}
+			}
+			if ch != '{' && ch != '}' {
+				b.WriteByte(ch)
+			}
+		}
+	default:
+		var b strings.Builder
+		for {
+			ch, ok := p.peek()
+			if !ok || ch == ',' || ch == closeCh || unicode.IsSpace(rune(ch)) {
+				return clean(b.String()), nil
+			}
+			p.next()
+			b.WriteByte(ch)
+		}
+	}
+}
+
+// balanced consumes a { ... } group with nesting and returns the interior
+// with braces stripped.
+func (p *bibParser) balanced() (string, error) {
+	open, _ := p.next() // '{' or '('
+	closeCh := byte('}')
+	if open == '(' {
+		closeCh = ')'
+	}
+	var b strings.Builder
+	depth := 1
+	for {
+		ch, ok := p.next()
+		if !ok {
+			return "", p.errf("unbalanced braces")
+		}
+		switch {
+		case ch == open && open == '{':
+			depth++
+			continue
+		case ch == closeCh:
+			depth--
+			if depth == 0 {
+				return clean(b.String()), nil
+			}
+			continue
+		}
+		b.WriteByte(ch)
+	}
+}
+
+// clean collapses whitespace runs (BibTeX values often wrap lines).
+func clean(s string) string {
+	return strings.Join(strings.Fields(s), " ")
+}

@@ -1,0 +1,119 @@
+package extract
+
+import (
+	"strings"
+	"testing"
+)
+
+const sampleBib = `
+% A comment line outside entries is ignored.
+@inproceedings{epstein78,
+  author    = {Robert S. Epstein and Michael Stonebraker and Eugene Wong},
+  title     = {Distributed query processing in a relational data base system},
+  booktitle = {ACM Conference on Management of Data},
+  year      = 1978,
+  pages     = {169-180},
+  address   = {Austin, Texas}
+}
+
+@article{wong76,
+  author  = "Eugene Wong and Karel Youssefi",
+  title   = "Decomposition --- a strategy for query processing",
+  journal = {ACM Transactions on Database Systems},
+  year    = {1976},
+}
+
+@comment{this should be skipped entirely, even with {nested} braces}
+
+@book{unkeyed,
+  title = {A title
+           spanning lines}
+}
+`
+
+func TestParseBibTeX(t *testing.T) {
+	entries, err := ParseBibTeX(sampleBib)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("entries = %d, want 3", len(entries))
+	}
+	e := entries[0]
+	if e.Type != "inproceedings" || e.Key != "epstein78" {
+		t.Errorf("entry 0 = %s/%s", e.Type, e.Key)
+	}
+	authors := e.Authors()
+	if len(authors) != 3 || authors[1] != "Michael Stonebraker" {
+		t.Errorf("authors = %v", authors)
+	}
+	if e.Field("pages") != "169-180" || e.Field("year") != "1978" {
+		t.Errorf("fields = %v", e.Fields)
+	}
+	if e.VenueName() != "ACM Conference on Management of Data" {
+		t.Errorf("venue = %q", e.VenueName())
+	}
+
+	if entries[1].VenueName() != "ACM Transactions on Database Systems" {
+		t.Errorf("journal venue = %q", entries[1].VenueName())
+	}
+	if got := entries[1].Field("title"); !strings.Contains(got, "Decomposition") {
+		t.Errorf("quoted title = %q", got)
+	}
+
+	if got := entries[2].Field("title"); got != "A title spanning lines" {
+		t.Errorf("multiline title = %q", got)
+	}
+}
+
+func TestParseBibTeXEmptyAndNoEntries(t *testing.T) {
+	for _, src := range []string{"", "just some prose", "% only comments"} {
+		entries, err := ParseBibTeX(src)
+		if err != nil || len(entries) != 0 {
+			t.Errorf("ParseBibTeX(%q) = %v, %v", src, entries, err)
+		}
+	}
+}
+
+func TestParseBibTeXErrors(t *testing.T) {
+	cases := []string{
+		"@inproceedings{key, title = {unterminated",
+		"@{nokey, title = {x}}",
+		"@article{k, title {missing equals}}",
+	}
+	for _, src := range cases {
+		if _, err := ParseBibTeX(src); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestParseBibTeXNestedBraces(t *testing.T) {
+	entries, err := ParseBibTeX(`@article{k, title = {The {SQL} standard {with {deep}} nesting}}`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := entries[0].Field("title"); got != "The SQL standard with deep nesting" {
+		t.Errorf("title = %q", got)
+	}
+}
+
+func TestParseBibTeXParenDelimiters(t *testing.T) {
+	entries, err := ParseBibTeX(`@article(k, year = 1999)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Field("year") != "1999" {
+		t.Errorf("year = %q", entries[0].Field("year"))
+	}
+}
+
+func TestEntryLineNumbers(t *testing.T) {
+	entries, err := ParseBibTeX("\n\n@article{k, year = 1999}")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if entries[0].Line != 3 {
+		t.Errorf("line = %d, want 3", entries[0].Line)
+	}
+}

@@ -1,0 +1,260 @@
+package extract
+
+import (
+	"regexp"
+	"strings"
+)
+
+// Citation is a free-text citation string segmented into fields — the form
+// references take in LaTeX \bibitem entries and in citation-index corpora
+// like Cora, where no BibTeX structure is available.
+type Citation struct {
+	Authors []string
+	Title   string
+	Venue   string
+	Year    string
+	Pages   string
+}
+
+var (
+	yearRe  = regexp.MustCompile(`\b(1[89]\d\d|20\d\d)\b`)
+	pagesRe = regexp.MustCompile(`(?i)\b(?:pp?\.?\s*)?(\d+)\s*[-–]+\s*(\d+)\b`)
+	// authorListRe matches a leading author list: names with initials
+	// separated by commas and "and".
+	venueCueRe = regexp.MustCompile(`(?i)\b(proc\.|proceedings|conference|journal|workshop|symposium|trans\.|transactions|in proc|lecture notes|technical report|tr[- ]\d)`)
+)
+
+// ParseCitation heuristically segments a citation string such as
+//
+//	"R. Agrawal and R. Srikant. Fast algorithms for mining association
+//	 rules. In Proc. VLDB, Santiago, 1994, pp. 487-499."
+//
+// into authors, title, venue, year, and pages. The segmentation follows
+// the dominant period-separated layout: an author list (detected by
+// initialed-name shape), then the title, then everything else as venue,
+// with year and pages lifted by pattern. Returns false when the string is
+// too unstructured to segment (fewer than two segments).
+func ParseCitation(s string) (Citation, bool) {
+	var c Citation
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return c, false
+	}
+	if m := yearRe.FindString(s); m != "" {
+		c.Year = m
+	}
+	if m := pagesRe.FindStringSubmatch(s); m != nil {
+		c.Pages = m[1] + "-" + m[2]
+	}
+
+	segs := splitCitation(s)
+	if len(segs) < 2 {
+		return c, false
+	}
+	idx := 0
+	if looksLikeAuthors(segs[0]) {
+		c.Authors = splitAuthors(segs[0])
+		idx = 1
+	} else if authors, title, ok := splitAuthorsTitle(segs[0]); ok {
+		// "Madhavan, J. Reference reconciliation ..." — the period after
+		// the final initial both ends an initial and ends the author
+		// list; re-split at the longest author-shaped prefix.
+		c.Authors = authors
+		segs[0] = title
+	}
+	if idx < len(segs) {
+		c.Title = segs[idx]
+		idx++
+	}
+	if idx < len(segs) {
+		rest := strings.Join(segs[idx:], ", ")
+		c.Venue = cleanVenue(rest)
+	}
+	// A title that itself looks like a venue means the author heuristic
+	// consumed the title; treat the parse as unreliable.
+	if c.Title == "" {
+		return c, false
+	}
+	return c, true
+}
+
+// splitCitation splits on segment-ending periods while protecting the
+// periods of initials and common abbreviations.
+func splitCitation(s string) []string {
+	var segs []string
+	var cur strings.Builder
+	runes := []rune(s)
+	for i := 0; i < len(runes); i++ {
+		r := runes[i]
+		if r != '.' {
+			cur.WriteRune(r)
+			continue
+		}
+		// A period ends a segment unless it follows a single capital
+		// (an initial: "R.") or a known abbreviation.
+		text := cur.String()
+		if isInitialDot(text) || hasAbbrevTail(text) {
+			cur.WriteRune(r)
+			continue
+		}
+		seg := strings.TrimSpace(strings.Trim(cur.String(), ","))
+		if seg != "" {
+			segs = append(segs, seg)
+		}
+		cur.Reset()
+	}
+	if seg := strings.TrimSpace(strings.Trim(cur.String(), ",. ")); seg != "" {
+		segs = append(segs, seg)
+	}
+	return segs
+}
+
+func isInitialDot(text string) bool {
+	n := len(text)
+	if n == 0 {
+		return false
+	}
+	last := text[n-1]
+	if last < 'A' || last > 'Z' {
+		return false
+	}
+	return n == 1 || text[n-2] == ' ' || text[n-2] == '.' || text[n-2] == '-'
+}
+
+var citationAbbrevs = []string{
+	"proc", "conf", "trans", "vol", "no", "pp", "p", "eds", "ed",
+	"univ", "dept", "inc", "jr", "st", "intl", "int", "symp", "j",
+	"comput", "mach", "learn", "artif", "intell", "res", "statist",
+	"netw", "knowl", "eng", "syst",
+}
+
+func hasAbbrevTail(text string) bool {
+	lower := strings.ToLower(text)
+	for _, a := range citationAbbrevs {
+		if strings.HasSuffix(lower, " "+a) || lower == a || strings.HasSuffix(lower, "."+a) {
+			return true
+		}
+	}
+	return false
+}
+
+// splitAuthorsTitle finds the longest prefix of seg that ends at an
+// initial's period and is shaped like an author list; the remainder
+// (which must have at least two words) becomes the title.
+func splitAuthorsTitle(seg string) (authors []string, title string, ok bool) {
+	for i := len(seg) - 2; i > 0; i-- {
+		if seg[i] != '.' || !isInitialDot(seg[:i]) {
+			continue
+		}
+		if i+2 >= len(seg) || seg[i+1] != ' ' {
+			continue
+		}
+		rest := strings.TrimSpace(seg[i+2:])
+		if len(strings.Fields(rest)) < 2 || rest[0] < 'A' || rest[0] > 'Z' {
+			continue
+		}
+		prefix := strings.TrimSpace(seg[:i+1])
+		if looksLikeAuthors(prefix) {
+			return splitAuthors(prefix), rest, true
+		}
+	}
+	return nil, "", false
+}
+
+// looksLikeAuthors reports whether a segment is shaped like an author
+// list: short comma/and-separated chunks each of 1-4 words, at least one
+// containing an initial or two capitalized words.
+func looksLikeAuthors(seg string) bool {
+	if venueCueRe.MatchString(seg) {
+		return false
+	}
+	parts := splitAuthors(seg)
+	if len(parts) == 0 {
+		return false
+	}
+	nameish := 0
+	for _, p := range parts {
+		words := strings.Fields(p)
+		if len(words) == 0 || len(words) > 4 {
+			return false
+		}
+		caps := 0
+		for _, w := range words {
+			if w[0] >= 'A' && w[0] <= 'Z' {
+				caps++
+			}
+		}
+		if caps == len(words) {
+			nameish++
+		}
+	}
+	return nameish == len(parts)
+}
+
+// splitAuthors splits an author list on "and" and commas, keeping
+// "Last, F." pairs together.
+func splitAuthors(seg string) []string {
+	seg = strings.ReplaceAll(seg, " and ", "\x00")
+	seg = strings.ReplaceAll(seg, ", ", ",")
+	var out []string
+	var cur strings.Builder
+	commit := func() {
+		s := strings.TrimSpace(strings.Trim(cur.String(), ","))
+		cur.Reset()
+		if s != "" {
+			out = append(out, s)
+		}
+	}
+	parts := strings.Split(seg, "\x00")
+	for _, part := range parts {
+		fields := strings.Split(part, ",")
+		for i := 0; i < len(fields); i++ {
+			f := strings.TrimSpace(fields[i])
+			if f == "" {
+				continue
+			}
+			// "Last, F." keeps its comma: a following field that is just
+			// initials belongs to the previous surname.
+			if i+1 < len(fields) && isInitialsOnly(strings.TrimSpace(fields[i+1])) {
+				cur.WriteString(f + ", " + strings.TrimSpace(fields[i+1]))
+				i++
+				commit()
+				continue
+			}
+			cur.WriteString(f)
+			commit()
+		}
+	}
+	return out
+}
+
+func isInitialsOnly(s string) bool {
+	if s == "" {
+		return false
+	}
+	for _, w := range strings.Fields(s) {
+		w = strings.TrimSuffix(w, ".")
+		for _, part := range strings.Split(w, ".") {
+			if len(part) != 1 || part[0] < 'A' || part[0] > 'Z' {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func cleanVenue(rest string) string {
+	rest = yearRe.ReplaceAllString(rest, "")
+	rest = pagesRe.ReplaceAllString(rest, "")
+	rest = strings.TrimPrefix(strings.TrimSpace(rest), "In ")
+	rest = strings.TrimPrefix(rest, "in ")
+	rest = strings.Trim(rest, " ,.-–")
+	// Collapse doubled separators left by the removals.
+	for strings.Contains(rest, ", ,") {
+		rest = strings.ReplaceAll(rest, ", ,", ",")
+	}
+	for strings.Contains(rest, ",,") {
+		rest = strings.ReplaceAll(rest, ",,", ",")
+	}
+	return strings.TrimSpace(strings.Trim(rest, " ,"))
+}

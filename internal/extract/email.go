@@ -1,0 +1,163 @@
+package extract
+
+import (
+	"fmt"
+	"strings"
+
+	"refrecon/internal/emailaddr"
+)
+
+// Mailbox is one parsed address occurrence in a message header.
+type Mailbox struct {
+	Name  string // display name; may be empty
+	Email string // "local@domain"; may be empty for malformed input
+}
+
+// Message is one parsed email message's headers.
+type Message struct {
+	From    Mailbox
+	To      []Mailbox
+	Cc      []Mailbox
+	Subject string
+	Date    string
+	ID      string // Message-ID value if present
+}
+
+// ParseMessage parses an RFC-2822-style message: colon-separated headers
+// (with folding: continuation lines begin with whitespace) terminated by a
+// blank line or end of input. The body is ignored. Unknown headers are
+// skipped. An error is returned only for structurally hopeless input
+// (a non-header, non-continuation first line).
+func ParseMessage(src string) (Message, error) {
+	var m Message
+	lines := strings.Split(src, "\n")
+	// Unfold headers.
+	var headers []string
+	for i, line := range lines {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			break
+		}
+		if line[0] == ' ' || line[0] == '\t' {
+			if len(headers) == 0 {
+				return m, fmt.Errorf("email: line %d: continuation without a header", i+1)
+			}
+			headers[len(headers)-1] += " " + strings.TrimSpace(line)
+			continue
+		}
+		if !strings.Contains(line, ":") {
+			return m, fmt.Errorf("email: line %d: not a header: %q", i+1, line)
+		}
+		headers = append(headers, line)
+	}
+	for _, h := range headers {
+		name, value, _ := strings.Cut(h, ":")
+		value = strings.TrimSpace(value)
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "from":
+			boxes := ParseAddressList(value)
+			if len(boxes) > 0 {
+				m.From = boxes[0]
+			}
+		case "to":
+			m.To = append(m.To, ParseAddressList(value)...)
+		case "cc":
+			m.Cc = append(m.Cc, ParseAddressList(value)...)
+		case "subject":
+			m.Subject = value
+		case "date":
+			m.Date = value
+		case "message-id":
+			m.ID = strings.Trim(value, "<>")
+		}
+	}
+	return m, nil
+}
+
+// ParseAddressList splits a header value into mailboxes. Commas inside
+// double quotes ("Last, First" <a@b>) do not split.
+func ParseAddressList(value string) []Mailbox {
+	var out []Mailbox
+	var cur strings.Builder
+	inQuote := false
+	flush := func() {
+		s := strings.TrimSpace(cur.String())
+		cur.Reset()
+		if s == "" {
+			return
+		}
+		addr, ok := emailaddr.Parse(s)
+		mb := Mailbox{Name: addr.Display}
+		if ok {
+			mb.Email = addr.Key()
+		}
+		if mb.Name == "" && !ok {
+			mb.Name = s
+		}
+		out = append(out, mb)
+	}
+	for i := 0; i < len(value); i++ {
+		c := value[i]
+		switch c {
+		case '"':
+			inQuote = !inQuote
+			cur.WriteByte(c)
+		case ',':
+			if inQuote {
+				cur.WriteByte(c)
+			} else {
+				flush()
+			}
+		default:
+			cur.WriteByte(c)
+		}
+	}
+	flush()
+	return out
+}
+
+// RenderMessage produces the textual form of a message, suitable for
+// ParseMessage round-trips; the data generators use it so that synthetic
+// corpora flow through the same parsing path as real mail would.
+func RenderMessage(m Message) string {
+	var b strings.Builder
+	writeBox := func(mb Mailbox) string {
+		switch {
+		case mb.Name != "" && mb.Email != "":
+			if strings.Contains(mb.Name, ",") {
+				return `"` + mb.Name + `" <` + mb.Email + ">"
+			}
+			return mb.Name + " <" + mb.Email + ">"
+		case mb.Email != "":
+			return mb.Email
+		default:
+			return mb.Name
+		}
+	}
+	fmt.Fprintf(&b, "From: %s\n", writeBox(m.From))
+	if len(m.To) > 0 {
+		tos := make([]string, len(m.To))
+		for i, t := range m.To {
+			tos[i] = writeBox(t)
+		}
+		fmt.Fprintf(&b, "To: %s\n", strings.Join(tos, ", "))
+	}
+	if len(m.Cc) > 0 {
+		ccs := make([]string, len(m.Cc))
+		for i, t := range m.Cc {
+			ccs[i] = writeBox(t)
+		}
+		fmt.Fprintf(&b, "Cc: %s\n", strings.Join(ccs, ", "))
+	}
+	if m.Subject != "" {
+		fmt.Fprintf(&b, "Subject: %s\n", m.Subject)
+	}
+	if m.Date != "" {
+		fmt.Fprintf(&b, "Date: %s\n", m.Date)
+	}
+	if m.ID != "" {
+		fmt.Fprintf(&b, "Message-ID: <%s>\n", m.ID)
+	}
+	b.WriteString("\n")
+	return b.String()
+}

@@ -1,0 +1,91 @@
+package extract
+
+import (
+	"testing"
+)
+
+const sampleMsg = `From: Michael Stonebraker <stonebraker@csail.mit.edu>
+To: Eugene Wong <eugene@berkeley.edu>,
+ "Epstein, Robert" <epstein@berkeley.edu>
+Cc: mike@postgres.org
+Subject: Re: query processing draft
+Date: Mon, 13 Mar 1978 10:01:02 -0800
+Message-ID: <abc123@csail.mit.edu>
+
+Body text that should be ignored.
+To: not-a-header@example.com
+`
+
+func TestParseMessage(t *testing.T) {
+	m, err := ParseMessage(sampleMsg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.From.Name != "Michael Stonebraker" || m.From.Email != "stonebraker@csail.mit.edu" {
+		t.Errorf("From = %+v", m.From)
+	}
+	if len(m.To) != 2 {
+		t.Fatalf("To = %+v", m.To)
+	}
+	if m.To[1].Name != "Epstein, Robert" || m.To[1].Email != "epstein@berkeley.edu" {
+		t.Errorf("folded+quoted To = %+v", m.To[1])
+	}
+	if len(m.Cc) != 1 || m.Cc[0].Email != "mike@postgres.org" || m.Cc[0].Name != "" {
+		t.Errorf("Cc = %+v", m.Cc)
+	}
+	if m.Subject != "Re: query processing draft" {
+		t.Errorf("Subject = %q", m.Subject)
+	}
+	if m.ID != "abc123@csail.mit.edu" {
+		t.Errorf("ID = %q", m.ID)
+	}
+}
+
+func TestParseMessageErrors(t *testing.T) {
+	if _, err := ParseMessage(" leading continuation\n"); err == nil {
+		t.Error("continuation without header should error")
+	}
+	if _, err := ParseMessage("not a header line\n"); err == nil {
+		t.Error("non-header line should error")
+	}
+}
+
+func TestParseAddressListQuotedComma(t *testing.T) {
+	boxes := ParseAddressList(`"Wong, Eugene" <e@b.edu>, plain@x.org`)
+	if len(boxes) != 2 {
+		t.Fatalf("boxes = %+v", boxes)
+	}
+	if boxes[0].Name != "Wong, Eugene" {
+		t.Errorf("quoted name = %q", boxes[0].Name)
+	}
+	if boxes[1].Email != "plain@x.org" {
+		t.Errorf("second = %+v", boxes[1])
+	}
+}
+
+func TestRenderParseRoundTrip(t *testing.T) {
+	m := Message{
+		From:    Mailbox{Name: "Stonebraker, Michael", Email: "s@mit.edu"},
+		To:      []Mailbox{{Name: "Eugene Wong", Email: "e@b.edu"}, {Email: "x@y.org"}},
+		Cc:      []Mailbox{{Name: "Someone Else", Email: "se@z.com"}},
+		Subject: "hello",
+		Date:    "Tue, 1 Jan 1980 00:00:00 +0000",
+		ID:      "id1@mit.edu",
+	}
+	got, err := ParseMessage(RenderMessage(m))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.From != m.From {
+		t.Errorf("From = %+v, want %+v", got.From, m.From)
+	}
+	if len(got.To) != 2 || got.To[0] != m.To[0] || got.To[1] != m.To[1] {
+		t.Errorf("To = %+v", got.To)
+	}
+	if len(got.Cc) != 1 || got.Cc[0] != m.Cc[0] {
+		t.Errorf("Cc = %+v", got.Cc)
+	}
+	if got.Subject != m.Subject || got.Date != m.Date || got.ID != m.ID {
+		t.Errorf("scalar headers = %+v", got)
+	}
+}

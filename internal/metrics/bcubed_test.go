@@ -1,0 +1,106 @@
+package metrics
+
+import (
+	"math"
+	"testing"
+
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+func TestBCubedPerfect(t *testing.T) {
+	s := reference.NewStore()
+	a1 := addPerson(s, "A")
+	a2 := addPerson(s, "A")
+	b1 := addPerson(s, "B")
+	rep := BCubed(s, schema.ClassPerson, [][]reference.ID{{a1, a2}, {b1}})
+	if rep.Precision != 1 || rep.Recall != 1 || rep.F1 != 1 {
+		t.Errorf("perfect = %+v", rep)
+	}
+	if rep.References != 3 {
+		t.Errorf("references = %d", rep.References)
+	}
+}
+
+func TestBCubedOverMerge(t *testing.T) {
+	s := reference.NewStore()
+	a1 := addPerson(s, "A")
+	a2 := addPerson(s, "A")
+	b1 := addPerson(s, "B")
+	rep := BCubed(s, schema.ClassPerson, [][]reference.ID{{a1, a2, b1}})
+	// Precision: A refs get 2/3 each, B ref gets 1/3 -> (2/3+2/3+1/3)/3 = 5/9.
+	if math.Abs(rep.Precision-5.0/9) > 1e-9 {
+		t.Errorf("precision = %f, want 5/9", rep.Precision)
+	}
+	if rep.Recall != 1 {
+		t.Errorf("recall = %f", rep.Recall)
+	}
+}
+
+func TestBCubedUnderMerge(t *testing.T) {
+	s := reference.NewStore()
+	a1 := addPerson(s, "A")
+	a2 := addPerson(s, "A")
+	rep := BCubed(s, schema.ClassPerson, [][]reference.ID{{a1}, {a2}})
+	if rep.Precision != 1 {
+		t.Errorf("precision = %f", rep.Precision)
+	}
+	// Each A ref sees 1 of its 2 gold mates -> recall 1/2.
+	if math.Abs(rep.Recall-0.5) > 1e-9 {
+		t.Errorf("recall = %f, want 0.5", rep.Recall)
+	}
+}
+
+func TestBCubedWeighsReferencesNotPairs(t *testing.T) {
+	// One big entity split in half plus many correct singletons: pairwise
+	// recall is dominated by the big entity; B-cubed is gentler.
+	s := reference.NewStore()
+	var big []reference.ID
+	for i := 0; i < 10; i++ {
+		big = append(big, addPerson(s, "BIG"))
+	}
+	var parts [][]reference.ID
+	parts = append(parts, big[:5], big[5:])
+	for i := 0; i < 10; i++ {
+		id := addPerson(s, "S"+string(rune('0'+i)))
+		parts = append(parts, []reference.ID{id})
+	}
+	pair := Evaluate(s, schema.ClassPerson, parts)
+	bc := BCubed(s, schema.ClassPerson, parts)
+	if !(bc.Recall > pair.Recall) {
+		t.Errorf("B-cubed recall %f should exceed pairwise %f here", bc.Recall, pair.Recall)
+	}
+}
+
+func TestBCubedIgnoresUnlabeled(t *testing.T) {
+	s := reference.NewStore()
+	a := addPerson(s, "A")
+	u := addPerson(s, "")
+	rep := BCubed(s, schema.ClassPerson, [][]reference.ID{{a, u}})
+	if rep.References != 1 || rep.Precision != 1 {
+		t.Errorf("unlabeled leaked: %+v", rep)
+	}
+}
+
+func TestBCubedEmpty(t *testing.T) {
+	s := reference.NewStore()
+	rep := BCubed(s, schema.ClassPerson, nil)
+	if rep.Precision != 1 || rep.Recall != 1 {
+		t.Errorf("empty = %+v", rep)
+	}
+}
+
+func TestClusters(t *testing.T) {
+	s := reference.NewStore()
+	a1 := addPerson(s, "A")
+	a2 := addPerson(s, "A")
+	b := addPerson(s, "B")
+	u := addPerson(s, "")
+	st := Clusters(s, schema.ClassPerson, [][]reference.ID{{a1, a2}, {b}, {u}})
+	if st.Clusters != 2 || st.References != 3 || st.Largest != 2 || st.Singletons != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanSize-1.5) > 1e-9 {
+		t.Errorf("mean = %f", st.MeanSize)
+	}
+}

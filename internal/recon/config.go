@@ -1,0 +1,120 @@
+// Package recon implements the paper's reconciliation algorithm (DepGraph):
+// dependency-graph construction over candidate reference pairs (§3.1),
+// similarity propagation to a fixed point (§3.2), reference enrichment
+// (§3.3), constraint enforcement (§3.4), and the final transitive closure.
+//
+// The ablation axes of §5.3 are first-class configuration: Mode toggles
+// reconciliation propagation and reference enrichment independently, and
+// EvidenceLevel cumulatively enables the four evidence variations
+// (Attr-wise, Name&Email, Article, Contact).
+package recon
+
+import (
+	"refrecon/internal/simfn"
+)
+
+// Mode selects which of the two decision-coupling mechanisms run (the §5.3
+// mode dimension).
+type Mode int
+
+const (
+	// ModeFull applies both reconciliation propagation and reference
+	// enrichment (the full DepGraph algorithm).
+	ModeFull Mode = iota
+	// ModeTraditional applies neither: every similarity is computed once,
+	// in dependency order.
+	ModeTraditional
+	// ModePropagation applies only reconciliation propagation.
+	ModePropagation
+	// ModeMerge applies only reference enrichment.
+	ModeMerge
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeTraditional:
+		return "Traditional"
+	case ModePropagation:
+		return "Propagation"
+	case ModeMerge:
+		return "Merge"
+	default:
+		return "Full"
+	}
+}
+
+// propagate reports whether the mode re-activates dependent decisions.
+func (m Mode) propagate() bool { return m == ModeFull || m == ModePropagation }
+
+// enrich reports whether the mode folds enriched references.
+func (m Mode) enrich() bool { return m == ModeFull || m == ModeMerge }
+
+// EvidenceLevel cumulatively enables evidence sources (the §5.3 evidence
+// dimension). Each level includes all earlier ones.
+type EvidenceLevel int
+
+const (
+	// EvidenceAttrWise compares same-attribute values only (names with
+	// names, emails with emails, ...).
+	EvidenceAttrWise EvidenceLevel = iota
+	// EvidenceNameEmail adds cross-attribute comparison of person names
+	// against email addresses.
+	EvidenceNameEmail
+	// EvidenceArticle adds the person-article association: reconciled
+	// articles push their aligned authors together.
+	EvidenceArticle
+	// EvidenceContact adds shared co-authors and email contacts as weak
+	// evidence. This is the complete DepGraph evidence set.
+	EvidenceContact
+)
+
+func (e EvidenceLevel) String() string {
+	switch e {
+	case EvidenceAttrWise:
+		return "Attr-wise"
+	case EvidenceNameEmail:
+		return "Name&Email"
+	case EvidenceArticle:
+		return "Article"
+	default:
+		return "Contact"
+	}
+}
+
+// Config collects all tunable parameters. DefaultConfig returns the
+// published §5.2 settings.
+type Config struct {
+	// MergeThreshold is the reference-pair merge threshold (paper: 0.85).
+	MergeThreshold float64
+	// AttrMergeThreshold is the attribute-value-pair merge threshold
+	// (paper: 1.0 — only identical values start out merged).
+	AttrMergeThreshold float64
+	// Params are the per-class t_rv, β, γ settings.
+	Params map[string]simfn.ClassParams
+	// Mode selects propagation/enrichment (default ModeFull).
+	Mode Mode
+	// Evidence selects the evidence level (default EvidenceContact).
+	Evidence EvidenceLevel
+	// Constraints enables the three negative-evidence constraints of §5.3
+	// and the post-fixed-point non-merge propagation of §3.4.
+	Constraints bool
+	// BucketCap bounds blocking bucket sizes (0 = unlimited).
+	BucketCap int
+	// MaxSteps caps engine evaluations (0 = engine default).
+	MaxSteps int
+	// Epsilon is the reactivation threshold (0 = engine default).
+	Epsilon float64
+}
+
+// DefaultConfig returns the full algorithm with the published parameters.
+func DefaultConfig() Config {
+	return Config{
+		MergeThreshold:     0.85,
+		AttrMergeThreshold: 1.0,
+		Params:             simfn.PaperParams(),
+		Mode:               ModeFull,
+		Evidence:           EvidenceContact,
+		Constraints:        true,
+		BucketCap:          512,
+	}
+}

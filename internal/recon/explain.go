@@ -1,0 +1,170 @@
+package recon
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"refrecon/internal/depgraph"
+	"refrecon/internal/reference"
+)
+
+// Explanation describes why two references were (or were not) reconciled:
+// the chain of merged pair decisions connecting them through the
+// transitive closure, each with the evidence that drove it. Explanations
+// are available from a Session, which retains the dependency graph.
+type Explanation struct {
+	A, B reference.ID
+	// Same reports whether the two references ended in one partition.
+	Same bool
+	// Path lists the merged pair decisions connecting A to B (empty when
+	// Same is false). Enrichment folds nodes, so a hop may connect A
+	// directly to a reference that joined via an absorbed node.
+	Path []PairDecision
+	// Direct is the pair node for (A, B) itself, if one exists — also set
+	// for non-reconciled pairs, where it shows the insufficient or
+	// constrained evidence.
+	Direct *PairDecision
+}
+
+// PairDecision is one pair node's state and evidence.
+type PairDecision struct {
+	A, B     reference.ID
+	Sim      float64
+	Status   string
+	Evidence []EvidenceItem
+}
+
+// EvidenceItem is one incoming dependency of a pair node.
+type EvidenceItem struct {
+	// Type is the evidence label ("name", "email", "nameEmail",
+	// "contact", "article", ...).
+	Type string
+	// Dep is the dependency kind ("real-valued", "strong-boolean",
+	// "weak-boolean").
+	Dep string
+	// Sim is the source node's similarity.
+	Sim float64
+	// Source describes the source node (a value pair or a reference pair).
+	Source string
+	// Counted reports whether the item influences the score (boolean
+	// evidence counts only once its source is merged).
+	Counted bool
+}
+
+// String renders a multi-line human-readable explanation.
+func (e Explanation) String() string {
+	var b strings.Builder
+	if e.Same {
+		fmt.Fprintf(&b, "references %d and %d are the same entity\n", e.A, e.B)
+	} else {
+		fmt.Fprintf(&b, "references %d and %d are different entities\n", e.A, e.B)
+	}
+	for _, d := range e.Path {
+		writeDecision(&b, "  ", d)
+	}
+	if e.Direct != nil && len(e.Path) == 0 {
+		writeDecision(&b, "  ", *e.Direct)
+	}
+	return b.String()
+}
+
+func writeDecision(b *strings.Builder, indent string, d PairDecision) {
+	fmt.Fprintf(b, "%s(%d, %d) sim=%.3f %s\n", indent, d.A, d.B, d.Sim, d.Status)
+	for _, ev := range d.Evidence {
+		mark := " "
+		if ev.Counted {
+			mark = "*"
+		}
+		fmt.Fprintf(b, "%s  %s %-10s %-14s %.3f  %s\n", indent, mark, ev.Type, ev.Dep, ev.Sim, ev.Source)
+	}
+}
+
+// Explain reports why references a and b were or were not reconciled in
+// the session's latest result. It returns an error before the first
+// Reconcile call.
+func (s *Session) Explain(a, b reference.ID) (Explanation, error) {
+	if s.latest == nil || s.g == nil {
+		return Explanation{}, fmt.Errorf("recon: Explain before Reconcile")
+	}
+	if int(a) >= s.store.Len() || int(b) >= s.store.Len() || a < 0 || b < 0 {
+		return Explanation{}, fmt.Errorf("recon: reference id out of range")
+	}
+	out := Explanation{A: a, B: b, Same: s.latest.SameEntity(a, b)}
+	if n := s.g.LookupRefPair(a, b); n != nil {
+		d := describeNode(n)
+		out.Direct = &d
+	}
+	if !out.Same {
+		return out, nil
+	}
+	// BFS over merged pair nodes from a to b.
+	prev := map[reference.ID]*depgraph.Node{a: nil}
+	queue := []reference.ID{a}
+	for len(queue) > 0 && prev[b] == nil {
+		cur := queue[0]
+		queue = queue[1:]
+		nodes := s.g.RefPairNodesOf(cur)
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+		for _, n := range nodes {
+			if n.Status != depgraph.Merged {
+				continue
+			}
+			next := n.Other(cur)
+			if _, seen := prev[next]; seen {
+				continue
+			}
+			prev[next] = n
+			if next == b {
+				break
+			}
+			queue = append(queue, next)
+		}
+	}
+	// The closure may unite a and b even when enrichment folded away the
+	// intermediate nodes; in that case only Direct evidence is available.
+	if prev[b] == nil {
+		return out, nil
+	}
+	var rev []PairDecision
+	for cur := b; cur != a; {
+		n := prev[cur]
+		rev = append(rev, describeNode(n))
+		cur = n.Other(cur)
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		out.Path = append(out.Path, rev[i])
+	}
+	return out, nil
+}
+
+func describeNode(n *depgraph.Node) PairDecision {
+	d := PairDecision{A: n.RefA, B: n.RefB, Sim: n.Sim, Status: n.Status.String()}
+	for _, e := range n.In() {
+		src := e.From
+		item := EvidenceItem{
+			Type: e.Evidence,
+			Dep:  e.Dep.String(),
+			Sim:  src.Sim,
+		}
+		if src.Kind == depgraph.ValuePair {
+			item.Source = src.Key
+		} else {
+			item.Source = fmt.Sprintf("pair(%d,%d) %s", src.RefA, src.RefB, src.Status)
+		}
+		switch e.Dep {
+		case depgraph.RealValued:
+			item.Counted = src.Status != depgraph.NonMerge
+		default:
+			item.Counted = src.Status == depgraph.Merged
+		}
+		d.Evidence = append(d.Evidence, item)
+	}
+	sort.SliceStable(d.Evidence, func(i, j int) bool {
+		if d.Evidence[i].Counted != d.Evidence[j].Counted {
+			return d.Evidence[i].Counted
+		}
+		return d.Evidence[i].Sim > d.Evidence[j].Sim
+	})
+	return d
+}

@@ -1,0 +1,109 @@
+package recon
+
+import (
+	"strings"
+	"testing"
+
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+func explainSession(t *testing.T) (*Session, map[string]reference.ID) {
+	t.Helper()
+	store, ids := buildExample1()
+	sess := New(schema.PIM(), DefaultConfig()).NewSession(store)
+	if _, err := sess.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	return sess, ids
+}
+
+func TestExplainSameEntity(t *testing.T) {
+	sess, ids := explainSession(t)
+	// p2 ("Michael Stonebraker") and p9 ("mike", stonebraker@csail...)
+	// are united through a chain.
+	exp, err := sess.Explain(ids["p2"], ids["p9"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !exp.Same {
+		t.Fatal("p2 and p9 should be the same entity")
+	}
+	if len(exp.Path) == 0 {
+		t.Fatal("expected a decision path")
+	}
+	// The path must start at p2 and end at p9, with consecutive hops.
+	first, last := exp.Path[0], exp.Path[len(exp.Path)-1]
+	touches := func(d PairDecision, id reference.ID) bool { return d.A == id || d.B == id }
+	if !touches(first, ids["p2"]) {
+		t.Errorf("path does not start at p2: %+v", first)
+	}
+	if !touches(last, ids["p9"]) {
+		t.Errorf("path does not end at p9: %+v", last)
+	}
+	for _, d := range exp.Path {
+		if d.Status != "merged" {
+			t.Errorf("path hop not merged: %+v", d)
+		}
+		if len(d.Evidence) == 0 {
+			t.Errorf("hop without evidence: %+v", d)
+		}
+	}
+	s := exp.String()
+	if !strings.Contains(s, "same entity") {
+		t.Errorf("rendering = %q", s)
+	}
+}
+
+func TestExplainDifferentEntities(t *testing.T) {
+	sess, ids := explainSession(t)
+	exp, err := sess.Explain(ids["p1"], ids["p2"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Same {
+		t.Fatal("p1 and p2 are different people")
+	}
+	if len(exp.Path) != 0 {
+		t.Error("different entities must have no path")
+	}
+	if !strings.Contains(exp.String(), "different entities") {
+		t.Errorf("rendering = %q", exp.String())
+	}
+}
+
+func TestExplainDirectEvidence(t *testing.T) {
+	sess, ids := explainSession(t)
+	// p8 and p9 share an email key: the direct node should show merged
+	// email evidence.
+	exp, err := sess.Explain(ids["p8"], ids["p9"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exp.Direct == nil {
+		t.Fatal("expected a direct pair node")
+	}
+	foundEmail := false
+	for _, ev := range exp.Direct.Evidence {
+		if ev.Type == "email" && ev.Sim == 1 {
+			foundEmail = true
+		}
+	}
+	if !foundEmail {
+		t.Errorf("email key evidence missing: %+v", exp.Direct.Evidence)
+	}
+}
+
+func TestExplainErrors(t *testing.T) {
+	store, _ := buildExample1()
+	sess := New(schema.PIM(), DefaultConfig()).NewSession(store)
+	if _, err := sess.Explain(0, 1); err == nil {
+		t.Error("Explain before Reconcile should error")
+	}
+	if _, err := sess.Reconcile(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sess.Explain(0, 99999); err == nil {
+		t.Error("out-of-range id should error")
+	}
+}

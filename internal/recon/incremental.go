@@ -1,0 +1,114 @@
+package recon
+
+import (
+	"fmt"
+	"io"
+
+	"refrecon/internal/depgraph"
+	"refrecon/internal/reference"
+	"refrecon/internal/simfn"
+)
+
+// Session supports incremental reconciliation — the first future-work
+// direction of §7: "an efficient incremental reconciliation approach,
+// applied when new references are inserted to an already-reconciled
+// dataset".
+//
+// A session owns a growing reference store and a persistent dependency
+// graph. After each batch of added references, Reconcile extends the graph
+// with the new candidate pairs and their dependencies, runs the
+// propagation engine seeded with just those pairs (existing decisions are
+// re-activated only when the new evidence touches them), and recomputes
+// the constrained transitive closure.
+//
+// Incremental results can differ slightly from a from-scratch batch run:
+// reference enrichment folds performed in earlier rounds are not undone,
+// so evidence accumulated under an earlier, smaller view of the data keeps
+// its shape. The engine's monotone scoring guarantees merges never
+// regress.
+type Session struct {
+	rc     *Reconciler
+	store  *reference.Store
+	b      *builder
+	g      *depgraph.Graph
+	seen   int
+	stats  Stats
+	latest *Result
+}
+
+// NewSession returns an incremental reconciliation session over the store
+// (which may already contain references; they are incorporated on the
+// first Reconcile).
+func (rc *Reconciler) NewSession(store *reference.Store) *Session {
+	return &Session{
+		rc:    rc,
+		store: store,
+		b:     newBuilder(store, rc.sch, rc.cfg),
+	}
+}
+
+// Store returns the session's store; add new references to it between
+// Reconcile calls.
+func (s *Session) Store() *reference.Store { return s.store }
+
+// Reconcile incorporates the references added since the previous call and
+// returns the updated partitioning of the whole store.
+func (s *Session) Reconcile() (*Result, error) {
+	if err := s.store.Validate(s.rc.sch); err != nil {
+		return nil, fmt.Errorf("recon: invalid input: %w", err)
+	}
+	newRefs := s.store.All()[s.seen:]
+	s.seen = s.store.Len()
+
+	seed := s.b.incorporate(newRefs)
+	if s.g == nil {
+		s.g = s.b.g
+	}
+	scorer := &simfn.Scorer{Params: s.rc.cfg.Params}
+	engine := s.g.Run(seed, depgraph.Options{
+		Scorer: scorer,
+		MergeThreshold: func(n *depgraph.Node) float64 {
+			if n.Kind == depgraph.ValuePair {
+				return s.rc.cfg.AttrMergeThreshold
+			}
+			return s.rc.cfg.MergeThreshold
+		},
+		Epsilon:   s.rc.cfg.Epsilon,
+		Propagate: s.rc.cfg.Mode.propagate(),
+		Enrich:    s.rc.cfg.Mode.enrich(),
+		MaxSteps:  s.rc.cfg.MaxSteps,
+	})
+
+	s.stats.CandidatePairs = s.b.candidatePairs
+	s.stats.GraphNodes = s.g.NodeCount()
+	s.stats.GraphEdges = s.g.EdgeCount()
+	s.stats.SkippedBuckets = s.b.skippedBuckets
+	s.stats.Engine.Steps += engine.Steps
+	s.stats.Engine.Merges += engine.Merges
+	s.stats.Engine.Folds += engine.Folds
+	s.stats.Engine.Reactivate += engine.Reactivate
+	s.stats.Engine.Truncated = s.stats.Engine.Truncated || engine.Truncated
+	s.stats.NonMergeNodes = 0
+	s.g.Nodes(func(n *depgraph.Node) {
+		if n.Status == depgraph.NonMerge {
+			s.stats.NonMergeNodes++
+		}
+	})
+
+	res := closure(s.store, s.g, s.rc.cfg.Constraints)
+	res.Stats = s.stats
+	s.latest = res
+	return res, nil
+}
+
+// Latest returns the most recent result (nil before the first Reconcile).
+func (s *Session) Latest() *Result { return s.latest }
+
+// WriteDOT renders the session's dependency graph in Graphviz DOT format
+// (see depgraph.Graph.WriteDOT). It errors before the first Reconcile.
+func (s *Session) WriteDOT(w io.Writer, filter func(*depgraph.Node) bool) error {
+	if s.g == nil {
+		return fmt.Errorf("recon: WriteDOT before Reconcile")
+	}
+	return s.g.WriteDOT(w, filter)
+}

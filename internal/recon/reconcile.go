@@ -1,0 +1,199 @@
+package recon
+
+import (
+	"fmt"
+	"sort"
+
+	"refrecon/internal/depgraph"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/simfn"
+	"refrecon/internal/unionfind"
+)
+
+// Reconciler runs the DepGraph algorithm over a reference store.
+type Reconciler struct {
+	sch *schema.Schema
+	cfg Config
+}
+
+// New returns a reconciler for the schema with the given configuration.
+func New(sch *schema.Schema, cfg Config) *Reconciler {
+	if cfg.Params == nil {
+		cfg.Params = simfn.PaperParams()
+	}
+	if cfg.MergeThreshold == 0 {
+		cfg.MergeThreshold = 0.85
+	}
+	if cfg.AttrMergeThreshold == 0 {
+		cfg.AttrMergeThreshold = 1.0
+	}
+	return &Reconciler{sch: sch, cfg: cfg}
+}
+
+// Stats describes one reconciliation run.
+type Stats struct {
+	// CandidatePairs is the number of blocked candidate pairs considered.
+	CandidatePairs int
+	// GraphNodes / GraphEdges measure the dependency graph right after
+	// construction (the Table 6 size metric).
+	GraphNodes, GraphEdges int
+	// NonMergeNodes counts constraint-marked nodes after the run.
+	NonMergeNodes int
+	// SkippedBuckets counts blocking buckets dropped by the bucket cap.
+	SkippedBuckets int
+	// Engine carries the propagation-engine counters.
+	Engine depgraph.Stats
+}
+
+// Result is the outcome of a reconciliation.
+type Result struct {
+	// Partitions maps each class to its entity partitions: slices of
+	// reference ids, each partition one resolved real-world entity.
+	Partitions map[string][][]reference.ID
+	// Assignment maps every reference id to a dataset-wide partition
+	// label.
+	Assignment map[reference.ID]int
+	// Stats describes the run.
+	Stats Stats
+}
+
+// PartitionCount returns the number of partitions for a class (the Table
+// 4/5 metric).
+func (r *Result) PartitionCount(class string) int { return len(r.Partitions[class]) }
+
+// SameEntity reports whether two references landed in the same partition.
+func (r *Result) SameEntity(a, b reference.ID) bool {
+	pa, okA := r.Assignment[a]
+	pb, okB := r.Assignment[b]
+	return okA && okB && pa == pb
+}
+
+// Reconcile partitions the store's references into entities.
+func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
+	if err := store.Validate(rc.sch); err != nil {
+		return nil, fmt.Errorf("recon: invalid input: %w", err)
+	}
+	b := newBuilder(store, rc.sch, rc.cfg)
+	g, seed := b.build()
+
+	stats := Stats{
+		CandidatePairs: b.candidatePairs,
+		GraphNodes:     g.NodeCount(),
+		GraphEdges:     g.EdgeCount(),
+		SkippedBuckets: b.skippedBuckets,
+	}
+
+	scorer := &simfn.Scorer{Params: rc.cfg.Params}
+	stats.Engine = g.Run(seed, depgraph.Options{
+		Scorer: scorer,
+		MergeThreshold: func(n *depgraph.Node) float64 {
+			if n.Kind == depgraph.ValuePair {
+				return rc.cfg.AttrMergeThreshold
+			}
+			return rc.cfg.MergeThreshold
+		},
+		Epsilon:   rc.cfg.Epsilon,
+		Propagate: rc.cfg.Mode.propagate(),
+		Enrich:    rc.cfg.Mode.enrich(),
+		MaxSteps:  rc.cfg.MaxSteps,
+	})
+
+	g.Nodes(func(n *depgraph.Node) {
+		if n.Status == depgraph.NonMerge {
+			stats.NonMergeNodes++
+		}
+	})
+
+	res := closure(store, g, rc.cfg.Constraints)
+	res.Stats = stats
+	return res, nil
+}
+
+// closure computes the transitive closure over merged reference pairs,
+// honoring non-merge constraints when enabled: merged pairs are applied in
+// descending similarity order and a union that would bring the two sides
+// of a constrained pair into one partition is skipped. This realizes
+// §3.4's post-fixed-point negative-evidence propagation — "if we decide to
+// reconcile r1 with r2, and r2 with r3, then r1, r2 and r3 will be
+// clustered even if we have evidence showing that r1 is not similar to r3"
+// — by revoking the least-certain link on any constraint-violating path.
+func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Result {
+	uf := unionfind.New(store.Len())
+	if !constrained {
+		g.Nodes(func(n *depgraph.Node) {
+			if n.Kind == depgraph.RefPair && n.Status == depgraph.Merged {
+				uf.Union(int(n.RefA), int(n.RefB))
+			}
+		})
+		return partitionResult(store, uf)
+	}
+
+	var merged []*depgraph.Node
+	enemies := make(map[int][]int) // root -> enemy reference ids
+	g.Nodes(func(n *depgraph.Node) {
+		if n.Kind != depgraph.RefPair {
+			return
+		}
+		switch n.Status {
+		case depgraph.Merged:
+			merged = append(merged, n)
+		case depgraph.NonMerge:
+			enemies[int(n.RefA)] = append(enemies[int(n.RefA)], int(n.RefB))
+			enemies[int(n.RefB)] = append(enemies[int(n.RefB)], int(n.RefA))
+		}
+	})
+	// Most-certain links first; ties broken by key for determinism.
+	sort.Slice(merged, func(i, j int) bool {
+		if merged[i].Sim != merged[j].Sim {
+			return merged[i].Sim > merged[j].Sim
+		}
+		return merged[i].Key < merged[j].Key
+	})
+	hostile := func(ra, rb int) bool {
+		es := enemies[ra]
+		if len(enemies[rb]) < len(es) {
+			es, rb = enemies[rb], ra
+		}
+		for _, e := range es {
+			if uf.Find(e) == rb {
+				return true
+			}
+		}
+		return false
+	}
+	for _, n := range merged {
+		ra, rb := uf.Find(int(n.RefA)), uf.Find(int(n.RefB))
+		if ra == rb || hostile(ra, rb) {
+			continue
+		}
+		uf.Union(ra, rb)
+		r := uf.Find(ra)
+		other := ra + rb - r
+		if es := enemies[other]; len(es) > 0 {
+			enemies[r] = append(enemies[r], es...)
+			delete(enemies, other)
+		}
+	}
+	return partitionResult(store, uf)
+}
+
+func partitionResult(store *reference.Store, uf *unionfind.UF) *Result {
+	res := &Result{
+		Partitions: make(map[string][][]reference.ID),
+		Assignment: make(map[reference.ID]int, store.Len()),
+	}
+	for label, part := range uf.Partitions() {
+		if len(part) == 0 {
+			continue
+		}
+		class := store.Get(reference.ID(part[0])).Class
+		ids := make([]reference.ID, len(part))
+		for i, x := range part {
+			ids[i] = reference.ID(x)
+			res.Assignment[reference.ID(x)] = label
+		}
+		res.Partitions[class] = append(res.Partitions[class], ids)
+	}
+	return res
+}

@@ -1,0 +1,543 @@
+// Package simfn implements the similarity functions of §4 of the paper: a
+// template S = S_rv + S_sb + S_wb where
+//
+//   - S_rv combines the real-valued evidence (attribute-value similarities
+//     and association similarities) through a class-specific decision tree
+//     of linear combinations that tolerates missing attributes and treats
+//     key attributes specially;
+//   - S_sb adds β for every merged strong-boolean incoming neighbor, gated
+//     on S_rv ≥ t_rv;
+//   - S_wb adds γ for every merged weak-boolean incoming neighbor (shared
+//     contacts and co-authors), gated the same way.
+//
+// The package also defines the elementary value comparators — one per
+// evidence type — and the liberal candidate thresholds used during graph
+// construction (§3.1: "we use a relatively low similarity threshold in
+// order not to lose important nodes").
+package simfn
+
+import (
+	"strings"
+
+	"refrecon/internal/emailaddr"
+	"refrecon/internal/names"
+	"refrecon/internal/strsim"
+	"refrecon/internal/tokenizer"
+)
+
+// Evidence type labels. Value nodes and graph edges carry one of these;
+// the class scoring functions dispatch on them.
+const (
+	EvName      = "name"      // person name vs person name
+	EvEmail     = "email"     // email address vs email address
+	EvNameEmail = "nameEmail" // person name vs email address (cross-attribute)
+	EvTitle     = "title"     // article title vs article title
+	EvYear      = "year"      // year vs year
+	EvPages     = "pages"     // page range vs page range
+	EvVenueName = "venueName" // venue name vs venue name
+	EvLocation  = "location"  // venue location vs venue location
+	EvAuthors   = "authors"   // author ref-pair similarity into an article pair
+	EvVenue     = "venue"     // venue ref-pair similarity into an article pair
+	EvArticle   = "article"   // article ref-pair merge into person/venue pairs (strong)
+	EvContact   = "contact"   // shared email-contact (weak)
+	EvCoAuthor  = "coauthor"  // shared co-author (weak)
+)
+
+// Library holds corpus statistics for the corpus-sensitive comparators:
+// TF-IDF document frequencies for titles and venue names, and surname
+// population statistics for the name-vs-email comparator. Build one per
+// dataset with NewLibrary, feeding every title, venue name, and person
+// name.
+type Library struct {
+	Titles *strsim.Corpus
+	Venues *strsim.Corpus
+
+	// surnameInitials maps each surname to the distinct first initials
+	// seen with it; surnameFirsts to the distinct full first names.
+	// Together they estimate how identifying a surname (or an
+	// initial+surname combination) is in this dataset. givenSurnames maps
+	// each full given name to the distinct surnames seen with it, for
+	// judging given-name-shaped email account names.
+	surnameInitials map[string]map[byte]bool
+	surnameFirsts   map[string]map[string]bool
+	givenSurnames   map[string]map[string]bool
+}
+
+// NewLibrary returns a Library with empty corpora.
+func NewLibrary() *Library {
+	return &Library{
+		Titles:          strsim.NewCorpus(),
+		Venues:          strsim.NewCorpus(),
+		surnameInitials: make(map[string]map[byte]bool),
+		surnameFirsts:   make(map[string]map[string]bool),
+		givenSurnames:   make(map[string]map[string]bool),
+	}
+}
+
+// AddPersonName records one person-name value in the population
+// statistics.
+func (l *Library) AddPersonName(raw string) {
+	n := names.Parse(raw)
+	if n.Last == "" {
+		return
+	}
+	last := strings.ReplaceAll(n.Last, " ", "")
+	if l.surnameInitials[last] == nil {
+		l.surnameInitials[last] = make(map[byte]bool)
+	}
+	if n.First == "" {
+		return
+	}
+	l.surnameInitials[last][n.First[0]] = true
+	if len(n.First) > 1 {
+		if l.surnameFirsts[last] == nil {
+			l.surnameFirsts[last] = make(map[string]bool)
+		}
+		l.surnameFirsts[last][n.First] = true
+		formal := names.Formal(n.First)
+		if l.givenSurnames[formal] == nil {
+			l.givenSurnames[formal] = make(map[string]bool)
+		}
+		l.givenSurnames[formal][last] = true
+	}
+}
+
+// LocalRarity implements emailaddr.LocalRarityFunc: how identifying is an
+// email account name in this dataset's population. Known surnames reuse
+// the surname statistics; known given names are judged by how many
+// different surnames they pair with; unknown tokens (fusions like
+// "jsmith") are treated as fairly distinctive.
+func (l *Library) LocalRarity(local string) float64 {
+	if l == nil || (len(l.surnameInitials) == 0 && len(l.givenSurnames) == 0) {
+		return 1
+	}
+	if _, isSurname := l.surnameInitials[local]; isSurname {
+		return l.NameRarity("", local)
+	}
+	if svs, isGiven := l.givenSurnames[names.Formal(local)]; isGiven {
+		switch df := len(svs); {
+		case df <= 1:
+			return 1
+		case df == 2:
+			return 0.7
+		case df == 3:
+			return 0.5
+		default:
+			return 0.3
+		}
+	}
+	return 0.9
+}
+
+// NameRarity implements emailaddr.RarityFunc over the recorded
+// statistics: how identifying is this surname (initial == "") or this
+// initial+surname combination in the dataset. With no statistics recorded
+// it returns 1 (fully identifying), preserving standalone behaviour.
+func (l *Library) NameRarity(initial, surname string) float64 {
+	if l == nil || len(l.surnameInitials) == 0 {
+		return 1
+	}
+	if initial == "" {
+		switch df := len(l.surnameInitials[surname]); {
+		case df <= 1:
+			return 1
+		case df == 2:
+			return 0.75
+		case df == 3:
+			return 0.55
+		case df <= 6:
+			return 0.35
+		default:
+			return 0.2
+		}
+	}
+	// Distinct full first names sharing the initial under this surname.
+	df := 0
+	for f := range l.surnameFirsts[surname] {
+		if f[0] == initial[0] {
+			df++
+		}
+	}
+	switch {
+	case df <= 1:
+		return 1
+	case df == 2:
+		return 0.7
+	default:
+		return 0.4
+	}
+}
+
+// Compare scores two raw attribute values under an evidence type, in
+// [0,1]. Unknown evidence types fall back to a generic string similarity.
+func (l *Library) Compare(evidence, a, b string) float64 {
+	switch evidence {
+	case EvName:
+		return names.Similarity(a, b)
+	case EvEmail:
+		ea, okA := emailaddr.Parse(a)
+		eb, okB := emailaddr.Parse(b)
+		if !okA || !okB {
+			return 0
+		}
+		return emailaddr.SimRarity(ea, eb, l.LocalRarity)
+	case EvNameEmail:
+		// By convention a is the name and b is the address.
+		eb, ok := emailaddr.Parse(b)
+		if !ok {
+			return 0
+		}
+		return emailaddr.NameSimRarity(a, eb, l.NameRarity)
+	case EvTitle:
+		return l.titleSim(a, b)
+	case EvYear:
+		return YearSim(a, b)
+	case EvPages:
+		return PagesSim(a, b)
+	case EvVenueName:
+		return l.venueNameSim(a, b)
+	case EvLocation:
+		return strsim.JaccardTokens(a, b)
+	default:
+		return strsim.MongeElkan(a, b, nil)
+	}
+}
+
+func (l *Library) titleSim(a, b string) float64 {
+	cos := 0.0
+	if l != nil && l.Titles != nil && l.Titles.Docs() > 0 {
+		cos = l.Titles.CosineSim(a, b)
+	} else {
+		cos = strsim.JaccardContentTokens(a, b)
+	}
+	ed := strsim.DamerauSim(a, b)
+	if ed > cos {
+		return ed
+	}
+	return cos
+}
+
+// venueStopwords are boilerplate tokens that appear in almost every venue
+// name; comparing on them ("Proc. SIGMOD" vs "Proc. ICDE" share "proc")
+// produces catastrophic false matches, so the comparator strips them first.
+var venueStopwords = map[string]bool{
+	"proc": true, "proceedings": true, "conference": true, "conf": true,
+	"international": true, "intl": true, "annual": true, "symposium": true,
+	"workshop": true, "journal": true, "j": true, "transactions": true,
+	"trans": true, "ieee": true, "acm": true, "usenix": true,
+	"technical": true, "report": true, "tr": true,
+}
+
+// venueCoreTokens returns a venue name's distinctive tokens; when
+// filtering removes everything, the unfiltered content words are kept.
+func venueCoreTokens(s string) []string {
+	words := tokenizer.ContentWords(s)
+	core := words[:0:0]
+	for _, w := range words {
+		if !venueStopwords[w] {
+			core = append(core, w)
+		}
+	}
+	if len(core) == 0 {
+		return words
+	}
+	return core
+}
+
+// fuzzyOverlap is the overlap coefficient over two token lists where
+// tokens match exactly or as near-typos (Jaro-Winkler >= 0.95). Character-
+// level similarity between *different* tokens ("data" vs "database",
+// "icde" vs "icdt") deliberately contributes nothing: distinct venues have
+// editorially close names, and treating closeness as evidence collapses
+// them.
+func fuzzyOverlap(ta, tb []string) float64 {
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	matches := 0
+	used := make([]bool, len(tb))
+	for _, x := range ta {
+		for j, y := range tb {
+			if used[j] {
+				continue
+			}
+			if x == y || strsim.JaroWinkler(x, y) >= 0.95 {
+				used[j] = true
+				matches++
+				break
+			}
+		}
+	}
+	m := len(ta)
+	if len(tb) < m {
+		m = len(tb)
+	}
+	return float64(matches) / float64(m)
+}
+
+// venueTokenIDF weighs a venue token's distinctiveness using the venue
+// corpus when available (1 otherwise).
+func (l *Library) venueTokenIDF(tok string) float64 {
+	if l == nil || l.Venues == nil || l.Venues.Docs() == 0 {
+		return 1
+	}
+	return l.Venues.IDF(tok)
+}
+
+// weightedFuzzyJaccard is Jaccard over two token lists with per-token IDF
+// weights and near-typo token matching. Jaccard (union-normalized) rather
+// than the overlap coefficient: one venue's core being CONTAINED in
+// another's ("Database Systems" inside "Principles of Database Systems")
+// must not score 1 — the unmatched distinctive token is exactly what
+// separates TODS from PODS.
+func (l *Library) weightedFuzzyJaccard(ta, tb []string) float64 {
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	matched := 0.0
+	union := 0.0
+	used := make([]bool, len(tb))
+	for _, x := range ta {
+		w := l.venueTokenIDF(x)
+		union += w
+		for j, y := range tb {
+			if used[j] {
+				continue
+			}
+			if x == y || strsim.JaroWinkler(x, y) >= 0.95 {
+				used[j] = true
+				wy := l.venueTokenIDF(y)
+				if wy < w {
+					matched += wy
+				} else {
+					matched += w
+				}
+				break
+			}
+		}
+	}
+	for j, y := range tb {
+		if !used[j] {
+			union += l.venueTokenIDF(y)
+		}
+	}
+	if union == 0 {
+		return 0
+	}
+	return matched / union
+}
+
+func (l *Library) venueNameSim(a, b string) float64 {
+	ca := venueCoreTokens(a)
+	cb := venueCoreTokens(b)
+	best := l.weightedFuzzyJaccard(ca, cb)
+	// Boilerplate-token agreement ("ACM ..." vs "ACM ...") is weak but
+	// real evidence; it lets the SIGMOD'78 pair of Example 1 reach the
+	// boostable band without letting "Proc. X" match "Proc. Y" outright.
+	if s := 0.5 * fuzzyOverlap(tokenizer.ContentWords(a), tokenizer.ContentWords(b)); s > best {
+		best = s
+	}
+	if s := AcronymSim(a, b); s > best {
+		best = s
+	}
+	if s := AcronymSim(strings.Join(ca, " "), strings.Join(cb, " ")); s > best {
+		best = s
+	}
+	return best
+}
+
+// YearSim compares two year strings: equal years score 1, adjacent years
+// 0.5 (off-by-one errors are common in citations), anything else 0.
+// Non-numeric input falls back to exact comparison.
+func YearSim(a, b string) float64 {
+	ya, okA := parseYear(a)
+	yb, okB := parseYear(b)
+	if !okA || !okB {
+		if tokenizer.EqualFolded(a, b) && a != "" {
+			return 1
+		}
+		return 0
+	}
+	switch d := ya - yb; {
+	case d == 0:
+		return 1
+	case d == 1 || d == -1:
+		return 0.5
+	default:
+		return 0
+	}
+}
+
+// YearGap returns the absolute difference between two year strings, or
+// false when either does not parse as a year.
+func YearGap(a, b string) (int, bool) {
+	ya, okA := parseYear(a)
+	yb, okB := parseYear(b)
+	if !okA || !okB {
+		return 0, false
+	}
+	d := ya - yb
+	if d < 0 {
+		d = -d
+	}
+	return d, true
+}
+
+func parseYear(s string) (int, bool) {
+	digits := 0
+	val := 0
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			val = val*10 + int(r-'0')
+			digits++
+			if digits > 4 {
+				return 0, false
+			}
+		} else if digits > 0 {
+			break
+		}
+	}
+	if digits != 4 && digits != 2 {
+		return 0, false
+	}
+	if digits == 2 { // "98" -> 1998, "05" -> 2005
+		if val >= 30 {
+			val += 1900
+		} else {
+			val += 2000
+		}
+	}
+	return val, true
+}
+
+// PagesSim compares page-range strings ("169-180", "pp. 169--180").
+// Matching first and last page scores 1; matching first page only scores
+// 0.7; any shared page number scores 0.4.
+func PagesSim(a, b string) float64 {
+	na := pageNumbers(a)
+	nb := pageNumbers(b)
+	if len(na) == 0 || len(nb) == 0 {
+		return 0
+	}
+	if na[0] == nb[0] {
+		if na[len(na)-1] == nb[len(nb)-1] {
+			return 1
+		}
+		return 0.7
+	}
+	for _, x := range na {
+		for _, y := range nb {
+			if x == y {
+				return 0.4
+			}
+		}
+	}
+	return 0
+}
+
+func pageNumbers(s string) []int {
+	var out []int
+	cur, in := 0, false
+	flush := func() {
+		if in {
+			out = append(out, cur)
+			cur, in = 0, false
+		}
+	}
+	for _, r := range s {
+		if r >= '0' && r <= '9' {
+			cur = cur*10 + int(r-'0')
+			in = true
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// AcronymSim reports whether one string looks like an acronym of the
+// other's content words ("VLDB" vs "Very Large Data Bases"), returning 1
+// on a full acronym match, 0.7 on a prefix acronym match, else 0.
+func AcronymSim(a, b string) float64 {
+	score := func(short, long string) float64 {
+		s := tokenizer.Normalize(strings.ReplaceAll(short, ".", ""))
+		s = strings.ReplaceAll(s, " ", "")
+		if len(s) < 2 || len(s) > 8 {
+			return 0
+		}
+		// Acronyms sometimes include stopword letters (PODS = Principles
+		// Of Database Systems) and sometimes not (VLDB): try both token
+		// streams.
+		best := 0.0
+		for _, words := range [][]string{tokenizer.ContentWords(long), tokenizer.Words(long)} {
+			if len(words) < 2 {
+				continue
+			}
+			var initials strings.Builder
+			for _, w := range words {
+				initials.WriteByte(w[0])
+			}
+			ini := initials.String()
+			switch {
+			case s == ini:
+				return 1
+			case strings.HasPrefix(ini, s) || strings.HasPrefix(s, ini):
+				if best < 0.7 {
+					best = 0.7
+				}
+			}
+		}
+		return best
+	}
+	if x := score(a, b); x > 0 {
+		return x
+	}
+	return score(b, a)
+}
+
+// CandidateThreshold returns the liberal similarity above which a value
+// pair earns a node in the dependency graph (§3.1's "relatively low
+// similarity threshold").
+func CandidateThreshold(evidence string) float64 {
+	switch evidence {
+	case EvName:
+		return 0.5
+	case EvEmail:
+		return 0.55
+	case EvNameEmail:
+		return 0.45
+	case EvTitle:
+		return 0.45
+	case EvVenueName, EvYear, EvLocation:
+		// Venue evidence is recorded unconditionally: its similarity
+		// function renormalizes over *present* evidence, so a pruned
+		// low-similarity node would masquerade as a missing attribute and
+		// inflate the remaining evidence (a same-year pair of unrelated
+		// venues must not score 1.0 on year alone). Year and location
+		// nodes are shared across many pairs, so this is cheap.
+		return 0
+	case EvPages:
+		return 0.35
+	default:
+		return 0.5
+	}
+}
+
+// AliasEvidence reports whether merged references imply their values of
+// this evidence type are aliases of one another (the strong-boolean edge
+// from a reference pair back to its value pairs, e.g. n6 in Figure 2: once
+// conferences c1 and c2 merge, their names are known aliases). Alias
+// learning applies only to attributes whose values identify a single
+// entity: email addresses (keys) and venue names. Person names are
+// excluded — "Wei Li" and "Li, W." co-occurring on one person says nothing
+// about the *other* Wei Lis in the corpus, and aliasing them collapses
+// every person sharing those presentations.
+func AliasEvidence(evidence string) bool {
+	switch evidence {
+	case EvEmail, EvVenueName:
+		return true
+	default:
+		return false
+	}
+}

@@ -1,0 +1,176 @@
+package simfn
+
+import (
+	"testing"
+)
+
+func TestCompareName(t *testing.T) {
+	l := NewLibrary()
+	if s := l.Compare(EvName, "Michael Stonebraker", "Stonebraker, M."); s < 0.8 {
+		t.Errorf("abbreviated name sim = %f", s)
+	}
+	if s := l.Compare(EvName, "Michael Stonebraker", "Jennifer Widom"); s > 0.4 {
+		t.Errorf("unrelated name sim = %f", s)
+	}
+}
+
+func TestCompareEmail(t *testing.T) {
+	l := NewLibrary()
+	if s := l.Compare(EvEmail, "a@b.edu", "a@b.edu"); s != 1 {
+		t.Errorf("same email = %f", s)
+	}
+	if s := l.Compare(EvEmail, "not-an-address", "a@b.edu"); s != 0 {
+		t.Errorf("unparseable email = %f", s)
+	}
+}
+
+func TestCompareNameEmail(t *testing.T) {
+	l := NewLibrary()
+	if s := l.Compare(EvNameEmail, "Stonebraker, M.", "stonebraker@csail.mit.edu"); s < 0.85 {
+		t.Errorf("name-vs-email = %f", s)
+	}
+	if s := l.Compare(EvNameEmail, "Stonebraker, M.", "garbage"); s != 0 {
+		t.Errorf("name vs non-address = %f", s)
+	}
+}
+
+func TestCompareTitleWithCorpus(t *testing.T) {
+	l := NewLibrary()
+	for _, title := range []string{
+		"Distributed query processing in a relational data base system",
+		"The design of Postgres",
+		"Access path selection in a relational database management system",
+		"Query optimization techniques",
+	} {
+		l.Titles.Add(title)
+	}
+	same := l.Compare(EvTitle,
+		"Distributed query processing in a relational data base system",
+		"Distributed query processing in a relational data base system")
+	if same != 1 {
+		t.Errorf("identical title = %f", same)
+	}
+	noisy := l.Compare(EvTitle,
+		"Distributed query processing in a relational data base system",
+		"Distributed query processing in a relational database system")
+	if noisy < 0.7 {
+		t.Errorf("noisy title = %f", noisy)
+	}
+	diff := l.Compare(EvTitle, "The design of Postgres", "Query optimization techniques")
+	if diff > 0.4 {
+		t.Errorf("different titles = %f", diff)
+	}
+}
+
+func TestCompareTitleWithoutCorpus(t *testing.T) {
+	// Library with no corpus docs must still work (falls back to Jaccard).
+	l := NewLibrary()
+	if s := l.Compare(EvTitle, "a b c", "a b c"); s != 1 {
+		t.Errorf("fallback identical title = %f", s)
+	}
+}
+
+func TestYearSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"1978", "1978", 1},
+		{"1978", "1979", 0.5},
+		{"1978", "1985", 0},
+		{"98", "1998", 1},
+		{"05", "2005", 1},
+		{"", "", 0},
+		{"unknown", "unknown", 1}, // non-numeric falls back to equality
+		{"unknown", "other", 0},
+	}
+	for _, c := range cases {
+		if got := YearSim(c.a, c.b); got != c.want {
+			t.Errorf("YearSim(%q,%q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestPagesSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"169-180", "169-180", 1},
+		{"169-180", "pp. 169--180", 1},
+		{"169-180", "169-185", 0.7},
+		{"169-180", "170-180", 0.4},
+		{"169-180", "200-210", 0},
+		{"", "169-180", 0},
+	}
+	for _, c := range cases {
+		if got := PagesSim(c.a, c.b); got != c.want {
+			t.Errorf("PagesSim(%q,%q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestAcronymSim(t *testing.T) {
+	cases := []struct {
+		a, b string
+		want float64
+	}{
+		{"VLDB", "Very Large Data Bases", 1},
+		{"Very Large Data Bases", "VLDB", 1},
+		{"V.L.D.B.", "Very Large Data Bases", 1},
+		{"PODS", "Principles of Database Systems", 1}, // stopword "of" skipped
+		{"VLD", "Very Large Data Bases", 0.7},         // prefix acronym
+		{"ICDE", "Very Large Data Bases", 0},
+		{"X", "Some Conference", 0}, // too short
+	}
+	for _, c := range cases {
+		if got := AcronymSim(c.a, c.b); got != c.want {
+			t.Errorf("AcronymSim(%q,%q) = %f, want %f", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestVenueNameSim(t *testing.T) {
+	l := NewLibrary()
+	if s := l.Compare(EvVenueName, "ACM SIGMOD", "SIGMOD"); s < 0.9 {
+		t.Errorf("containment venue = %f", s)
+	}
+	if s := l.Compare(EvVenueName, "VLDB", "Very Large Data Bases"); s != 1 {
+		t.Errorf("acronym venue = %f", s)
+	}
+}
+
+func TestCandidateThresholdsLiberal(t *testing.T) {
+	// Every candidate threshold must be well below the merge threshold
+	// 0.85; venue evidence is recorded unconditionally (threshold 0).
+	for _, ev := range []string{EvName, EvEmail, EvNameEmail, EvTitle, EvVenueName, EvYear, EvPages, EvLocation, "other"} {
+		if th := CandidateThreshold(ev); th < 0 || th >= 0.85 {
+			t.Errorf("CandidateThreshold(%s) = %f not liberal", ev, th)
+		}
+	}
+	for _, ev := range []string{EvVenueName, EvYear, EvLocation} {
+		if CandidateThreshold(ev) != 0 {
+			t.Errorf("CandidateThreshold(%s) should be unconditional", ev)
+		}
+	}
+}
+
+func TestAliasEvidence(t *testing.T) {
+	for _, ev := range []string{EvEmail, EvVenueName} {
+		if !AliasEvidence(ev) {
+			t.Errorf("%s should be alias evidence", ev)
+		}
+	}
+	for _, ev := range []string{EvName, EvTitle, EvYear, EvPages, EvNameEmail} {
+		if AliasEvidence(ev) {
+			t.Errorf("%s should not be alias evidence", ev)
+		}
+	}
+}
+
+func TestCompareUnknownEvidence(t *testing.T) {
+	l := NewLibrary()
+	if s := l.Compare("mystery", "abc", "abc"); s != 1 {
+		t.Errorf("generic fallback identical = %f", s)
+	}
+}

@@ -1,0 +1,121 @@
+package simfn
+
+import (
+	"testing"
+)
+
+func populated() *Library {
+	l := NewLibrary()
+	for _, n := range []string{
+		"Michael Stonebraker",
+		"Ming Yuan", "Ling Yuan", "Hao Yuan",
+		"Cynthia Price", "Cynthia Diaz", "Cynthia Ortiz", "Cynthia Reyes",
+		"Wei Li", "Wei Zhang",
+		"Garcia-Molina, H.",
+	} {
+		l.AddPersonName(n)
+	}
+	return l
+}
+
+func TestNameRaritySurname(t *testing.T) {
+	l := populated()
+	if r := l.NameRarity("", "stonebraker"); r != 1 {
+		t.Errorf("unique surname = %f", r)
+	}
+	if r := l.NameRarity("", "yuan"); r > 0.6 {
+		t.Errorf("3-initial surname = %f, want <= 0.6", r)
+	}
+	if r := l.NameRarity("", "unknownname"); r != 1 {
+		t.Errorf("unseen surname should default to identifying: %f", r)
+	}
+}
+
+func TestNameRarityInitial(t *testing.T) {
+	l := populated()
+	// Only one full first name starting with 'm' under "stonebraker".
+	if r := l.NameRarity("m", "stonebraker"); r != 1 {
+		t.Errorf("unique initial = %f", r)
+	}
+	// "yuan" has m(ing), l(ing), h(ao): each initial unique -> 1.
+	if r := l.NameRarity("m", "yuan"); r != 1 {
+		t.Errorf("distinct initials = %f", r)
+	}
+}
+
+func TestNameRarityEmptyLibrary(t *testing.T) {
+	l := NewLibrary()
+	if r := l.NameRarity("", "anything"); r != 1 {
+		t.Errorf("empty library rarity = %f", r)
+	}
+	var nilLib *Library
+	if r := nilLib.NameRarity("", "anything"); r != 1 {
+		t.Errorf("nil library rarity = %f", r)
+	}
+}
+
+func TestLocalRarity(t *testing.T) {
+	l := populated()
+	// A surname-shaped local reuses surname statistics.
+	if r := l.LocalRarity("stonebraker"); r != 1 {
+		t.Errorf("rare surname local = %f", r)
+	}
+	if r := l.LocalRarity("yuan"); r > 0.6 {
+		t.Errorf("common surname local = %f", r)
+	}
+	// A given-name-shaped local is judged by how many surnames it spans.
+	if r := l.LocalRarity("cynthia"); r > 0.35 {
+		t.Errorf("4-surname given local = %f, want <= 0.35", r)
+	}
+	if r := l.LocalRarity("ming"); r != 1 {
+		t.Errorf("single-surname given local = %f", r)
+	}
+	// Nicknames resolve to their formal form.
+	l.AddPersonName("Michael Carey")
+	if r := l.LocalRarity("mike"); r > 0.8 {
+		t.Errorf("nickname of a 2-surname given = %f", r)
+	}
+	// Opaque handles are treated as fairly distinctive.
+	if r := l.LocalRarity("falcon73"); r != 0.9 {
+		t.Errorf("opaque handle = %f, want 0.9", r)
+	}
+}
+
+func TestCompareEmailUsesLocalRarity(t *testing.T) {
+	l := populated()
+	// Same local "cynthia" on different servers: common given name, so
+	// the evidence must stay below the boostable band.
+	s := l.Compare(EvEmail, "cynthia@cmu.edu", "cynthia@csail.mit.edu")
+	if s >= 0.7 {
+		t.Errorf("common-local same-account evidence = %f, want < 0.7", s)
+	}
+	// Rare surname local keeps strong evidence.
+	s = l.Compare(EvEmail, "stonebraker@csail.mit.edu", "stonebraker@berkeley.edu")
+	if s < 0.8 {
+		t.Errorf("rare-local same-account evidence = %f, want >= 0.8", s)
+	}
+}
+
+func TestCompareNameEmailUsesNameRarity(t *testing.T) {
+	l := populated()
+	rare := l.Compare(EvNameEmail, "Stonebraker, M.", "stonebraker@csail.mit.edu")
+	common := l.Compare(EvNameEmail, "Yuan, M.", "yuan@gmail.com")
+	if !(rare > common) {
+		t.Errorf("rare-surname cross evidence %f should exceed common %f", rare, common)
+	}
+	if rare < 0.85 {
+		t.Errorf("rare = %f, want >= 0.85", rare)
+	}
+	if common > 0.8 {
+		t.Errorf("common = %f, want <= 0.8", common)
+	}
+}
+
+func TestAddPersonNameIgnoresNoSurname(t *testing.T) {
+	l := NewLibrary()
+	l.AddPersonName("mike")
+	l.AddPersonName("")
+	if r := l.NameRarity("", "mike"); r != 1 {
+		t.Errorf("bare given must not register as a surname: %f", r)
+	}
+}

@@ -1,0 +1,265 @@
+package simfn
+
+import (
+	"refrecon/internal/depgraph"
+	"refrecon/internal/schema"
+)
+
+// ClassParams are the per-class tuning constants of §4/§5.2.
+type ClassParams struct {
+	// TRV is the S_rv gate below which boolean-valued evidence is ignored.
+	TRV float64
+	// Beta is the per-merged-strong-boolean-neighbor increment.
+	Beta float64
+	// Gamma is the per-merged-weak-boolean-neighbor increment.
+	Gamma float64
+}
+
+// PaperParams returns the published parameter set (§5.2): β = 0.1 (0.2 for
+// Venue), γ = 0.05, t_rv = 0.7 for Person and Article, 0.1 for Venue.
+func PaperParams() map[string]ClassParams {
+	return map[string]ClassParams{
+		schema.ClassPerson:  {TRV: 0.7, Beta: 0.1, Gamma: 0.05},
+		schema.ClassArticle: {TRV: 0.7, Beta: 0.1, Gamma: 0.05},
+		schema.ClassVenue:   {TRV: 0.1, Beta: 0.2, Gamma: 0.05},
+	}
+}
+
+// Evidence is the digest of a node's incoming edges: per evidence type, the
+// maximum similarity among real-valued sources (§4's MAX rule for
+// multi-valued attributes), plus the counts of merged boolean-valued
+// sources.
+type Evidence struct {
+	Real         map[string]float64
+	StrongMerged int
+	WeakMerged   int
+	// NonMergeReal marks evidence types for which some incoming
+	// real-valued source is a non-merge node (hard negative evidence the
+	// decision tree must respect, §4).
+	NonMergeReal map[string]bool
+}
+
+// Gather digests the incoming edges of a reference-pair node.
+func Gather(n *depgraph.Node) Evidence {
+	ev := Evidence{Real: make(map[string]float64)}
+	for _, e := range n.In() {
+		src := e.From
+		switch e.Dep {
+		case depgraph.RealValued:
+			if src.Status == depgraph.NonMerge {
+				if ev.NonMergeReal == nil {
+					ev.NonMergeReal = make(map[string]bool)
+				}
+				ev.NonMergeReal[e.Evidence] = true
+				continue
+			}
+			// Presence matters even at similarity zero: an evidence type
+			// that was compared and found dissimilar must not masquerade
+			// as a missing attribute (the renormalizing similarity
+			// functions would otherwise inflate the remaining evidence).
+			if cur, ok := ev.Real[e.Evidence]; !ok || src.Sim > cur {
+				ev.Real[e.Evidence] = src.Sim
+			}
+		case depgraph.StrongBoolean:
+			if src.Status == depgraph.Merged {
+				ev.StrongMerged++
+			}
+		case depgraph.WeakBoolean:
+			if src.Status == depgraph.Merged {
+				ev.WeakMerged++
+			}
+		}
+	}
+	return ev
+}
+
+// Has reports whether any real-valued evidence of the type is present.
+func (ev Evidence) Has(t string) bool { _, ok := ev.Real[t]; return ok }
+
+// Scorer scores dependency-graph nodes with the paper's similarity
+// template. It implements depgraph.Scorer.
+type Scorer struct {
+	Params map[string]ClassParams
+}
+
+// NewScorer returns a Scorer with the published parameters.
+func NewScorer() *Scorer { return &Scorer{Params: PaperParams()} }
+
+// Score implements depgraph.Scorer.
+func (s *Scorer) Score(n *depgraph.Node) float64 {
+	if n.Kind == depgraph.ValuePair {
+		return scoreValuePair(n)
+	}
+	ev := Gather(n)
+	srv := SRV(n.Class, ev)
+	p, ok := s.Params[n.Class]
+	if !ok {
+		// Custom classes default to the Person/Article settings.
+		p = ClassParams{TRV: 0.7, Beta: 0.1, Gamma: 0.05}
+	}
+	total := srv
+	if srv >= p.TRV {
+		total += p.Beta * float64(ev.StrongMerged)
+		total += p.Gamma * float64(ev.WeakMerged)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// scoreValuePair implements alias learning: a value pair's similarity is
+// its precomputed score, raised to 1 once any reference pair it identifies
+// (an incoming strong-boolean neighbor) has merged — e.g. two venue names
+// become known aliases when their venues reconcile.
+func scoreValuePair(n *depgraph.Node) float64 {
+	s := n.Sim
+	for _, e := range n.In() {
+		if e.Dep == depgraph.StrongBoolean && e.From.Status == depgraph.Merged {
+			return 1
+		}
+	}
+	return s
+}
+
+// SRV computes the class-specific S_rv decision tree over the gathered
+// evidence. Every branch is monotone in the evidence values.
+func SRV(class string, ev Evidence) float64 {
+	switch class {
+	case schema.ClassPerson:
+		return srvPerson(ev)
+	case schema.ClassArticle:
+		return srvArticle(ev)
+	case schema.ClassVenue:
+		return srvVenue(ev)
+	default:
+		return srvGeneric(ev)
+	}
+}
+
+// srvPerson is the Person decision tree:
+//
+//	key branch:   identical email address ⇒ 1 (email is a key attribute);
+//	name+email:   0.6·name + 0.4·email       (when email agreement is high)
+//	name+cross:   0.65·name + 0.35·nameEmail (name corroborated by address)
+//	name only:    name
+//	cross only:   0.9·nameEmail              (reference lacking a name)
+//	email only:   0.9·email
+//
+// The branches are alternatives; the best applicable one wins, which keeps
+// the function monotone and avoids penalizing missing or multi-valued
+// attributes (§4).
+func srvPerson(ev Evidence) float64 {
+	name, hasName := ev.Real[EvName]
+	email, hasEmail := ev.Real[EvEmail]
+	cross, hasCross := ev.Real[EvNameEmail]
+
+	if hasEmail && email >= 1 {
+		return 1 // key attribute agreement
+	}
+	best := 0.0
+	if hasName {
+		best = name
+		if hasEmail && email >= 0.6 {
+			best = maxf(best, 0.6*name+0.4*email)
+		}
+		if hasCross && cross >= 0.5 {
+			best = maxf(best, 0.65*name+0.35*cross)
+		}
+	}
+	if hasCross {
+		best = maxf(best, 0.9*cross)
+	}
+	if hasEmail {
+		best = maxf(best, 0.9*email)
+	}
+	return best
+}
+
+// srvArticle is the Article decision tree: a weighted average over the
+// evidence types that are present (missing attributes are excluded rather
+// than scored 0, §4), with title dominating. An exact title plus exact
+// pages acts as a key.
+func srvArticle(ev Evidence) float64 {
+	title := ev.Real[EvTitle]
+	pages, hasPages := ev.Real[EvPages]
+	if ev.Has(EvTitle) && title >= 1 && hasPages && pages >= 1 {
+		return 1
+	}
+	// Titles gate everything: agreeing authors, venue, and year are
+	// routine for *different* articles (same group, same conference), so
+	// corroborating evidence only counts once the titles are already
+	// close. The branch structure stays monotone: raising the title
+	// similarity can only raise the score.
+	if !ev.Has(EvTitle) || title < 0.75 {
+		return title
+	}
+	weights := []struct {
+		t string
+		w float64
+	}{
+		{EvTitle, 0.75},
+		{EvAuthors, 0.10},
+		{EvVenue, 0.07},
+		{EvYear, 0.04},
+		{EvPages, 0.04},
+	}
+	return weightedPresent(ev, weights)
+}
+
+// srvVenue is the Venue decision tree. A venue reference denotes an
+// *edition* — Figure 1's c1 and c2 are both SIGMOD'78 — so the year
+// carries as much weight as the name: two mentions with compatible names
+// and the same year are probably the same edition, while an identical name
+// with a different year is a different edition. Venue t_rv is very low
+// (0.1), so article reconciliations readily push edition pairs over the
+// threshold (the paper's venue-recall machinery, and on noisy citation
+// data also its venue-precision cost).
+func srvVenue(ev Evidence) float64 {
+	weights := []struct {
+		t string
+		w float64
+	}{
+		{EvVenueName, 0.40},
+		{EvYear, 0.50},
+		{EvLocation, 0.10},
+	}
+	return weightedPresent(ev, weights)
+}
+
+// srvGeneric averages whatever evidence is present with equal weight; used
+// for classes without a specialized function.
+func srvGeneric(ev Evidence) float64 {
+	if len(ev.Real) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range ev.Real {
+		sum += v
+	}
+	return sum / float64(len(ev.Real))
+}
+
+func weightedPresent(ev Evidence, weights []struct {
+	t string
+	w float64
+}) float64 {
+	num, den := 0.0, 0.0
+	for _, wt := range weights {
+		if v, ok := ev.Real[wt.t]; ok {
+			num += wt.w * v
+			den += wt.w
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+func maxf(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}

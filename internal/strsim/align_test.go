@@ -1,0 +1,112 @@
+package strsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSmithWaterman(t *testing.T) {
+	if s := SmithWaterman("", ""); s != 1 {
+		t.Errorf("empty/empty = %f", s)
+	}
+	if s := SmithWaterman("abc", ""); s != 0 {
+		t.Errorf("one empty = %f", s)
+	}
+	if s := SmithWaterman("stanford", "stanford"); s != 1 {
+		t.Errorf("identical = %f", s)
+	}
+	// Local alignment: embedded substring scores highly.
+	embedded := SmithWaterman("stanford", "dept of computer science stanford university")
+	if embedded != 1 {
+		t.Errorf("embedded exact substring = %f, want 1", embedded)
+	}
+	far := SmithWaterman("stanford", "qqqqqqqq")
+	if far > 0.3 {
+		t.Errorf("unrelated = %f", far)
+	}
+}
+
+func TestSmithWatermanBoundedSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		s := SmithWaterman(a, b)
+		return s >= 0 && s <= 1 && approx(s, SmithWaterman(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNeedlemanWunsch(t *testing.T) {
+	if s := NeedlemanWunsch("", ""); s != 1 {
+		t.Errorf("empty/empty = %f", s)
+	}
+	if s := NeedlemanWunsch("abcd", "abcd"); s != 1 {
+		t.Errorf("identical = %f", s)
+	}
+	// One substitution in four characters: score 3*1 + 1*(-1) = 2;
+	// rescaled (2+4)/8 = 0.75.
+	if s := NeedlemanWunsch("abcd", "abxd"); !approx(s, 0.75) {
+		t.Errorf("one substitution = %f, want 0.75", s)
+	}
+	// Global alignment punishes embedding, unlike Smith-Waterman.
+	sw := SmithWaterman("stanford", "dept of computer science stanford university")
+	nw := NeedlemanWunsch("stanford", "dept of computer science stanford university")
+	if !(nw < sw) {
+		t.Errorf("NW %f should be below SW %f for embedded strings", nw, sw)
+	}
+}
+
+func TestNeedlemanWunschBoundedSymmetric(t *testing.T) {
+	f := func(a, b string) bool {
+		s := NeedlemanWunsch(a, b)
+		return s >= 0 && s <= 1 && approx(s, NeedlemanWunsch(b, a))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSoftCosine(t *testing.T) {
+	c := NewCorpus()
+	for _, d := range []string{
+		"michael stonebraker", "eugene wong", "robert epstein",
+		"query processing", "jennifer widom",
+	} {
+		c.Add(d)
+	}
+	if s := c.SoftCosine("michael stonebraker", "michael stonebraker", 0.9); !approx(s, 1) {
+		t.Errorf("identical = %f", s)
+	}
+	// Typos within theta still match softly.
+	typo := c.SoftCosine("michael stonebraker", "micheal stonebraker", 0.9)
+	if typo < 0.9 {
+		t.Errorf("typo = %f, want >= 0.9", typo)
+	}
+	// Plain cosine would score the typo pair much lower (token mismatch).
+	hard := c.CosineSim("michael stonebraker", "micheal stonebraker")
+	if !(typo > hard) {
+		t.Errorf("soft %f should beat hard %f", typo, hard)
+	}
+	if s := c.SoftCosine("", "", 0.9); s != 1 {
+		t.Errorf("empty = %f", s)
+	}
+	if s := c.SoftCosine("x", "", 0.9); s != 0 {
+		t.Errorf("one empty = %f", s)
+	}
+	// Default theta kicks in for non-positive values.
+	if s := c.SoftCosine("abc", "abc", 0); !approx(s, 1) {
+		t.Errorf("default theta identical = %f", s)
+	}
+}
+
+func TestSoftCosineBounded(t *testing.T) {
+	c := NewCorpus()
+	c.Add("some seed document")
+	f := func(a, b string) bool {
+		s := c.SoftCosine(a, b, 0.9)
+		return s >= 0 && s <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

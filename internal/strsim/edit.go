@@ -1,0 +1,200 @@
+// Package strsim implements the string similarity measures used as the
+// elementary evidence in reference reconciliation: edit-distance families
+// (Levenshtein, Damerau), the Jaro and Jaro-Winkler measures popular in
+// record linkage, token-set measures (Jaccard, Dice, overlap), character
+// n-gram similarity, TF-IDF weighted cosine, and the Monge-Elkan hybrid.
+//
+// Every exported similarity function returns a score in [0, 1], is
+// symmetric in its arguments, and returns 1 for equal inputs. Scores are
+// computed over normalized forms (see package tokenizer), so callers may
+// pass raw strings.
+package strsim
+
+import (
+	"refrecon/internal/tokenizer"
+)
+
+// Levenshtein returns the edit distance between a and b: the minimum number
+// of single-rune insertions, deletions, and substitutions required to
+// transform one into the other. The computation is case-sensitive and
+// operates on the raw rune sequences; use LevenshteinSim for a normalized
+// similarity.
+func Levenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	return levenshteinRunes(ra, rb)
+}
+
+func levenshteinRunes(ra, rb []rune) int {
+	if len(ra) == 0 {
+		return len(rb)
+	}
+	if len(rb) == 0 {
+		return len(ra)
+	}
+	// Keep the shorter string in rb to bound the row width.
+	if len(rb) > len(ra) {
+		ra, rb = rb, ra
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	for j := range prev {
+		prev[j] = j
+	}
+	for i := 1; i <= len(ra); i++ {
+		cur[0] = i
+		for j := 1; j <= len(rb); j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+		}
+		prev, cur = cur, prev
+	}
+	return prev[len(rb)]
+}
+
+// DamerauLevenshtein returns the edit distance allowing adjacent-rune
+// transpositions in addition to insert/delete/substitute (the "optimal
+// string alignment" variant). Transpositions are the dominant typo class in
+// person names, so this distance is preferred for name comparison.
+func DamerauLevenshtein(a, b string) int {
+	ra, rb := []rune(a), []rune(b)
+	la, lb := len(ra), len(rb)
+	if la == 0 {
+		return lb
+	}
+	if lb == 0 {
+		return la
+	}
+	// Three rolling rows: i-2, i-1, i.
+	prev2 := make([]int, lb+1)
+	prev := make([]int, lb+1)
+	cur := make([]int, lb+1)
+	for j := 0; j <= lb; j++ {
+		prev[j] = j
+	}
+	for i := 1; i <= la; i++ {
+		cur[0] = i
+		for j := 1; j <= lb; j++ {
+			cost := 1
+			if ra[i-1] == rb[j-1] {
+				cost = 0
+			}
+			cur[j] = minInt(prev[j]+1, cur[j-1]+1, prev[j-1]+cost)
+			if i > 1 && j > 1 && ra[i-1] == rb[j-2] && ra[i-2] == rb[j-1] {
+				if t := prev2[j-2] + 1; t < cur[j] {
+					cur[j] = t
+				}
+			}
+		}
+		prev2, prev, cur = prev, cur, prev2
+	}
+	return prev[lb]
+}
+
+// LevenshteinSim converts edit distance into a similarity in [0, 1]:
+// 1 - dist/max(len). Inputs are normalized first. Two empty strings are
+// considered identical (similarity 1).
+func LevenshteinSim(a, b string) float64 {
+	na := []rune(tokenizer.Normalize(a))
+	nb := []rune(tokenizer.Normalize(b))
+	return editSim(levenshteinRunes(na, nb), len(na), len(nb))
+}
+
+// DamerauSim is LevenshteinSim using the Damerau-Levenshtein distance.
+func DamerauSim(a, b string) float64 {
+	na := tokenizer.Normalize(a)
+	nb := tokenizer.Normalize(b)
+	d := DamerauLevenshtein(na, nb)
+	return editSim(d, len([]rune(na)), len([]rune(nb)))
+}
+
+func editSim(dist, la, lb int) float64 {
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	m := la
+	if lb > m {
+		m = lb
+	}
+	return 1 - float64(dist)/float64(m)
+}
+
+// LongestCommonSubstring returns the length of the longest contiguous
+// substring shared by the normalized forms of a and b.
+func LongestCommonSubstring(a, b string) int {
+	ra := []rune(tokenizer.Normalize(a))
+	rb := []rune(tokenizer.Normalize(b))
+	if len(ra) == 0 || len(rb) == 0 {
+		return 0
+	}
+	prev := make([]int, len(rb)+1)
+	cur := make([]int, len(rb)+1)
+	best := 0
+	for i := 1; i <= len(ra); i++ {
+		for j := 1; j <= len(rb); j++ {
+			if ra[i-1] == rb[j-1] {
+				cur[j] = prev[j-1] + 1
+				if cur[j] > best {
+					best = cur[j]
+				}
+			} else {
+				cur[j] = 0
+			}
+		}
+		prev, cur = cur, prev
+	}
+	return best
+}
+
+// LCSSim normalizes LongestCommonSubstring by the length of the shorter
+// string, yielding 1 when one normalized string contains the other.
+func LCSSim(a, b string) float64 {
+	na := []rune(tokenizer.Normalize(a))
+	nb := []rune(tokenizer.Normalize(b))
+	if len(na) == 0 && len(nb) == 0 {
+		return 1
+	}
+	short := len(na)
+	if len(nb) < short {
+		short = len(nb)
+	}
+	if short == 0 {
+		return 0
+	}
+	return float64(LongestCommonSubstring(a, b)) / float64(short)
+}
+
+// PrefixSim measures how much of the shorter normalized string is a prefix
+// of the longer one, in [0,1]. Useful for abbreviation evidence
+// ("proc" vs "proceedings").
+func PrefixSim(a, b string) float64 {
+	na := []rune(tokenizer.Normalize(a))
+	nb := []rune(tokenizer.Normalize(b))
+	if len(na) == 0 && len(nb) == 0 {
+		return 1
+	}
+	short, long := na, nb
+	if len(short) > len(long) {
+		short, long = long, short
+	}
+	if len(short) == 0 {
+		return 0
+	}
+	n := 0
+	for n < len(short) && short[n] == long[n] {
+		n++
+	}
+	return float64(n) / float64(len(short))
+}
+
+func minInt(xs ...int) int {
+	m := xs[0]
+	for _, x := range xs[1:] {
+		if x < m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,105 @@
+package strsim
+
+import "refrecon/internal/tokenizer"
+
+// Jaro returns the Jaro similarity of the normalized forms of a and b.
+// Jaro similarity counts matching runes within a sliding window of half the
+// longer string's length and penalizes transpositions; it behaves well on
+// short strings such as personal names, which is why it (and its Winkler
+// extension) is the de-facto standard comparator in record linkage.
+func Jaro(a, b string) float64 {
+	ra := []rune(tokenizer.Normalize(a))
+	rb := []rune(tokenizer.Normalize(b))
+	la, lb := len(ra), len(rb)
+	if la == 0 && lb == 0 {
+		return 1
+	}
+	if la == 0 || lb == 0 {
+		return 0
+	}
+	window := maxInt(la, lb)/2 - 1
+	if window < 0 {
+		window = 0
+	}
+	aMatched := make([]bool, la)
+	bMatched := make([]bool, lb)
+	matches := 0
+	for i := 0; i < la; i++ {
+		lo := maxInt(0, i-window)
+		hi := minInt2(lb-1, i+window)
+		for j := lo; j <= hi; j++ {
+			if bMatched[j] || ra[i] != rb[j] {
+				continue
+			}
+			aMatched[i] = true
+			bMatched[j] = true
+			matches++
+			break
+		}
+	}
+	if matches == 0 {
+		return 0
+	}
+	// Count transpositions between the matched subsequences.
+	transpositions := 0
+	j := 0
+	for i := 0; i < la; i++ {
+		if !aMatched[i] {
+			continue
+		}
+		for !bMatched[j] {
+			j++
+		}
+		if ra[i] != rb[j] {
+			transpositions++
+		}
+		j++
+	}
+	m := float64(matches)
+	t := float64(transpositions) / 2
+	return (m/float64(la) + m/float64(lb) + (m-t)/m) / 3
+}
+
+// JaroWinkler boosts the Jaro similarity for strings that share a common
+// prefix of up to four runes, using the standard scaling factor p = 0.1.
+func JaroWinkler(a, b string) float64 {
+	return JaroWinklerP(a, b, 0.1)
+}
+
+// JaroWinklerP is JaroWinkler with an explicit prefix scale p. The result
+// is clamped to [0, 1]; p values above 0.25 would allow scores over 1 and
+// are capped.
+func JaroWinklerP(a, b string, p float64) float64 {
+	if p < 0 {
+		p = 0
+	}
+	if p > 0.25 {
+		p = 0.25
+	}
+	j := Jaro(a, b)
+	ra := []rune(tokenizer.Normalize(a))
+	rb := []rune(tokenizer.Normalize(b))
+	l := 0
+	for l < len(ra) && l < len(rb) && l < 4 && ra[l] == rb[l] {
+		l++
+	}
+	s := j + float64(l)*p*(1-j)
+	if s > 1 {
+		s = 1
+	}
+	return s
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func minInt2(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,94 @@
+package strsim
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestSoundexKnownCodes(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"Robert", "R163"},
+		{"Rupert", "R163"},
+		{"Ashcraft", "A261"}, // h does not reset adjacency
+		{"Ashcroft", "A261"},
+		{"Tymczak", "T522"},
+		{"Pfister", "P236"},
+		{"Honeyman", "H555"},
+		{"Washington", "W252"},
+		{"Lee", "L000"},
+		{"Gutierrez", "G362"},
+		{"Jackson", "J250"},
+		{"", ""},
+		{"123", ""},
+		{"Stonebraker, M.", Soundex("Stonebraker")}, // first token only
+	}
+	for _, c := range cases {
+		if got := Soundex(c.in); got != c.want {
+			t.Errorf("Soundex(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestSoundexEqual(t *testing.T) {
+	if !SoundexEqual("Smith", "Smyth") {
+		t.Error("Smith/Smyth should collide")
+	}
+	if SoundexEqual("Smith", "Jones") {
+		t.Error("Smith/Jones should not collide")
+	}
+	if SoundexEqual("", "") {
+		t.Error("empty inputs should not be equal")
+	}
+}
+
+func TestSoundexShape(t *testing.T) {
+	f := func(s string) bool {
+		c := Soundex(s)
+		if c == "" {
+			return true
+		}
+		if len(c) != 4 {
+			return false
+		}
+		if c[0] < 'A' || c[0] > 'Z' {
+			return false
+		}
+		for _, d := range c[1:] {
+			if d < '0' || d > '6' {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNYSIISCollisions(t *testing.T) {
+	// The point of a phonetic key is that spelling variants collide.
+	pairs := [][2]string{
+		{"Knight", "Night"},
+		{"Phillips", "Filips"},
+		{"Diaz", "Dias"},
+		{"MacDonald", "McDonald"},
+	}
+	for _, p := range pairs {
+		if NYSIIS(p[0]) != NYSIIS(p[1]) {
+			t.Errorf("NYSIIS(%q)=%q should equal NYSIIS(%q)=%q", p[0], NYSIIS(p[0]), p[1], NYSIIS(p[1]))
+		}
+	}
+	if NYSIIS("Smith") == NYSIIS("Jones") {
+		t.Error("distinct names should not collide")
+	}
+	if NYSIIS("") != "" || NYSIIS("42") != "" {
+		t.Error("letterless input should give empty key")
+	}
+}
+
+func TestNYSIISDeterministicNonEmpty(t *testing.T) {
+	f := func(s string) bool { return NYSIIS(s) == NYSIIS(s) }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

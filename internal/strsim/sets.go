@@ -1,0 +1,240 @@
+package strsim
+
+import (
+	"math"
+	"sort"
+
+	"refrecon/internal/tokenizer"
+)
+
+// JaccardTokens returns |A ∩ B| / |A ∪ B| over the word-token sets of a and
+// b. Two strings with no tokens at all are considered identical.
+func JaccardTokens(a, b string) float64 {
+	return jaccard(toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b)))
+}
+
+// JaccardContentTokens is JaccardTokens over stopword-filtered tokens,
+// appropriate for titles and venue names.
+func JaccardContentTokens(a, b string) float64 {
+	return jaccard(toSet(tokenizer.ContentWords(a)), toSet(tokenizer.ContentWords(b)))
+}
+
+// DiceTokens returns the Sørensen–Dice coefficient 2|A∩B| / (|A|+|B|) over
+// word-token sets.
+func DiceTokens(a, b string) float64 {
+	sa, sb := toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b))
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	inter := intersectionSize(sa, sb)
+	return 2 * float64(inter) / float64(len(sa)+len(sb))
+}
+
+// OverlapTokens returns |A ∩ B| / min(|A|,|B|) over word-token sets. It is
+// forgiving of containment: "ACM SIGMOD" vs "SIGMOD" scores 1.
+func OverlapTokens(a, b string) float64 {
+	sa, sb := toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b))
+	if len(sa) == 0 && len(sb) == 0 {
+		return 1
+	}
+	if len(sa) == 0 || len(sb) == 0 {
+		return 0
+	}
+	inter := intersectionSize(sa, sb)
+	m := len(sa)
+	if len(sb) < m {
+		m = len(sb)
+	}
+	return float64(inter) / float64(m)
+}
+
+// NGramSim returns the Jaccard similarity of the character n-gram multiset
+// signatures of a and b (computed as sets for robustness). Bigrams (n=2)
+// and trigrams (n=3) are the usual choices.
+func NGramSim(a, b string, n int) float64 {
+	return jaccard(toSet(tokenizer.NGrams(a, n)), toSet(tokenizer.NGrams(b, n)))
+}
+
+// TrigramSim is NGramSim with n = 3, the configuration used by the
+// reconciler for generic atomic strings.
+func TrigramSim(a, b string) float64 { return NGramSim(a, b, 3) }
+
+func toSet(toks []string) map[string]bool {
+	if len(toks) == 0 {
+		return nil
+	}
+	s := make(map[string]bool, len(toks))
+	for _, t := range toks {
+		s[t] = true
+	}
+	return s
+}
+
+func intersectionSize(a, b map[string]bool) int {
+	if len(b) < len(a) {
+		a, b = b, a
+	}
+	n := 0
+	for t := range a {
+		if b[t] {
+			n++
+		}
+	}
+	return n
+}
+
+func jaccard(a, b map[string]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := intersectionSize(a, b)
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+// MongeElkan computes the Monge-Elkan hybrid similarity: for each token of
+// the shorter token list, the best inner similarity against the other
+// list's tokens is found, and the scores are averaged. The inner comparator
+// defaults to JaroWinkler when inner is nil. Monge-Elkan tolerates token
+// reordering and per-token typos simultaneously, which suits multi-word
+// names and venue strings.
+func MongeElkan(a, b string, inner func(string, string) float64) float64 {
+	if inner == nil {
+		inner = JaroWinkler
+	}
+	ta, tb := tokenizer.Words(a), tokenizer.Words(b)
+	if len(ta) == 0 && len(tb) == 0 {
+		return 1
+	}
+	if len(ta) == 0 || len(tb) == 0 {
+		return 0
+	}
+	// Symmetrize: average of both directions, so the measure stays
+	// symmetric like every other comparator in this package.
+	return (mongeElkanDir(ta, tb, inner) + mongeElkanDir(tb, ta, inner)) / 2
+}
+
+func mongeElkanDir(ta, tb []string, inner func(string, string) float64) float64 {
+	sum := 0.0
+	for _, x := range ta {
+		best := 0.0
+		for _, y := range tb {
+			if s := inner(x, y); s > best {
+				best = s
+			}
+		}
+		sum += best
+	}
+	return sum / float64(len(ta))
+}
+
+// Corpus accumulates document frequencies for TF-IDF weighted comparisons.
+// Add every string of a comparable population (e.g. all article titles)
+// before querying CosineSim. The zero value is not usable; construct with
+// NewCorpus. Corpus is not safe for concurrent mutation.
+type Corpus struct {
+	docFreq map[string]int
+	docs    int
+}
+
+// NewCorpus returns an empty corpus.
+func NewCorpus() *Corpus {
+	return &Corpus{docFreq: make(map[string]int)}
+}
+
+// Add registers one document's token set in the corpus statistics.
+func (c *Corpus) Add(s string) {
+	c.docs++
+	for t := range toSet(tokenizer.ContentWords(s)) {
+		c.docFreq[t]++
+	}
+}
+
+// Docs returns the number of documents added.
+func (c *Corpus) Docs() int { return c.docs }
+
+// IDF returns the smoothed inverse document frequency of the (normalized)
+// token t: log(1 + (N+1)/(df+1)). Rare tokens score high; tokens absent
+// from the corpus score highest.
+func (c *Corpus) IDF(t string) float64 { return c.idf(t) }
+
+// idf returns the smoothed inverse document frequency of token t.
+func (c *Corpus) idf(t string) float64 {
+	df := c.docFreq[t]
+	return math.Log(1 + float64(c.docs+1)/float64(df+1))
+}
+
+// CosineSim returns the TF-IDF weighted cosine similarity of a and b under
+// the corpus statistics. Rare tokens (high IDF) dominate the score, so two
+// titles agreeing on distinctive words match strongly even if they disagree
+// on common ones. With an empty corpus it degrades to unweighted cosine.
+func (c *Corpus) CosineSim(a, b string) float64 {
+	va := c.vector(a)
+	vb := c.vector(b)
+	if len(va) == 0 && len(vb) == 0 {
+		return 1
+	}
+	if len(va) == 0 || len(vb) == 0 {
+		return 0
+	}
+	dot := 0.0
+	for t, wa := range va {
+		if wb, ok := vb[t]; ok {
+			dot += wa * wb
+		}
+	}
+	return dot / (norm(va) * norm(vb))
+}
+
+func (c *Corpus) vector(s string) map[string]float64 {
+	toks := tokenizer.ContentWords(s)
+	if len(toks) == 0 {
+		return nil
+	}
+	tf := make(map[string]float64, len(toks))
+	for _, t := range toks {
+		tf[t]++
+	}
+	for t, f := range tf {
+		tf[t] = f * c.idf(t)
+	}
+	return tf
+}
+
+func norm(v map[string]float64) float64 {
+	s := 0.0
+	for _, w := range v {
+		s += w * w
+	}
+	return math.Sqrt(s)
+}
+
+// TopTokens returns the n most frequent tokens in the corpus, primarily for
+// diagnostics. Ties break lexicographically.
+func (c *Corpus) TopTokens(n int) []string {
+	type tf struct {
+		tok string
+		n   int
+	}
+	all := make([]tf, 0, len(c.docFreq))
+	for t, f := range c.docFreq {
+		all = append(all, tf{t, f})
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].n != all[j].n {
+			return all[i].n > all[j].n
+		}
+		return all[i].tok < all[j].tok
+	})
+	if n > len(all) {
+		n = len(all)
+	}
+	out := make([]string, n)
+	for i := 0; i < n; i++ {
+		out[i] = all[i].tok
+	}
+	return out
+}

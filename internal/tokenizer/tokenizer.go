@@ -1,0 +1,200 @@
+// Package tokenizer provides Unicode-aware tokenization and string
+// normalization used throughout the reconciliation pipeline.
+//
+// All similarity functions in this repository compare *normalized* token
+// streams rather than raw strings, so that inconsequential differences in
+// case, punctuation, and whitespace never influence a reconciliation
+// decision.
+package tokenizer
+
+import (
+	"strings"
+	"unicode"
+)
+
+// Normalize lowercases s, folds common diacritics to their ASCII base
+// letters, and collapses runs of whitespace into single spaces. It is the
+// canonical pre-processing step applied before any string comparison.
+func Normalize(s string) string {
+	var b strings.Builder
+	b.Grow(len(s))
+	prevSpace := false
+	for _, r := range s {
+		r = foldRune(r)
+		if unicode.IsSpace(r) {
+			if !prevSpace && b.Len() > 0 {
+				b.WriteByte(' ')
+				prevSpace = true
+			}
+			continue
+		}
+		prevSpace = false
+		b.WriteRune(unicode.ToLower(r))
+	}
+	return strings.TrimRight(b.String(), " ")
+}
+
+// foldRune maps accented Latin letters onto their unaccented base letter.
+// The table covers the Latin-1 supplement and the most common Latin
+// Extended-A codepoints, which suffices for the name data this system
+// processes. Unknown runes pass through unchanged.
+func foldRune(r rune) rune {
+	switch {
+	case r >= 'À' && r <= 'Å', r >= 'à' && r <= 'å', r == 'Ā', r == 'ā', r == 'Ă', r == 'ă', r == 'Ą', r == 'ą':
+		if unicode.IsUpper(r) {
+			return 'A'
+		}
+		return 'a'
+	case r == 'Ç', r == 'ç', r == 'Ć', r == 'ć', r == 'Č', r == 'č':
+		if unicode.IsUpper(r) {
+			return 'C'
+		}
+		return 'c'
+	case r >= 'È' && r <= 'Ë', r >= 'è' && r <= 'ë', r == 'Ē', r == 'ē', r == 'Ė', r == 'ė', r == 'Ę', r == 'ę', r == 'Ě', r == 'ě':
+		if unicode.IsUpper(r) {
+			return 'E'
+		}
+		return 'e'
+	case r >= 'Ì' && r <= 'Ï', r >= 'ì' && r <= 'ï', r == 'Ī', r == 'ī', r == 'İ':
+		if unicode.IsUpper(r) {
+			return 'I'
+		}
+		return 'i'
+	case r == 'Ñ', r == 'ñ', r == 'Ń', r == 'ń', r == 'Ň', r == 'ň':
+		if unicode.IsUpper(r) {
+			return 'N'
+		}
+		return 'n'
+	case r >= 'Ò' && r <= 'Ö', r >= 'ò' && r <= 'ö', r == 'Ø', r == 'ø', r == 'Ō', r == 'ō':
+		if unicode.IsUpper(r) {
+			return 'O'
+		}
+		return 'o'
+	case r >= 'Ù' && r <= 'Ü', r >= 'ù' && r <= 'ü', r == 'Ū', r == 'ū', r == 'Ů', r == 'ů':
+		if unicode.IsUpper(r) {
+			return 'U'
+		}
+		return 'u'
+	case r == 'Ý', r == 'ý', r == 'ÿ', r == 'Ÿ':
+		if unicode.IsUpper(r) {
+			return 'Y'
+		}
+		return 'y'
+	case r == 'Š', r == 'š', r == 'Ś', r == 'ś':
+		if unicode.IsUpper(r) {
+			return 'S'
+		}
+		return 's'
+	case r == 'Ž', r == 'ž', r == 'Ź', r == 'ź', r == 'Ż', r == 'ż':
+		if unicode.IsUpper(r) {
+			return 'Z'
+		}
+		return 'z'
+	case r == 'ß':
+		return 's' // approximate; good enough for matching
+	case r == 'Ł', r == 'ł':
+		if unicode.IsUpper(r) {
+			return 'L'
+		}
+		return 'l'
+	case r == 'Đ', r == 'đ':
+		if unicode.IsUpper(r) {
+			return 'D'
+		}
+		return 'd'
+	}
+	return r
+}
+
+// Words splits s into normalized alphanumeric tokens. Any rune that is not
+// a letter or digit acts as a separator. Empty input yields a nil slice.
+func Words(s string) []string {
+	var out []string
+	var cur strings.Builder
+	flush := func() {
+		if cur.Len() > 0 {
+			out = append(out, cur.String())
+			cur.Reset()
+		}
+	}
+	for _, r := range s {
+		r = foldRune(r)
+		if unicode.IsLetter(r) || unicode.IsDigit(r) {
+			cur.WriteRune(unicode.ToLower(r))
+		} else {
+			flush()
+		}
+	}
+	flush()
+	return out
+}
+
+// stopwords are tokens carrying essentially no discriminative power in
+// publication titles and venue names. They are removed by ContentWords.
+var stopwords = map[string]bool{
+	"a": true, "an": true, "and": true, "as": true, "at": true,
+	"by": true, "for": true, "from": true, "in": true, "into": true,
+	"of": true, "on": true, "or": true, "the": true, "to": true,
+	"with": true, "via": true,
+}
+
+// IsStopword reports whether the (already normalized) token is a stopword.
+func IsStopword(tok string) bool { return stopwords[tok] }
+
+// ContentWords returns Words(s) with stopwords removed. If every token is a
+// stopword, the full token list is returned instead so that short strings
+// like "of" are still comparable.
+func ContentWords(s string) []string {
+	ws := Words(s)
+	out := ws[:0:0]
+	for _, w := range ws {
+		if !stopwords[w] {
+			out = append(out, w)
+		}
+	}
+	if len(out) == 0 {
+		return ws
+	}
+	return out
+}
+
+// NGrams returns the character n-grams of the normalized form of s,
+// including leading and trailing padded grams (using '#') so that string
+// boundaries contribute evidence. For n <= 0 or an empty string it returns
+// nil.
+func NGrams(s string, n int) []string {
+	if n <= 0 {
+		return nil
+	}
+	norm := []rune(Normalize(s))
+	if len(norm) == 0 {
+		return nil
+	}
+	padded := make([]rune, 0, len(norm)+2*(n-1))
+	for i := 0; i < n-1; i++ {
+		padded = append(padded, '#')
+	}
+	padded = append(padded, norm...)
+	for i := 0; i < n-1; i++ {
+		padded = append(padded, '#')
+	}
+	out := make([]string, 0, len(padded)-n+1)
+	for i := 0; i+n <= len(padded); i++ {
+		out = append(out, string(padded[i:i+n]))
+	}
+	return out
+}
+
+// Initial returns the first letter of the normalized token, or 0 if the
+// token has no letters.
+func Initial(tok string) rune {
+	for _, r := range Normalize(tok) {
+		if unicode.IsLetter(r) {
+			return r
+		}
+	}
+	return 0
+}
+
+// EqualFolded reports whether two strings are identical after Normalize.
+func EqualFolded(a, b string) bool { return Normalize(a) == Normalize(b) }

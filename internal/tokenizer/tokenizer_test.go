@@ -1,0 +1,187 @@
+package tokenizer
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"unicode"
+)
+
+func TestNormalize(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"", ""},
+		{"Hello World", "hello world"},
+		{"  lots\t of\n space  ", "lots of space"},
+		{"ÀÉÎÕÜ", "aeiou"},
+		{"Müller", "muller"},
+		{"Straße", "strase"},
+		{"Łukasz", "lukasz"},
+		{"UPPER", "upper"},
+		{"already lower", "already lower"},
+		{"trailing space ", "trailing space"},
+		{" leading", "leading"},
+		{"日本語", "日本語"}, // non-Latin passes through
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestNormalizeIdempotent(t *testing.T) {
+	f := func(s string) bool {
+		once := Normalize(s)
+		return Normalize(once) == once
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNormalizeNoUpperNoDoubleSpace(t *testing.T) {
+	f := func(s string) bool {
+		n := Normalize(s)
+		if strings.Contains(n, "  ") {
+			return false
+		}
+		for _, r := range n {
+			if unicode.IsUpper(r) && unicode.ToLower(r) != r {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"", nil},
+		{"one", []string{"one"}},
+		{"Hello, World!", []string{"hello", "world"}},
+		{"a-b_c.d", []string{"a", "b", "c", "d"}},
+		{"e2e 2025 test", []string{"e2e", "2025", "test"}},
+		{"René Müller", []string{"rene", "muller"}},
+		{"  punctuation,,, only!!! ", []string{"punctuation", "only"}},
+		{"...", nil},
+	}
+	for _, c := range cases {
+		if got := Words(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Words(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestWordsAreNormalized(t *testing.T) {
+	f := func(s string) bool {
+		for _, w := range Words(s) {
+			if w == "" || w != Normalize(w) {
+				return false
+			}
+			for _, r := range w {
+				if !unicode.IsLetter(r) && !unicode.IsDigit(r) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestContentWords(t *testing.T) {
+	cases := []struct {
+		in   string
+		want []string
+	}{
+		{"The Theory of Record Linkage", []string{"theory", "record", "linkage"}},
+		{"of the", []string{"of", "the"}}, // all stopwords: keep original
+		{"Querying in Databases", []string{"querying", "databases"}},
+		{"", nil},
+	}
+	for _, c := range cases {
+		if got := ContentWords(c.in); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("ContentWords(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestIsStopword(t *testing.T) {
+	if !IsStopword("the") || !IsStopword("of") {
+		t.Error("expected the/of to be stopwords")
+	}
+	if IsStopword("database") {
+		t.Error("database should not be a stopword")
+	}
+}
+
+func TestNGrams(t *testing.T) {
+	got := NGrams("ab", 2)
+	want := []string{"#a", "ab", "b#"}
+	if !reflect.DeepEqual(got, want) {
+		t.Errorf("NGrams(ab,2) = %v, want %v", got, want)
+	}
+	if NGrams("", 3) != nil {
+		t.Error("NGrams of empty string should be nil")
+	}
+	if NGrams("abc", 0) != nil {
+		t.Error("NGrams with n=0 should be nil")
+	}
+	// n=1 has no padding beyond the string itself minus 0 pads.
+	got1 := NGrams("Ab", 1)
+	if !reflect.DeepEqual(got1, []string{"a", "b"}) {
+		t.Errorf("NGrams(Ab,1) = %v", got1)
+	}
+}
+
+func TestNGramsCount(t *testing.T) {
+	f := func(s string, n uint8) bool {
+		k := int(n%5) + 1
+		grams := NGrams(s, k)
+		norm := []rune(Normalize(s))
+		if len(norm) == 0 {
+			return grams == nil
+		}
+		return len(grams) == len(norm)+k-1
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestInitial(t *testing.T) {
+	cases := []struct {
+		in   string
+		want rune
+	}{
+		{"Stonebraker", 's'},
+		{"  Wong", 'w'},
+		{"Émile", 'e'},
+		{"42", 0},
+		{"", 0},
+		{"3M Corp", 'm'},
+	}
+	for _, c := range cases {
+		if got := Initial(c.in); got != c.want {
+			t.Errorf("Initial(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+func TestEqualFolded(t *testing.T) {
+	if !EqualFolded("Michael  Stonebraker", "michael stonebraker") {
+		t.Error("expected fold-equal")
+	}
+	if EqualFolded("Michael", "Michelle") {
+		t.Error("expected not equal")
+	}
+}

@@ -1,0 +1,180 @@
+// Package tune implements the paper's second future-work direction (§7):
+// adjusting the similarity machinery from labeled data. Instead of the
+// paper's proposed user-feedback loop, it provides a deterministic grid
+// search over the reconciler's tunable parameters — merge threshold, β,
+// and γ — maximizing F-measure on a gold-labeled reference store.
+//
+// The paper notes (§5.2) that its hand-set parameters were conservative
+// and results "insensitive to small perturbations"; Search makes that
+// claim checkable and gives custom domains a calibration tool.
+package tune
+
+import (
+	"fmt"
+	"sort"
+
+	"refrecon/internal/metrics"
+	"refrecon/internal/recon"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/simfn"
+)
+
+// Grid is the parameter space to sweep. Empty dimensions keep the base
+// configuration's value.
+type Grid struct {
+	MergeThresholds []float64
+	Betas           []float64
+	Gammas          []float64
+}
+
+// DefaultGrid sweeps around the published values.
+func DefaultGrid() Grid {
+	return Grid{
+		MergeThresholds: []float64{0.80, 0.85, 0.90},
+		Betas:           []float64{0.05, 0.10, 0.20},
+		Gammas:          []float64{0.025, 0.05, 0.10},
+	}
+}
+
+// Point is one evaluated parameter combination.
+type Point struct {
+	MergeThreshold float64
+	Beta           float64
+	Gamma          float64
+	// Score is the mean F-measure over the evaluated classes.
+	Score float64
+	// PerClass holds the class reports.
+	PerClass map[string]metrics.Report
+}
+
+// Result is the outcome of a Search: every evaluated point, best first.
+type Result struct {
+	Points []Point
+}
+
+// Best returns the highest-scoring point.
+func (r *Result) Best() Point {
+	if len(r.Points) == 0 {
+		return Point{}
+	}
+	return r.Points[0]
+}
+
+// Search evaluates the full grid on the labeled store and returns all
+// points ordered by descending score (ties broken toward the published
+// parameter values, then deterministically). classes defaults to every
+// class present in the store.
+func Search(sch *schema.Schema, store *reference.Store, base recon.Config, grid Grid, classes ...string) (*Result, error) {
+	if len(classes) == 0 {
+		classes = store.Classes()
+	}
+	thresholds := grid.MergeThresholds
+	if len(thresholds) == 0 {
+		thresholds = []float64{base.MergeThreshold}
+	}
+	betas := grid.Betas
+	if len(betas) == 0 {
+		betas = []float64{baseBeta(base)}
+	}
+	gammas := grid.Gammas
+	if len(gammas) == 0 {
+		gammas = []float64{baseGamma(base)}
+	}
+
+	var out Result
+	for _, th := range thresholds {
+		for _, beta := range betas {
+			for _, gamma := range gammas {
+				cfg := base
+				cfg.MergeThreshold = th
+				cfg.Params = scaledParams(base, beta, gamma)
+				res, err := recon.New(sch, cfg).Reconcile(store)
+				if err != nil {
+					return nil, fmt.Errorf("tune: point (%.2f, %.2f, %.3f): %w", th, beta, gamma, err)
+				}
+				pt := Point{
+					MergeThreshold: th, Beta: beta, Gamma: gamma,
+					PerClass: make(map[string]metrics.Report, len(classes)),
+				}
+				n := 0
+				for _, class := range classes {
+					rep := metrics.Evaluate(store, class, res.Partitions[class])
+					if rep.References == 0 {
+						continue
+					}
+					pt.PerClass[class] = rep
+					pt.Score += rep.F1
+					n++
+				}
+				if n > 0 {
+					pt.Score /= float64(n)
+				}
+				out.Points = append(out.Points, pt)
+			}
+		}
+	}
+	sort.SliceStable(out.Points, func(i, j int) bool {
+		if out.Points[i].Score != out.Points[j].Score {
+			return out.Points[i].Score > out.Points[j].Score
+		}
+		// Prefer the published setting among ties.
+		return distanceToPublished(out.Points[i]) < distanceToPublished(out.Points[j])
+	})
+	return &out, nil
+}
+
+// scaledParams keeps each class's published β/γ *ratios* (venues use 2β)
+// while setting the base values.
+func scaledParams(base recon.Config, beta, gamma float64) map[string]simfn.ClassParams {
+	src := base.Params
+	if src == nil {
+		src = simfn.PaperParams()
+	}
+	baseB, baseG := baseBeta(base), baseGamma(base)
+	out := make(map[string]simfn.ClassParams, len(src))
+	for class, p := range src {
+		ratioB, ratioG := 1.0, 1.0
+		if baseB > 0 {
+			ratioB = p.Beta / baseB
+		}
+		if baseG > 0 {
+			ratioG = p.Gamma / baseG
+		}
+		out[class] = simfn.ClassParams{TRV: p.TRV, Beta: beta * ratioB, Gamma: gamma * ratioG}
+	}
+	return out
+}
+
+func baseBeta(base recon.Config) float64 {
+	if p, ok := params(base)[schema.ClassPerson]; ok {
+		return p.Beta
+	}
+	return 0.1
+}
+
+func baseGamma(base recon.Config) float64 {
+	if p, ok := params(base)[schema.ClassPerson]; ok {
+		return p.Gamma
+	}
+	return 0.05
+}
+
+func params(base recon.Config) map[string]simfn.ClassParams {
+	if base.Params != nil {
+		return base.Params
+	}
+	return simfn.PaperParams()
+}
+
+func distanceToPublished(p Point) float64 {
+	d := abs(p.MergeThreshold-0.85) + abs(p.Beta-0.1) + abs(p.Gamma-0.05)
+	return d
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

@@ -1,0 +1,86 @@
+package tune
+
+import (
+	"testing"
+
+	"refrecon/internal/datagen/pim"
+	"refrecon/internal/recon"
+	"refrecon/internal/schema"
+)
+
+func TestSearchFindsReasonableParameters(t *testing.T) {
+	g, err := pim.Generate(pim.DatasetA(0.04))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(schema.PIM(), g.Store, recon.DefaultConfig(), DefaultGrid(), schema.ClassPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 27 {
+		t.Fatalf("points = %d, want full 3x3x3 grid", len(res.Points))
+	}
+	best := res.Best()
+	if best.Score <= 0 {
+		t.Fatalf("best score = %f", best.Score)
+	}
+	// Points must be sorted descending.
+	for i := 1; i < len(res.Points); i++ {
+		if res.Points[i].Score > res.Points[i-1].Score {
+			t.Fatal("points not sorted by score")
+		}
+	}
+	// The paper claims insensitivity to small perturbations: the published
+	// setting should score close to the best grid point.
+	var published Point
+	for _, p := range res.Points {
+		if p.MergeThreshold == 0.85 && p.Beta == 0.10 && p.Gamma == 0.05 {
+			published = p
+		}
+	}
+	if published.PerClass == nil {
+		t.Fatal("published setting not in grid")
+	}
+	if best.Score-published.Score > 0.08 {
+		t.Errorf("published setting %.3f far from best %.3f", published.Score, best.Score)
+	}
+}
+
+func TestSearchEmptyGridUsesBase(t *testing.T) {
+	g, err := pim.Generate(pim.DatasetA(0.02))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Search(schema.PIM(), g.Store, recon.DefaultConfig(), Grid{}, schema.ClassPerson)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 1 {
+		t.Fatalf("points = %d, want 1", len(res.Points))
+	}
+	p := res.Best()
+	if p.MergeThreshold != 0.85 || p.Beta != 0.1 || p.Gamma != 0.05 {
+		t.Errorf("base point = %+v", p)
+	}
+}
+
+func TestScaledParamsKeepRatios(t *testing.T) {
+	cfg := recon.DefaultConfig()
+	params := scaledParams(cfg, 0.2, 0.1)
+	if params[schema.ClassVenue].Beta != 0.4 {
+		t.Errorf("venue beta should keep its 2x ratio: %f", params[schema.ClassVenue].Beta)
+	}
+	if params[schema.ClassPerson].Beta != 0.2 {
+		t.Errorf("person beta = %f", params[schema.ClassPerson].Beta)
+	}
+	if params[schema.ClassPerson].TRV != 0.7 {
+		t.Errorf("t_rv must not change: %f", params[schema.ClassPerson].TRV)
+	}
+}
+
+func TestBestOfEmpty(t *testing.T) {
+	var r Result
+	if p := r.Best(); p.Score != 0 {
+		t.Errorf("empty best = %+v", p)
+	}
+}

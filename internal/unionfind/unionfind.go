@@ -1,0 +1,77 @@
+// Package unionfind implements a disjoint-set forest with union by rank and
+// path compression. The reconciler uses it to compute the transitive
+// closure of pairwise merge decisions into entity partitions (the final
+// step of the algorithm in Figure 4 of the paper).
+package unionfind
+
+import "sort"
+
+// UF is a disjoint-set forest over dense integer ids [0, n). The zero value
+// is unusable; construct with New.
+type UF struct {
+	parent []int
+	rank   []byte
+	sets   int
+}
+
+// New returns a forest of n singleton sets.
+func New(n int) *UF {
+	u := &UF{parent: make([]int, n), rank: make([]byte, n), sets: n}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+// Len returns the number of elements.
+func (u *UF) Len() int { return len(u.parent) }
+
+// Sets returns the current number of disjoint sets.
+func (u *UF) Sets() int { return u.sets }
+
+// Find returns the canonical representative of x's set.
+func (u *UF) Find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]] // path halving
+		x = u.parent[x]
+	}
+	return x
+}
+
+// Union merges the sets containing x and y and reports whether a merge
+// actually happened (false when they were already joined).
+func (u *UF) Union(x, y int) bool {
+	rx, ry := u.Find(x), u.Find(y)
+	if rx == ry {
+		return false
+	}
+	if u.rank[rx] < u.rank[ry] {
+		rx, ry = ry, rx
+	}
+	u.parent[ry] = rx
+	if u.rank[rx] == u.rank[ry] {
+		u.rank[rx]++
+	}
+	u.sets--
+	return true
+}
+
+// Same reports whether x and y are in the same set.
+func (u *UF) Same(x, y int) bool { return u.Find(x) == u.Find(y) }
+
+// Partitions returns the sets as sorted slices of member ids, ordered by
+// each set's smallest member. The output is deterministic.
+func (u *UF) Partitions() [][]int {
+	groups := make(map[int][]int)
+	for i := range u.parent {
+		r := u.Find(i)
+		groups[r] = append(groups[r], i)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
