@@ -11,12 +11,16 @@
 package refrecon_test
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"testing"
 
 	"refrecon"
 	"refrecon/internal/experiments"
+	"refrecon/internal/recon"
 	"refrecon/internal/schema"
+	"refrecon/internal/simfn"
 )
 
 // benchScale is the dataset scale used by all table benchmarks.
@@ -281,6 +285,81 @@ func BenchmarkReconcileDepGraph(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(d.Store.Len())*float64(b.N)/b.Elapsed().Seconds(), "refs/s")
+}
+
+// BenchmarkBuildGraph measures dependency-graph construction (blocking,
+// candidate scoring, wiring) on dataset A at several worker counts. The
+// graphs produced are identical at every count; only wall-clock changes.
+func BenchmarkBuildGraph(b *testing.B) {
+	s := suite()
+	d := s.PIM("A")
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	for _, w := range counts {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			cfg := refrecon.DefaultConfig()
+			cfg.Workers = w
+			r := refrecon.New(refrecon.PIMSchema(), cfg)
+			var st recon.Stats
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				var err error
+				if st, err = r.BuildGraph(d.Store); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(st.CandidatePairs), "pairs")
+			b.ReportMetric(float64(st.GraphNodes), "nodes")
+		})
+	}
+}
+
+// BenchmarkSimfnCompare measures the cached similarity library on the hot
+// evidence kinds. The library is pre-warmed with a small corpus so the
+// statistics-dependent comparators (title TF-IDF, venue IDF, name rarity)
+// take their real code paths.
+func BenchmarkSimfnCompare(b *testing.B) {
+	lib := simfn.NewLibrary()
+	for _, n := range []string{
+		"Alon Halevy", "A. Halevy", "Xin Dong", "Jayant Madhavan",
+		"Luna Dong", "X. L. Dong", "J. Madhavan", "Michael Carey",
+	} {
+		lib.AddPersonName(n)
+	}
+	for _, t := range []string{
+		"reference reconciliation in complex information spaces",
+		"data integration the teenage years",
+		"learning to match ontologies on the semantic web",
+		"similarity search in high dimensions via hashing",
+	} {
+		lib.Titles.Add(t)
+	}
+	for _, v := range []string{"sigmod conference", "vldb", "proceedings of the www conference"} {
+		lib.Venues.Add(v)
+	}
+	cases := []struct{ evidence, a, b string }{
+		{simfn.EvName, "Alon Y. Halevy", "A. Halevy"},
+		{simfn.EvEmail, "halevy@cs.washington.edu", "alon@cs.washington.edu"},
+		{simfn.EvNameEmail, "Alon Halevy", "halevy@cs.washington.edu"},
+		{simfn.EvTitle, "reference reconciliation in complex spaces", "reference reconciliation in complex information spaces"},
+		{simfn.EvVenueName, "sigmod conference", "proc. of sigmod"},
+	}
+	for _, c := range cases {
+		b.Run(c.evidence, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				lib.Compare(c.evidence, c.a, c.b)
+			}
+		})
+	}
+	// Same comparisons with the pair cache defeated: distinct value per
+	// iteration, isolating raw comparator cost from cache-hit cost.
+	b.Run("name-uncached", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			lib.Compare(simfn.EvName, "Alon Y. Halevy", "A. Halevy "+string(rune('a'+i%26)))
+		}
+	})
 }
 
 // BenchmarkReconcileIndepDec measures baseline throughput on dataset A.

@@ -3,30 +3,148 @@
 //
 // Usage:
 //
-//	benchtables [-scale 0.25] [-table N]
+//	benchtables [-scale 0.25] [-table N] [-workers N] [-bench baseline.json]
 //
 // -scale multiplies the paper-scale dataset sizes (1.0 reproduces the
 // Table 1 reference counts but takes correspondingly longer); -table
 // restricts output to one table (1..7; 5 also prints the Figure 6
-// series). Without -table, everything is printed.
+// series). Without -table, everything is printed. -workers sets the
+// graph-construction worker count for every run (0 = NumCPU; results
+// are identical at any setting). -bench skips the tables and instead
+// times graph construction and full reconciliation at worker counts
+// 1, 2, 4, and NumCPU, writing the measurements as JSON.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"log"
 	"os"
+	"runtime"
 	"time"
 
 	"refrecon/internal/experiments"
+	"refrecon/internal/recon"
+	"refrecon/internal/schema"
 )
+
+// benchBaseline is the JSON shape written by -bench: one record per
+// (dataset, worker count), plus enough context to re-run the measurement.
+type benchBaseline struct {
+	Scale   float64     `json:"scale"`
+	NumCPU  int         `json:"numCPU"`
+	GoVer   string      `json:"go"`
+	Runs    []benchRun  `json:"runs"`
+	Speedup []benchGain `json:"speedup"`
+}
+
+type benchRun struct {
+	Dataset        string  `json:"dataset"`
+	Workers        int     `json:"workers"`
+	References     int     `json:"references"`
+	CandidatePairs int     `json:"candidatePairs"`
+	GraphNodes     int     `json:"graphNodes"`
+	GraphEdges     int     `json:"graphEdges"`
+	BuildMS        float64 `json:"buildMs"`
+	ReconcileMS    float64 `json:"reconcileMs"`
+}
+
+type benchGain struct {
+	Dataset string  `json:"dataset"`
+	Workers int     `json:"workers"`
+	Build   float64 `json:"buildSpeedup"`
+}
+
+func runBench(s *experiments.Suite, scale float64, out string) {
+	counts := []int{1, 2, 4}
+	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
+		counts = append(counts, n)
+	}
+	base := benchBaseline{Scale: scale, NumCPU: runtime.NumCPU(), GoVer: runtime.Version()}
+	serial := make(map[string]float64)
+	for _, name := range []string{"A", "Cora"} {
+		store := s.Cora().Store
+		if name != "Cora" {
+			store = s.PIM(name).Store
+		}
+		for _, w := range counts {
+			cfg := recon.DefaultConfig()
+			cfg.Workers = w
+			rc := recon.New(schema.PIM(), cfg)
+			// One warm-up plus three timed build repetitions; keep the best
+			// (least-interference) time, the usual benchmarking convention.
+			if _, err := rc.BuildGraph(store); err != nil {
+				log.Fatal(err)
+			}
+			best := time.Duration(1<<63 - 1)
+			var st recon.Stats
+			for i := 0; i < 3; i++ {
+				bs, err := rc.BuildGraph(store)
+				if err != nil {
+					log.Fatal(err)
+				}
+				if bs.BuildTime < best {
+					best = bs.BuildTime
+					st = bs
+				}
+			}
+			res, err := rc.Reconcile(store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			total := res.Stats.BuildTime + res.Stats.PropagateTime + res.Stats.ClosureTime
+			run := benchRun{
+				Dataset:        name,
+				Workers:        w,
+				References:     store.Len(),
+				CandidatePairs: st.CandidatePairs,
+				GraphNodes:     st.GraphNodes,
+				GraphEdges:     st.GraphEdges,
+				BuildMS:        float64(best.Microseconds()) / 1e3,
+				ReconcileMS:    float64(total.Microseconds()) / 1e3,
+			}
+			base.Runs = append(base.Runs, run)
+			if w == 1 {
+				serial[name] = run.BuildMS
+			} else if s1 := serial[name]; s1 > 0 && run.BuildMS > 0 {
+				base.Speedup = append(base.Speedup, benchGain{
+					Dataset: name, Workers: w, Build: s1 / run.BuildMS,
+				})
+			}
+			fmt.Printf("%-5s workers=%-2d build %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes)\n",
+				name, w, run.BuildMS, run.ReconcileMS, run.CandidatePairs, run.GraphNodes)
+		}
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(base); err != nil {
+		log.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("baseline written to %s\n", out)
+}
 
 func main() {
 	scale := flag.Float64("scale", 0.25, "dataset scale factor (1.0 = paper scale)")
 	table := flag.Int("table", 0, "print only this table (1-7; 0 = all)")
 	ablations := flag.Bool("ablations", false, "also print the repository's design-choice ablations (blocking coverage)")
+	workers := flag.Int("workers", 0, "graph-construction worker count for all runs (0 = NumCPU)")
+	bench := flag.String("bench", "", "skip tables; time construction at workers 1,2,4,NumCPU and write JSON here")
 	flag.Parse()
 
 	s := experiments.NewSuite(*scale)
+	s.Workers = *workers
+	if *bench != "" {
+		runBench(s, *scale, *bench)
+		return
+	}
 	w := os.Stdout
 	want := func(n int) bool { return *table == 0 || *table == n }
 	start := time.Now()

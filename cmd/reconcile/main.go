@@ -5,7 +5,8 @@
 // Usage:
 //
 //	reconcile -in dataset.json [-algo depgraph|indepdec] [-mode full|traditional|propagation|merge]
-//	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-dump partitions.json]
+//	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-workers N]
+//	          [-dump partitions.json]
 //
 // The input is the JSON format written by cmd/pimgen (or dataset.WriteJSON).
 package main
@@ -35,6 +36,7 @@ func main() {
 	mode := flag.String("mode", "full", "depgraph mode: full, traditional, propagation, merge")
 	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
+	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	dump := flag.String("dump", "", "write partitions as JSON to this file")
 	explain := flag.String("explain", "", "explain a pair decision, e.g. -explain 12,45 (depgraph only)")
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz DOT format to this file (depgraph only)")
@@ -66,6 +68,7 @@ func main() {
 	case "depgraph":
 		cfg := recon.DefaultConfig()
 		cfg.Constraints = *constraints
+		cfg.Workers = *workers
 		switch strings.ToLower(*mode) {
 		case "full":
 			cfg.Mode = recon.ModeFull
@@ -96,9 +99,18 @@ func main() {
 			log.Fatal(err)
 		}
 		partitions = res.Partitions
-		fmt.Printf("graph: %d nodes, %d edges; engine: %d steps, %d merges, %d folds\n",
-			res.Stats.GraphNodes, res.Stats.GraphEdges,
-			res.Stats.Engine.Steps, res.Stats.Engine.Merges, res.Stats.Engine.Folds)
+		st := res.Stats
+		fmt.Printf("graph: %d nodes, %d edges from %d candidate pairs (built in %s)\n",
+			st.GraphNodes, st.GraphEdges, st.CandidatePairs, st.BuildTime.Round(time.Millisecond))
+		truncated := ""
+		if st.Engine.Truncated {
+			truncated = ", TRUNCATED at step cap"
+		}
+		fmt.Printf("engine: %d steps, %d merges, %d folds, %d reactivations%s (propagated in %s)\n",
+			st.Engine.Steps, st.Engine.Merges, st.Engine.Folds, st.Engine.Reactivate, truncated,
+			st.PropagateTime.Round(time.Millisecond))
+		fmt.Printf("closure: %d non-merge constraint nodes honored (closed in %s)\n",
+			st.NonMergeNodes, st.ClosureTime.Round(time.Millisecond))
 		if *explain != "" {
 			var a, b int
 			if _, err := fmt.Sscanf(*explain, "%d,%d", &a, &b); err != nil {

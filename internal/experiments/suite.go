@@ -30,6 +30,10 @@ type Suite struct {
 	// Scale multiplies the paper-scale dataset sizes (1.0 reproduces
 	// Table 1's reference counts; the test suite uses ~0.1).
 	Scale float64
+	// Workers overrides recon.Config.Workers for every depgraph run whose
+	// Algo left it at the default (0 = NumCPU). Results are identical at
+	// any worker count; this only steers wall-clock measurements.
+	Workers int
 
 	mu       sync.Mutex
 	pimSets  map[string]*dataset.Dataset
@@ -167,6 +171,9 @@ func (s *Suite) Run(d *dataset.Dataset, a Algo) map[string]metrics.Report {
 			reports[class] = metrics.Evaluate(d.Store, class, res.Partitions[class])
 		}
 	case "depgraph":
+		if a.Config.Workers == 0 {
+			a.Config.Workers = s.Workers
+		}
 		res, err := recon.New(schema.PIM(), a.Config).Reconcile(d.Store)
 		if err != nil {
 			panic(fmt.Sprintf("experiments: depgraph on %s: %v", d.Name, err))

@@ -1,0 +1,104 @@
+// Package parallel provides a small fork-join worker pool for fanning
+// index-addressed work items out over the machine's cores.
+//
+// The pool is built for deterministic data-parallel scoring: callers
+// partition work as a contiguous index range, workers claim chunks of the
+// range from a shared atomic cursor (chunked self-scheduling, so fast
+// workers steal the remainder of slow workers' share), and every item
+// writes its result into its own slot. Because item i always computes the
+// same value regardless of which worker runs it or when, the aggregate
+// result is bit-identical across worker counts — including workers == 1,
+// which runs the loop inline with no goroutines at all.
+package parallel
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// minChunk is the smallest chunk of items a worker claims at once. Larger
+// chunks amortize the atomic cursor traffic; reconciliation work items
+// (a handful of string comparisons each) are cheap enough that claiming
+// them one by one would spend a visible fraction of time on the cursor.
+const minChunk = 16
+
+// Workers resolves a worker-count setting: values <= 0 select
+// runtime.NumCPU(), anything else is returned unchanged.
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// For runs fn(i) for every i in [0, n) using up to workers goroutines
+// (workers <= 0 means runtime.NumCPU()). It returns when every call has
+// completed. fn must be safe for concurrent invocation on distinct
+// indexes; each index is invoked exactly once.
+//
+// With workers == 1 — or when the range is too small to be worth fanning
+// out — the loop runs inline on the calling goroutine, preserving exact
+// serial behavior. A panic in any fn is re-raised on the calling
+// goroutine after the remaining workers drain.
+func For(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 || n <= minChunk {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+
+	// Chunk size targets several claims per worker so the tail balances,
+	// floored at minChunk to bound cursor contention.
+	chunk := n / (workers * 4)
+	if chunk < minChunk {
+		chunk = minChunk
+	}
+
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value // first recovered panic, re-raised by the caller
+	)
+	work := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &workerPanic{r})
+			}
+		}()
+		for {
+			end := int(cursor.Add(int64(chunk)))
+			start := end - chunk
+			if start >= n {
+				return
+			}
+			if end > n {
+				end = n
+			}
+			for i := start; i < end; i++ {
+				fn(i)
+			}
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if p, ok := panicked.Load().(*workerPanic); ok {
+		panic(p.value)
+	}
+}
+
+// workerPanic wraps a recovered panic value so atomic.Value always stores
+// one concrete type (atomic.Value requires consistent dynamic types).
+type workerPanic struct{ value any }

@@ -1,0 +1,93 @@
+package parallel
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+)
+
+func TestWorkersResolution(t *testing.T) {
+	if got := Workers(0); got != runtime.NumCPU() {
+		t.Errorf("Workers(0) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := Workers(-3); got != runtime.NumCPU() {
+		t.Errorf("Workers(-3) = %d, want NumCPU = %d", got, runtime.NumCPU())
+	}
+	if got := Workers(5); got != 5 {
+		t.Errorf("Workers(5) = %d, want 5", got)
+	}
+}
+
+func TestForCoversEveryIndexExactlyOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 3, 8} {
+		for _, n := range []int{0, 1, 7, minChunk, minChunk + 1, 1000} {
+			counts := make([]int32, n)
+			For(workers, n, func(i int) {
+				atomic.AddInt32(&counts[i], 1)
+			})
+			for i, c := range counts {
+				if c != 1 {
+					t.Fatalf("workers=%d n=%d: index %d ran %d times", workers, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+func TestForDeterministicByIndex(t *testing.T) {
+	// Each index computes a pure function of itself into its own slot, so
+	// results must match the serial run at any worker count.
+	const n = 5000
+	f := func(i int) int { return i*i + 7 }
+	want := make([]int, n)
+	For(1, n, func(i int) { want[i] = f(i) })
+	for _, workers := range []int{2, 4, 16} {
+		got := make([]int, n)
+		For(workers, n, func(i int) { got[i] = f(i) })
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: slot %d = %d, want %d", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestForPanicPropagates(t *testing.T) {
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want \"boom\"", r)
+		}
+	}()
+	For(4, 1000, func(i int) {
+		if i == 537 {
+			panic("boom")
+		}
+	})
+	t.Fatal("For returned instead of panicking")
+}
+
+func TestForSmallRangeRunsInline(t *testing.T) {
+	// Ranges at or below minChunk run on the calling goroutine even with
+	// many workers: writes need no synchronization to be visible here.
+	seen := make([]bool, minChunk)
+	For(8, minChunk, func(i int) { seen[i] = true })
+	for i, s := range seen {
+		if !s {
+			t.Fatalf("index %d not visited", i)
+		}
+	}
+}
+
+func BenchmarkForOverhead(b *testing.B) {
+	const n = 4096
+	sink := make([]float64, n)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "serial", 2: "2workers", 4: "4workers"}[workers], func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				For(workers, n, func(j int) {
+					sink[j] = float64(j) * 1.0001
+				})
+			}
+		})
+	}
+}

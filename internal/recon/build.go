@@ -183,7 +183,11 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 		return f
 	}
 
-	// Pass 1: blocked candidate pairs involving the new references.
+	// Pass 1: blocked candidate pairs involving the new references, in
+	// three phases — serial enumeration of per-pair value comparisons,
+	// parallel scoring over the worker pool, and serial wiring of nodes
+	// and edges (the graph is single-writer). See pairscore.go.
+	var items []*pairItem
 	for _, class := range b.sch.Classes() {
 		ids := newByClass[class.Name]
 		idx := b.indexes[class.Name]
@@ -192,9 +196,21 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 		}
 		idx.PairsInvolving(ids, func(x, y reference.ID) {
 			b.candidatePairs++
-			b.ensureRefPair(b.store.Get(x), b.store.Get(y), false)
+			r1, r2 := b.store.Get(x), b.store.Get(y)
+			if r1.ID == r2.ID || r1.Class != r2.Class {
+				return
+			}
+			key := depgraph.RefPairKey(r1.ID, r2.ID)
+			if b.g.Lookup(key) != nil || b.removed[key] {
+				return
+			}
+			items = append(items, &pairItem{r1: r1, r2: r2, vals: b.enumerateVals(r1, r2)})
 		})
 		b.skippedBuckets += idx.SkippedBuckets()
+	}
+	b.scoreItems(items)
+	for _, it := range items {
+		b.wireScored(it.r1, it.r2, false, it.vals, it.sims)
 	}
 	// Pass 2: association dependencies over the fresh pairs; induced pairs
 	// created while wiring are themselves wired on the next sweep.
@@ -217,20 +233,19 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 }
 
 func (b *builder) seedOrder() []*depgraph.Node {
-	ranks := make([]int, 0, len(b.seeds))
-	for rank := range b.seeds {
-		ranks = append(ranks, rank)
-	}
-	sort.Ints(ranks)
 	var out []*depgraph.Node
-	for _, rank := range ranks {
-		out = append(out, b.seeds[rank]...)
+	for _, ns := range b.seeds {
+		out = append(out, ns...)
 	}
-	return out
+	return seedSort(b.sch, out)
 }
 
-// seedSort orders nodes by class rank, preserving creation order within a
-// rank (stable).
+// seedSort orders nodes by class rank with an explicit total-order
+// tie-break on the reference-id pair, so seed order (and therefore
+// propagation order) cannot depend on map iteration, creation history, or
+// scheduling. The sort is stable; the tie-break already induces a total
+// order on RefPair nodes (a pair appears at most once), so stability only
+// matters for hypothetical duplicate entries.
 func seedSort(sch *schema.Schema, nodes []*depgraph.Node) []*depgraph.Node {
 	rankOf := func(n *depgraph.Node) int {
 		if c, ok := sch.Class(n.Class); ok {
@@ -238,7 +253,16 @@ func seedSort(sch *schema.Schema, nodes []*depgraph.Node) []*depgraph.Node {
 		}
 		return 0
 	}
-	sort.SliceStable(nodes, func(i, j int) bool { return rankOf(nodes[i]) < rankOf(nodes[j]) })
+	sort.SliceStable(nodes, func(i, j int) bool {
+		ri, rj := rankOf(nodes[i]), rankOf(nodes[j])
+		if ri != rj {
+			return ri < rj
+		}
+		if nodes[i].RefA != nodes[j].RefA {
+			return nodes[i].RefA < nodes[j].RefA
+		}
+		return nodes[i].RefB < nodes[j].RefB
+	})
 	return nodes
 }
 
@@ -259,46 +283,47 @@ func (b *builder) ensureRefPair(r1, r2 *reference.Reference, induced bool) *depg
 	if b.removed[key] {
 		return nil
 	}
+	vals := b.enumerateVals(r1, r2)
+	return b.wireScored(r1, r2, induced, vals, b.scoreVals(vals))
+}
+
+// wireScored is the serial wiring phase behind ensureRefPair: it creates
+// the RefPair node for (r1, r2) together with its atomic-value evidence
+// nodes from the precomputed similarities (sims is indexed like vals).
+// Callers have already screened the pair (distinct ids, same class, not
+// present, not removed); duplicates are still tolerated and return the
+// existing node.
+func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []valCompare, sims []float64) *depgraph.Node {
+	key := depgraph.RefPairKey(r1.ID, r2.ID)
+	if n := b.g.Lookup(key); n != nil {
+		return n
+	}
 	m := b.g.AddRefPair(r1.ID, r2.ID, r1.Class)
 
 	relax := induced && r1.Class == schema.ClassVenue
 	hasEvidence := false
-	comparisons := atomicComparisons(r1.Class, b.cfg.Evidence)
-	if comparisons == nil {
-		if c, ok := b.sch.Class(r1.Class); ok {
-			comparisons = genericComparisons(c)
+	for i, v := range vals {
+		sim := sims[i]
+		thr := simfn.CandidateThreshold(v.cmp.evidence)
+		if relax && thr > 0.05 {
+			thr = 0.05
 		}
-	}
-	for _, cmp := range comparisons {
-		for _, v1 := range r1.Atomic(cmp.attrA) {
-			for _, v2 := range r2.Atomic(cmp.attrB) {
-				a, bv := v1, v2
-				if cmp.swap {
-					a, bv = v2, v1
-				}
-				sim := b.lib.Compare(cmp.evidence, a, bv)
-				thr := simfn.CandidateThreshold(cmp.evidence)
-				if relax && thr > 0.05 {
-					thr = 0.05
-				}
-				if sim < thr {
-					continue
-				}
-				elemX := elemPrefix(cmp.attrA) + tokenizer.Normalize(v1)
-				elemY := elemPrefix(cmp.attrB) + tokenizer.Normalize(v2)
-				n := b.g.AddValuePair(cmp.evidence, elemX, elemY, sim)
-				if n.Sim >= b.cfg.AttrMergeThreshold {
-					n.Status = depgraph.Merged
-				}
-				b.g.AddEdge(n, m, depgraph.RealValued, cmp.evidence)
-				// Alias learning: merging the references certifies
-				// identifying values as aliases (Figure 2's n6).
-				if simfn.AliasEvidence(cmp.evidence) && !cmp.swap && cmp.attrA == cmp.attrB {
-					b.g.AddEdge(m, n, depgraph.StrongBoolean, cmp.evidence)
-				}
-				hasEvidence = true
-			}
+		if sim < thr {
+			continue
 		}
+		elemX := elemPrefix(v.cmp.attrA) + tokenizer.Normalize(v.v1)
+		elemY := elemPrefix(v.cmp.attrB) + tokenizer.Normalize(v.v2)
+		n := b.g.AddValuePair(v.cmp.evidence, elemX, elemY, sim)
+		if n.Sim >= b.cfg.AttrMergeThreshold {
+			n.Status = depgraph.Merged
+		}
+		b.g.AddEdge(n, m, depgraph.RealValued, v.cmp.evidence)
+		// Alias learning: merging the references certifies
+		// identifying values as aliases (Figure 2's n6).
+		if simfn.AliasEvidence(v.cmp.evidence) && !v.cmp.swap && v.cmp.attrA == v.cmp.attrB {
+			b.g.AddEdge(m, n, depgraph.StrongBoolean, v.cmp.evidence)
+		}
+		hasEvidence = true
 	}
 	// Constraint-violating pairs are kept even without evidence and marked
 	// non-merge: §3.4 requires constrained nodes to exist in the graph so

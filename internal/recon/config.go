@@ -100,6 +100,13 @@ type Config struct {
 	Constraints bool
 	// BucketCap bounds blocking bucket sizes (0 = unlimited).
 	BucketCap int
+	// Workers is the number of goroutines scoring candidate-pair attribute
+	// similarities during graph construction (0 = runtime.NumCPU(), 1 =
+	// fully serial). A pure throughput knob: every worker count produces
+	// bit-identical graphs, merge partitions, and stats — workers score
+	// independent items into per-item slots and all graph mutation stays
+	// on one goroutine.
+	Workers int
 	// MaxSteps caps engine evaluations (0 = engine default).
 	MaxSteps int
 	// Epsilon is the reactivation threshold (0 = engine default).

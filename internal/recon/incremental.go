@@ -3,6 +3,7 @@ package recon
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
@@ -60,10 +61,13 @@ func (s *Session) Reconcile() (*Result, error) {
 	newRefs := s.store.All()[s.seen:]
 	s.seen = s.store.Len()
 
+	start := time.Now()
 	seed := s.b.incorporate(newRefs)
 	if s.g == nil {
 		s.g = s.b.g
 	}
+	s.stats.BuildTime += time.Since(start)
+	start = time.Now()
 	scorer := &simfn.Scorer{Params: s.rc.cfg.Params}
 	engine := s.g.Run(seed, depgraph.Options{
 		Scorer: scorer,
@@ -78,6 +82,7 @@ func (s *Session) Reconcile() (*Result, error) {
 		Enrich:    s.rc.cfg.Mode.enrich(),
 		MaxSteps:  s.rc.cfg.MaxSteps,
 	})
+	s.stats.PropagateTime += time.Since(start)
 
 	s.stats.CandidatePairs = s.b.candidatePairs
 	s.stats.GraphNodes = s.g.NodeCount()
@@ -95,7 +100,9 @@ func (s *Session) Reconcile() (*Result, error) {
 		}
 	})
 
+	start = time.Now()
 	res := closure(s.store, s.g, s.rc.cfg.Constraints)
+	s.stats.ClosureTime += time.Since(start)
 	res.Stats = s.stats
 	s.latest = res
 	return res, nil

@@ -1,0 +1,106 @@
+package recon
+
+// Three-phase candidate-pair evaluation. The dominant cost of graph
+// construction is not the fixed-point loop but the atomic attribute
+// similarities (Jaro-Winkler names, TF-IDF titles, fuzzy venue Jaccard)
+// computed for every blocked candidate pair. Those comparisons are pure
+// functions of the two values and the (frozen-per-batch) library
+// statistics, so they parallelize perfectly; everything that touches the
+// graph does not, because the graph is single-writer. incorporate
+// therefore splits pass 1 into:
+//
+//  1. serial enumeration — blocking emits candidate pairs and each pair's
+//     value comparisons are listed in deterministic order;
+//  2. parallel scoring — the work items fan out over the
+//     internal/parallel pool, each writing similarities into its own
+//     slots (results are independent of scheduling, so any worker count
+//     yields bit-identical output; Workers=1 runs inline);
+//  3. serial wiring — nodes and edges are created from the precomputed
+//     scores in the exact order the serial path would have used.
+//
+// Induced pairs discovered later during association wiring still score
+// serially through the same cache-backed comparators.
+
+import (
+	"refrecon/internal/parallel"
+	"refrecon/internal/reference"
+)
+
+// valCompare is one atomic value comparison of a candidate pair: the
+// attribute comparison it instantiates and the two raw values, in
+// (attrA, attrB) order.
+type valCompare struct {
+	cmp    attrCompare
+	v1, v2 string
+}
+
+// pairItem is the unit of work of the parallel scoring phase: one
+// candidate reference pair with its enumerated value comparisons and
+// (after scoring) their similarities, indexed like vals.
+type pairItem struct {
+	r1, r2 *reference.Reference
+	vals   []valCompare
+	sims   []float64
+}
+
+// comparisonsFor resolves the comparable attribute pairs for a class,
+// falling back to the generic same-attribute table for custom schemas.
+func (b *builder) comparisonsFor(class string) []attrCompare {
+	cmp := atomicComparisons(class, b.cfg.Evidence)
+	if cmp == nil {
+		if c, ok := b.sch.Class(class); ok {
+			cmp = genericComparisons(c)
+		}
+	}
+	return cmp
+}
+
+// enumerateVals lists the value comparisons of a candidate pair in the
+// deterministic order the wiring phase evaluates them.
+func (b *builder) enumerateVals(r1, r2 *reference.Reference) []valCompare {
+	var vals []valCompare
+	for _, cmp := range b.comparisonsFor(r1.Class) {
+		for _, v1 := range r1.Atomic(cmp.attrA) {
+			for _, v2 := range r2.Atomic(cmp.attrB) {
+				vals = append(vals, valCompare{cmp, v1, v2})
+			}
+		}
+	}
+	return vals
+}
+
+// compareVal scores one value comparison through the cache-backed
+// similarity library, honoring the comparator's argument order.
+func (b *builder) compareVal(v valCompare) float64 {
+	x, y := v.v1, v.v2
+	if v.cmp.swap {
+		x, y = v.v2, v.v1
+	}
+	return b.lib.Compare(v.cmp.evidence, x, y)
+}
+
+// scoreVals scores a value-comparison list serially (the induced-pair and
+// incremental paths).
+func (b *builder) scoreVals(vals []valCompare) []float64 {
+	if len(vals) == 0 {
+		return nil
+	}
+	sims := make([]float64, len(vals))
+	for i, v := range vals {
+		sims[i] = b.compareVal(v)
+	}
+	return sims
+}
+
+// scoreItems fans a batch's value comparisons out over the worker pool.
+// Each item writes only its own sims slice, so the result is independent
+// of scheduling; Workers=1 runs inline on the calling goroutine.
+func (b *builder) scoreItems(items []*pairItem) {
+	parallel.For(b.cfg.Workers, len(items), func(i int) {
+		it := items[i]
+		it.sims = make([]float64, len(it.vals))
+		for j, v := range it.vals {
+			it.sims[j] = b.compareVal(v)
+		}
+	})
+}

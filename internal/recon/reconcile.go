@@ -3,6 +3,7 @@ package recon
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
@@ -44,6 +45,12 @@ type Stats struct {
 	SkippedBuckets int
 	// Engine carries the propagation-engine counters.
 	Engine depgraph.Stats
+	// BuildTime, PropagateTime, and ClosureTime are wall-clock phase
+	// timings: graph construction (blocking, candidate scoring, wiring),
+	// fixed-point propagation, and the constrained transitive closure.
+	// Incremental sessions accumulate them across batches. Timings are
+	// informational and excluded from determinism comparisons.
+	BuildTime, PropagateTime, ClosureTime time.Duration
 }
 
 // Result is the outcome of a reconciliation.
@@ -69,11 +76,32 @@ func (r *Result) SameEntity(a, b reference.ID) bool {
 	return okA && okB && pa == pb
 }
 
+// BuildGraph runs only the dependency-graph construction phase — blocking,
+// candidate-pair scoring, association wiring, constraint seeding — and
+// returns its stats, discarding the graph. It is the unit the construction
+// benchmarks measure; Reconcile is the complete algorithm.
+func (rc *Reconciler) BuildGraph(store *reference.Store) (Stats, error) {
+	if err := store.Validate(rc.sch); err != nil {
+		return Stats{}, fmt.Errorf("recon: invalid input: %w", err)
+	}
+	start := time.Now()
+	b := newBuilder(store, rc.sch, rc.cfg)
+	g, _ := b.build()
+	return Stats{
+		CandidatePairs: b.candidatePairs,
+		GraphNodes:     g.NodeCount(),
+		GraphEdges:     g.EdgeCount(),
+		SkippedBuckets: b.skippedBuckets,
+		BuildTime:      time.Since(start),
+	}, nil
+}
+
 // Reconcile partitions the store's references into entities.
 func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
 	if err := store.Validate(rc.sch); err != nil {
 		return nil, fmt.Errorf("recon: invalid input: %w", err)
 	}
+	start := time.Now()
 	b := newBuilder(store, rc.sch, rc.cfg)
 	g, seed := b.build()
 
@@ -82,8 +110,10 @@ func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
 		GraphNodes:     g.NodeCount(),
 		GraphEdges:     g.EdgeCount(),
 		SkippedBuckets: b.skippedBuckets,
+		BuildTime:      time.Since(start),
 	}
 
+	start = time.Now()
 	scorer := &simfn.Scorer{Params: rc.cfg.Params}
 	stats.Engine = g.Run(seed, depgraph.Options{
 		Scorer: scorer,
@@ -98,6 +128,7 @@ func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
 		Enrich:    rc.cfg.Mode.enrich(),
 		MaxSteps:  rc.cfg.MaxSteps,
 	})
+	stats.PropagateTime = time.Since(start)
 
 	g.Nodes(func(n *depgraph.Node) {
 		if n.Status == depgraph.NonMerge {
@@ -105,7 +136,9 @@ func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
 		}
 	})
 
+	start = time.Now()
 	res := closure(store, g, rc.cfg.Constraints)
+	stats.ClosureTime = time.Since(start)
 	res.Stats = stats
 	return res, nil
 }

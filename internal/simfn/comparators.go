@@ -61,6 +61,13 @@ type Library struct {
 	surnameInitials map[string]map[byte]bool
 	surnameFirsts   map[string]map[string]bool
 	givenSurnames   map[string]map[string]bool
+
+	// statsGen counts name-population mutations; together with the title
+	// and venue corpus generations it versions the pair-score cache (a
+	// comparator's result may change whenever any statistic changes).
+	statsGen uint64
+	pairs    *pairCache
+	parsed   *parseCache
 }
 
 // NewLibrary returns a Library with empty corpora.
@@ -71,12 +78,30 @@ func NewLibrary() *Library {
 		surnameInitials: make(map[string]map[byte]bool),
 		surnameFirsts:   make(map[string]map[string]bool),
 		givenSurnames:   make(map[string]map[string]bool),
+		pairs:           newPairCache(),
+		parsed:          newParseCache(),
 	}
+}
+
+// generation versions the corpus-sensitive comparators: any statistics
+// mutation (name population, title corpus, venue corpus) invalidates
+// cached pair scores. Statistics mutate only between construction batches,
+// never concurrently with Compare.
+func (l *Library) generation() uint64 {
+	g := l.statsGen
+	if l.Titles != nil {
+		g += l.Titles.Gen()
+	}
+	if l.Venues != nil {
+		g += l.Venues.Gen()
+	}
+	return g
 }
 
 // AddPersonName records one person-name value in the population
 // statistics.
 func (l *Library) AddPersonName(raw string) {
+	l.statsGen++
 	n := names.Parse(raw)
 	if n.Last == "" {
 		return
@@ -170,20 +195,56 @@ func (l *Library) NameRarity(initial, surname string) float64 {
 
 // Compare scores two raw attribute values under an evidence type, in
 // [0,1]. Unknown evidence types fall back to a generic string similarity.
+//
+// Results are memoized in a bounded cache keyed by (evidence, a, b) and
+// tagged with the library's statistics generation, so repeated value pairs
+// are scored once per statistics epoch. Compare is safe for concurrent use
+// as long as the library's statistics are not mutated concurrently.
 func (l *Library) Compare(evidence, a, b string) float64 {
+	if l == nil || l.pairs == nil {
+		return l.compare(evidence, a, b)
+	}
+	gen := l.generation()
+	k := pairKey{evidence, a, b}
+	if v, ok := l.pairs.get(gen, k); ok {
+		return v
+	}
+	v := l.compare(evidence, a, b)
+	l.pairs.put(gen, k, v)
+	return v
+}
+
+// parseName memoizes names.Parse per raw value.
+func (l *Library) parseName(raw string) names.Name {
+	if l == nil || l.parsed == nil {
+		return names.Parse(raw)
+	}
+	return l.parsed.name(raw)
+}
+
+// parseEmail memoizes emailaddr.Parse per raw value.
+func (l *Library) parseEmail(raw string) (emailaddr.Address, bool) {
+	if l == nil || l.parsed == nil {
+		return emailaddr.Parse(raw)
+	}
+	return l.parsed.email(raw)
+}
+
+// compare is the uncached comparator dispatch behind Compare.
+func (l *Library) compare(evidence, a, b string) float64 {
 	switch evidence {
 	case EvName:
-		return names.Similarity(a, b)
+		return names.ParsedSimilarity(l.parseName(a), l.parseName(b))
 	case EvEmail:
-		ea, okA := emailaddr.Parse(a)
-		eb, okB := emailaddr.Parse(b)
+		ea, okA := l.parseEmail(a)
+		eb, okB := l.parseEmail(b)
 		if !okA || !okB {
 			return 0
 		}
 		return emailaddr.SimRarity(ea, eb, l.LocalRarity)
 	case EvNameEmail:
 		// By convention a is the name and b is the address.
-		eb, ok := emailaddr.Parse(b)
+		eb, ok := l.parseEmail(b)
 		if !ok {
 			return 0
 		}

@@ -116,27 +116,27 @@ func (c *Corpus) SoftCosine(a, b string, theta float64) float64 {
 	if theta <= 0 {
 		theta = 0.9
 	}
-	va := c.vector(a)
-	vb := c.vector(b)
-	if len(va) == 0 && len(vb) == 0 {
+	va := c.vectorCached(a)
+	vb := c.vectorCached(b)
+	if len(va.w) == 0 && len(vb.w) == 0 {
 		return 1
 	}
-	if len(va) == 0 || len(vb) == 0 {
+	if len(va.w) == 0 || len(vb.w) == 0 {
 		return 0
 	}
 	dot := 0.0
-	for ta, wa := range va {
-		bestSim, bestTok := 0.0, ""
-		for tb := range vb {
+	for i, ta := range va.toks {
+		bestSim, bestTok := 0.0, -1
+		for j, tb := range vb.toks {
 			if s := JaroWinkler(ta, tb); s >= theta && s > bestSim {
-				bestSim, bestTok = s, tb
+				bestSim, bestTok = s, j
 			}
 		}
-		if bestTok != "" {
-			dot += wa * vb[bestTok] * bestSim
+		if bestTok >= 0 {
+			dot += va.w[i] * vb.w[bestTok] * bestSim
 		}
 	}
-	denom := norm(va) * norm(vb)
+	denom := va.norm * vb.norm
 	if denom == 0 {
 		return 0
 	}

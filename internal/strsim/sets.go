@@ -3,6 +3,7 @@ package strsim
 import (
 	"math"
 	"sort"
+	"sync"
 
 	"refrecon/internal/tokenizer"
 )
@@ -134,10 +135,37 @@ func mongeElkanDir(ta, tb []string, inner func(string, string) float64) float64 
 // Corpus accumulates document frequencies for TF-IDF weighted comparisons.
 // Add every string of a comparable population (e.g. all article titles)
 // before querying CosineSim. The zero value is not usable; construct with
-// NewCorpus. Corpus is not safe for concurrent mutation.
+// NewCorpus. Corpus is not safe for concurrent mutation, but concurrent
+// readers (CosineSim, IDF) are safe as long as no Add runs alongside them.
 type Corpus struct {
 	docFreq map[string]int
 	docs    int
+
+	// gen counts mutations; cached document vectors computed under an
+	// older generation are discarded, since IDF weights shift with every
+	// Add.
+	gen uint64
+	// vecs memoizes per-document TF-IDF vectors (with their norms) so that
+	// a string compared against many counterparts is vectorized once. It
+	// is lock-guarded: the reconciler scores candidate pairs from multiple
+	// goroutines.
+	vecMu  sync.RWMutex
+	vecGen uint64
+	vecs   map[string]tfidfVec
+}
+
+// vecCap bounds the vector memo; a full memo is reset wholesale (the
+// distinct-document population of one dataset sits far below the bound).
+const vecCap = 1 << 15
+
+// tfidfVec is a memoized document vector with its precomputed L2 norm.
+// Tokens are sorted, so dot products and norms accumulate in a fixed
+// order — floating-point results are identical across runs and worker
+// counts (a map-ordered sum would vary in the last ulp).
+type tfidfVec struct {
+	toks []string
+	w    []float64
+	norm float64
 }
 
 // NewCorpus returns an empty corpus.
@@ -148,10 +176,15 @@ func NewCorpus() *Corpus {
 // Add registers one document's token set in the corpus statistics.
 func (c *Corpus) Add(s string) {
 	c.docs++
+	c.gen++
 	for t := range toSet(tokenizer.ContentWords(s)) {
 		c.docFreq[t]++
 	}
 }
+
+// Gen returns the corpus mutation generation; callers caching results that
+// depend on corpus statistics key them by this value.
+func (c *Corpus) Gen() uint64 { return c.gen }
 
 // Docs returns the number of documents added.
 func (c *Corpus) Docs() int { return c.docs }
@@ -172,44 +205,82 @@ func (c *Corpus) idf(t string) float64 {
 // titles agreeing on distinctive words match strongly even if they disagree
 // on common ones. With an empty corpus it degrades to unweighted cosine.
 func (c *Corpus) CosineSim(a, b string) float64 {
-	va := c.vector(a)
-	vb := c.vector(b)
-	if len(va) == 0 && len(vb) == 0 {
+	va := c.vectorCached(a)
+	vb := c.vectorCached(b)
+	if len(va.w) == 0 && len(vb.w) == 0 {
 		return 1
 	}
-	if len(va) == 0 || len(vb) == 0 {
+	if len(va.w) == 0 || len(vb.w) == 0 {
 		return 0
 	}
+	// Merge join over the sorted token lists: deterministic accumulation
+	// order, no map lookups.
 	dot := 0.0
-	for t, wa := range va {
-		if wb, ok := vb[t]; ok {
-			dot += wa * wb
+	i, j := 0, 0
+	for i < len(va.toks) && j < len(vb.toks) {
+		switch {
+		case va.toks[i] == vb.toks[j]:
+			dot += va.w[i] * vb.w[j]
+			i++
+			j++
+		case va.toks[i] < vb.toks[j]:
+			i++
+		default:
+			j++
 		}
 	}
-	return dot / (norm(va) * norm(vb))
+	return dot / (va.norm * vb.norm)
 }
 
-func (c *Corpus) vector(s string) map[string]float64 {
+// vectorCached returns the memoized TF-IDF vector of s under the current
+// corpus generation, computing and recording it on a miss. Memoized
+// vectors are shared across goroutines and must be treated as immutable.
+func (c *Corpus) vectorCached(s string) tfidfVec {
+	c.vecMu.RLock()
+	if c.vecGen == c.gen {
+		if v, ok := c.vecs[s]; ok {
+			c.vecMu.RUnlock()
+			return v
+		}
+	}
+	c.vecMu.RUnlock()
+	v := c.buildVector(s)
+	c.vecMu.Lock()
+	if c.vecGen != c.gen || c.vecs == nil || len(c.vecs) >= vecCap {
+		c.vecs = make(map[string]tfidfVec, 256)
+		c.vecGen = c.gen
+	}
+	c.vecs[s] = v
+	c.vecMu.Unlock()
+	return v
+}
+
+// buildVector computes the sorted TF-IDF vector of one document.
+func (c *Corpus) buildVector(s string) tfidfVec {
 	toks := tokenizer.ContentWords(s)
 	if len(toks) == 0 {
-		return nil
+		return tfidfVec{}
 	}
 	tf := make(map[string]float64, len(toks))
 	for _, t := range toks {
 		tf[t]++
 	}
-	for t, f := range tf {
-		tf[t] = f * c.idf(t)
+	v := tfidfVec{
+		toks: make([]string, 0, len(tf)),
+		w:    make([]float64, 0, len(tf)),
 	}
-	return tf
-}
-
-func norm(v map[string]float64) float64 {
-	s := 0.0
-	for _, w := range v {
-		s += w * w
+	for t := range tf {
+		v.toks = append(v.toks, t)
 	}
-	return math.Sqrt(s)
+	sort.Strings(v.toks)
+	n := 0.0
+	for _, t := range v.toks {
+		w := tf[t] * c.idf(t)
+		v.w = append(v.w, w)
+		n += w * w
+	}
+	v.norm = math.Sqrt(n)
+	return v
 }
 
 // TopTokens returns the n most frequent tokens in the corpus, primarily for

@@ -1,0 +1,29 @@
+#!/usr/bin/env bash
+# CI gate: formatting, vet, build, full test suite, and the race detector
+# over the packages with concurrency (the parallel worker pool and the
+# graph builder that drives it). Run from anywhere; operates on the repo
+# root. Fails fast on the first broken stage.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== go build =="
+go build ./...
+
+echo "== go test =="
+go test ./...
+
+echo "== go test -race (concurrent packages) =="
+go test -race ./internal/parallel ./internal/recon
+
+echo "CI gate passed."
