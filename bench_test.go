@@ -19,6 +19,7 @@ import (
 	"refrecon"
 	"refrecon/internal/experiments"
 	"refrecon/internal/recon"
+	"refrecon/internal/reference"
 	"refrecon/internal/schema"
 	"refrecon/internal/simfn"
 )
@@ -313,6 +314,102 @@ func BenchmarkBuildGraph(b *testing.B) {
 			b.ReportMetric(float64(st.CandidatePairs), "pairs")
 			b.ReportMetric(float64(st.GraphNodes), "nodes")
 		})
+	}
+}
+
+// benchPropagateDatasets are the stores the propagation-phase benchmarks
+// run over: PIM A (person/article association-heavy) and Cora
+// (citation-shaped, enrichment-fold-heavy), both at reduced scale.
+func benchPropagateDatasets() []struct {
+	name  string
+	store *reference.Store
+} {
+	s := suite()
+	return []struct {
+		name  string
+		store *reference.Store
+	}{
+		{"PIM-A", s.PIM("A").Store},
+		{"Cora", s.Cora().Store},
+	}
+}
+
+// benchScoringModes pairs the delta-scoring default against the
+// full-rescan reference path, the axis these benchmarks exist to compare.
+var benchScoringModes = []struct {
+	name   string
+	rescan bool
+}{
+	{"delta", false},
+	{"rescan", true},
+}
+
+// BenchmarkPropagate times the propagation fixed point (Run plus the
+// constrained closure) in isolation: graph construction happens outside
+// the timer via BuildRetained. The delta/rescan sub-benchmarks measure the
+// delta-scoring optimization directly — identical graphs, identical
+// results, different per-step evidence access.
+func BenchmarkPropagate(b *testing.B) {
+	for _, d := range benchPropagateDatasets() {
+		for _, mode := range benchScoringModes {
+			b.Run(d.name+"/"+mode.name, func(b *testing.B) {
+				cfg := recon.DefaultConfig()
+				cfg.RescanScoring = mode.rescan
+				rc := recon.New(schema.PIM(), cfg)
+				var st recon.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p, err := rc.BuildRetained(d.store)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err := p.Propagate()
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = res.Stats
+				}
+				b.ReportMetric(float64(st.Engine.Steps), "steps")
+				b.ReportMetric(float64(st.Engine.DeltaHits), "delta-hits")
+				b.ReportMetric(float64(st.PropagateTime.Nanoseconds()), "propagate-ns")
+			})
+		}
+	}
+}
+
+// BenchmarkEnrichFold times the reference-enrichment path (§3.3): the
+// engine runs in Merge mode — enrichment folds without propagation-driven
+// reactivation — so fold bookkeeping (edge moves, aggregate invalidation,
+// per-kind rebuilds) dominates the measurement.
+func BenchmarkEnrichFold(b *testing.B) {
+	for _, d := range benchPropagateDatasets() {
+		for _, mode := range benchScoringModes {
+			b.Run(d.name+"/"+mode.name, func(b *testing.B) {
+				cfg := recon.DefaultConfig()
+				cfg.Mode = recon.ModeMerge
+				cfg.RescanScoring = mode.rescan
+				rc := recon.New(schema.PIM(), cfg)
+				var st recon.Stats
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					b.StopTimer()
+					p, err := rc.BuildRetained(d.store)
+					if err != nil {
+						b.Fatal(err)
+					}
+					b.StartTimer()
+					res, err := p.Propagate()
+					if err != nil {
+						b.Fatal(err)
+					}
+					st = res.Stats
+				}
+				b.ReportMetric(float64(st.Engine.Folds), "folds")
+				b.ReportMetric(float64(st.Engine.AggRebuilds), "agg-rebuilds")
+			})
+		}
 	}
 }
 

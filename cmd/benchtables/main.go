@@ -12,7 +12,10 @@
 // graph-construction worker count for every run (0 = NumCPU; results
 // are identical at any setting). -bench skips the tables and instead
 // times graph construction and full reconciliation at worker counts
-// 1, 2, 4, and NumCPU, writing the measurements as JSON.
+// 1, 2, 4, and NumCPU, recording per-phase times (build / propagate /
+// closure), allocation counts per reconciliation, delta-scoring
+// counters, and a delta-vs-rescan propagation comparison, writing the
+// measurements as JSON.
 package main
 
 import (
@@ -26,17 +29,20 @@ import (
 
 	"refrecon/internal/experiments"
 	"refrecon/internal/recon"
+	"refrecon/internal/reference"
 	"refrecon/internal/schema"
 )
 
 // benchBaseline is the JSON shape written by -bench: one record per
 // (dataset, worker count), plus enough context to re-run the measurement.
 type benchBaseline struct {
-	Scale   float64     `json:"scale"`
-	NumCPU  int         `json:"numCPU"`
-	GoVer   string      `json:"go"`
-	Runs    []benchRun  `json:"runs"`
-	Speedup []benchGain `json:"speedup"`
+	Scale      float64       `json:"scale"`
+	NumCPU     int           `json:"numCPU"`
+	GoMaxProcs int           `json:"gomaxprocs"`
+	GoVer      string        `json:"go"`
+	Runs       []benchRun    `json:"runs"`
+	Speedup    []benchGain   `json:"speedup"`
+	Propagate  []benchRescan `json:"propagateComparison"`
 }
 
 type benchRun struct {
@@ -47,7 +53,13 @@ type benchRun struct {
 	GraphNodes     int     `json:"graphNodes"`
 	GraphEdges     int     `json:"graphEdges"`
 	BuildMS        float64 `json:"buildMs"`
+	PropagateMS    float64 `json:"propagateMs"`
+	ClosureMS      float64 `json:"closureMs"`
 	ReconcileMS    float64 `json:"reconcileMs"`
+	// ReconcileAllocs is the heap allocation count (runtime mallocs) of one
+	// full Reconcile call — the allocs/op of the end-to-end operation.
+	ReconcileAllocs uint64 `json:"reconcileAllocs"`
+	DeltaHits       int    `json:"deltaHits"`
 }
 
 type benchGain struct {
@@ -56,12 +68,50 @@ type benchGain struct {
 	Build   float64 `json:"buildSpeedup"`
 }
 
+// benchRescan compares the propagation fixed point under delta scoring
+// (the default) against the full-rescan reference path on one dataset.
+type benchRescan struct {
+	Dataset  string  `json:"dataset"`
+	DeltaMS  float64 `json:"deltaPropagateMs"`
+	RescanMS float64 `json:"rescanPropagateMs"`
+	Speedup  float64 `json:"propagateSpeedup"`
+}
+
+// propagatePhase times only the propagation fixed point: the graph is
+// rebuilt untimed via BuildRetained before every repetition (Prepared is
+// single-use). One warm-up plus three timed repetitions, best kept.
+func propagatePhase(store *reference.Store, rescan bool) time.Duration {
+	cfg := recon.DefaultConfig()
+	cfg.RescanScoring = rescan
+	rc := recon.New(schema.PIM(), cfg)
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < 4; i++ {
+		p, err := rc.BuildRetained(store)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := p.Propagate()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if i > 0 && res.Stats.PropagateTime < best {
+			best = res.Stats.PropagateTime
+		}
+	}
+	return best
+}
+
 func runBench(s *experiments.Suite, scale float64, out string) {
 	counts := []int{1, 2, 4}
 	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
 		counts = append(counts, n)
 	}
-	base := benchBaseline{Scale: scale, NumCPU: runtime.NumCPU(), GoVer: runtime.Version()}
+	base := benchBaseline{
+		Scale:      scale,
+		NumCPU:     runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVer:      runtime.Version(),
+	}
 	serial := make(map[string]float64)
 	for _, name := range []string{"A", "Cora"} {
 		store := s.Cora().Store
@@ -89,20 +139,27 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 					st = bs
 				}
 			}
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
 			res, err := rc.Reconcile(store)
 			if err != nil {
 				log.Fatal(err)
 			}
+			runtime.ReadMemStats(&m1)
 			total := res.Stats.BuildTime + res.Stats.PropagateTime + res.Stats.ClosureTime
 			run := benchRun{
-				Dataset:        name,
-				Workers:        w,
-				References:     store.Len(),
-				CandidatePairs: st.CandidatePairs,
-				GraphNodes:     st.GraphNodes,
-				GraphEdges:     st.GraphEdges,
-				BuildMS:        float64(best.Microseconds()) / 1e3,
-				ReconcileMS:    float64(total.Microseconds()) / 1e3,
+				Dataset:         name,
+				Workers:         w,
+				References:      store.Len(),
+				CandidatePairs:  st.CandidatePairs,
+				GraphNodes:      st.GraphNodes,
+				GraphEdges:      st.GraphEdges,
+				BuildMS:         float64(best.Microseconds()) / 1e3,
+				PropagateMS:     float64(res.Stats.PropagateTime.Microseconds()) / 1e3,
+				ClosureMS:       float64(res.Stats.ClosureTime.Microseconds()) / 1e3,
+				ReconcileMS:     float64(total.Microseconds()) / 1e3,
+				ReconcileAllocs: m1.Mallocs - m0.Mallocs,
+				DeltaHits:       res.Stats.Engine.DeltaHits,
 			}
 			base.Runs = append(base.Runs, run)
 			if w == 1 {
@@ -112,9 +169,23 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 					Dataset: name, Workers: w, Build: s1 / run.BuildMS,
 				})
 			}
-			fmt.Printf("%-5s workers=%-2d build %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes)\n",
-				name, w, run.BuildMS, run.ReconcileMS, run.CandidatePairs, run.GraphNodes)
+			fmt.Printf("%-5s workers=%-2d build %8.1fms  propagate %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes, %d allocs)\n",
+				name, w, run.BuildMS, run.PropagateMS, run.ReconcileMS,
+				run.CandidatePairs, run.GraphNodes, run.ReconcileAllocs)
 		}
+		deltaT := propagatePhase(store, false)
+		rescanT := propagatePhase(store, true)
+		cmp := benchRescan{
+			Dataset:  name,
+			DeltaMS:  float64(deltaT.Microseconds()) / 1e3,
+			RescanMS: float64(rescanT.Microseconds()) / 1e3,
+		}
+		if cmp.DeltaMS > 0 {
+			cmp.Speedup = cmp.RescanMS / cmp.DeltaMS
+		}
+		base.Propagate = append(base.Propagate, cmp)
+		fmt.Printf("%-5s propagate: delta %8.1fms  rescan %8.1fms  (%.2fx)\n",
+			name, cmp.DeltaMS, cmp.RescanMS, cmp.Speedup)
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -37,6 +37,7 @@ func main() {
 	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
 	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU, 1 = serial; results are identical at any setting)")
+	rescan := flag.Bool("rescan", false, "score by full neighborhood rescans instead of delta-maintained digests (results are identical; for benchmarking)")
 	dump := flag.String("dump", "", "write partitions as JSON to this file")
 	explain := flag.String("explain", "", "explain a pair decision, e.g. -explain 12,45 (depgraph only)")
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz DOT format to this file (depgraph only)")
@@ -69,6 +70,7 @@ func main() {
 		cfg := recon.DefaultConfig()
 		cfg.Constraints = *constraints
 		cfg.Workers = *workers
+		cfg.RescanScoring = *rescan
 		switch strings.ToLower(*mode) {
 		case "full":
 			cfg.Mode = recon.ModeFull
@@ -109,6 +111,10 @@ func main() {
 		fmt.Printf("engine: %d steps, %d merges, %d folds, %d reactivations%s (propagated in %s)\n",
 			st.Engine.Steps, st.Engine.Merges, st.Engine.Folds, st.Engine.Reactivate, truncated,
 			st.PropagateTime.Round(time.Millisecond))
+		if st.Engine.DeltaHits > 0 || st.Engine.AggBuilds > 0 {
+			fmt.Printf("delta: %d digest hits (full rescans avoided), %d aggregate builds, %d kind rebuilds\n",
+				st.Engine.DeltaHits, st.Engine.AggBuilds, st.Engine.AggRebuilds)
+		}
 		fmt.Printf("closure: %d non-merge constraint nodes honored (closed in %s)\n",
 			st.NonMergeNodes, st.ClosureTime.Round(time.Millisecond))
 		if *explain != "" {

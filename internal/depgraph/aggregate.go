@@ -1,0 +1,401 @@
+package depgraph
+
+import "sort"
+
+// This file implements delta-maintained evidence aggregates: the memoized
+// digest of a node's incoming neighborhood that lets a propagation step be
+// O(changed neighbors) instead of O(neighborhood).
+//
+// For every scored node the graph can hold an aggregate recording, per
+// evidence kind, the running MAX similarity over the live real-valued
+// sources (the §4 MAX rule for multi-valued attributes) together with
+// source counts, plus the merged strong-/weak-boolean neighbor counts that
+// feed S_sb and S_wb. Aggregates are built lazily on a node's first score
+// and then patched incrementally:
+//
+//   - a neighbor's similarity rising bumps the affected per-kind maxima
+//     (similarities are monotone, so a running max never needs history);
+//   - a neighbor merging increments the boolean counts exactly once;
+//   - an enrichment fold removes a source: the affected evidence kinds are
+//     rebuilt from the (small) remaining in-edge list, and the counterpart
+//     node that absorbed the fold rebuilds only the kinds its new edges
+//     touch — every other kind keeps its memoized maximum;
+//   - a node turning NonMerge (similarity forced to 0) moves its
+//     contribution from the real maxima to the non-merge tally, again
+//     rebuilding only the kinds it fed.
+//
+// The invariant, checked by the equivalence property test: whenever a node
+// has an aggregate, the aggregate equals a fresh full scan of its in-edges.
+// Scorers may therefore read the digest instead of rescanning and produce
+// bit-identical similarities.
+
+// evKind is one evidence kind's slot in an aggregate.
+type evKind struct {
+	evidence string
+	// max is the maximum similarity among live real-valued sources of this
+	// kind that are not NonMerge. Meaningful only when count > 0.
+	max float64
+	// count is the number of live real-valued sources that are not
+	// NonMerge. The kind is "present" for scoring iff count > 0 (presence
+	// matters even at similarity 0; see simfn.Gather).
+	count int
+	// nonMerge counts live real-valued sources that are NonMerge (hard
+	// negative evidence).
+	nonMerge int
+}
+
+// aggregate is the delta-maintained digest of one node's in-edges.
+type aggregate struct {
+	kinds  []evKind // sorted by evidence for deterministic enumeration
+	strong int      // merged strong-boolean sources
+	weak   int      // merged weak-boolean sources
+}
+
+// find returns the index of the kind slot, or the insertion point with
+// ok=false. Kind lists are tiny (a handful of evidence types), so a linear
+// scan over the sorted slice beats binary search bookkeeping.
+func (a *aggregate) find(evidence string) (int, bool) {
+	for i := range a.kinds {
+		switch {
+		case a.kinds[i].evidence == evidence:
+			return i, true
+		case a.kinds[i].evidence > evidence:
+			return i, false
+		}
+	}
+	return len(a.kinds), false
+}
+
+// slot returns the kind slot for evidence, inserting an empty one in sorted
+// position if absent.
+func (a *aggregate) slot(evidence string) *evKind {
+	i, ok := a.find(evidence)
+	if !ok {
+		a.kinds = append(a.kinds, evKind{})
+		copy(a.kinds[i+1:], a.kinds[i:])
+		a.kinds[i] = evKind{evidence: evidence}
+	}
+	return &a.kinds[i]
+}
+
+// addSource folds one in-edge's source into the aggregate (used when
+// building from scratch and when an edge is added to a maintained node).
+func (a *aggregate) addSource(e *Edge) {
+	src := e.From
+	switch e.Dep {
+	case RealValued:
+		k := a.slot(e.Evidence)
+		if src.Status == NonMerge {
+			k.nonMerge++
+			return
+		}
+		if k.count == 0 || src.Sim > k.max {
+			k.max = src.Sim
+		}
+		k.count++
+	case StrongBoolean:
+		if src.Status == Merged {
+			a.strong++
+		}
+	case WeakBoolean:
+		if src.Status == Merged {
+			a.weak++
+		}
+	}
+}
+
+// bumpReal raises the running maximum of one kind after a source's
+// similarity increased. The source is already counted; only the max moves.
+func (a *aggregate) bumpReal(evidence string, sim float64) {
+	if i, ok := a.find(evidence); ok && a.kinds[i].count > 0 && sim > a.kinds[i].max {
+		a.kinds[i].max = sim
+	}
+}
+
+// buildAggregate digests n's current in-edges with a full scan.
+func buildAggregate(n *Node) *aggregate {
+	a := &aggregate{}
+	for _, e := range n.in {
+		a.addSource(e)
+	}
+	return a
+}
+
+// rebuildKind recomputes one evidence kind of t's aggregate from its
+// current in-edges — the invalidation path for folds and NonMerge
+// transitions, which are the only events that can lower a source's
+// contribution. Every other kind keeps its memoized state.
+func (g *Graph) rebuildKind(t *Node, evidence string) {
+	a := t.agg
+	if a == nil {
+		return
+	}
+	g.delta.rebuilds++
+	var k evKind
+	k.evidence = evidence
+	for _, e := range t.in {
+		if e.Dep != RealValued || e.Evidence != evidence {
+			continue
+		}
+		if e.From.Status == NonMerge {
+			k.nonMerge++
+			continue
+		}
+		if k.count == 0 || e.From.Sim > k.max {
+			k.max = e.From.Sim
+		}
+		k.count++
+	}
+	i, ok := a.find(evidence)
+	switch {
+	case k.count == 0 && k.nonMerge == 0:
+		if ok { // kind vanished: drop the slot
+			a.kinds = append(a.kinds[:i], a.kinds[i+1:]...)
+		}
+	case ok:
+		a.kinds[i] = k
+	default:
+		a.kinds = append(a.kinds, evKind{})
+		copy(a.kinds[i+1:], a.kinds[i:])
+		a.kinds[i] = k
+	}
+}
+
+// aggOnAddEdge patches the target's aggregate after AddEdge inserted e.
+func (g *Graph) aggOnAddEdge(e *Edge) {
+	if e.To.agg != nil {
+		e.To.agg.addSource(e)
+	}
+}
+
+// aggOnDropSource patches t's aggregate after the in-edge e (from src) was
+// removed by a fold. Boolean counts decrement directly; a real-valued
+// source holding the kind's maximum forces a rebuild of that kind only.
+func (g *Graph) aggOnDropSource(t *Node, e *Edge) {
+	a := t.agg
+	if a == nil {
+		return
+	}
+	src := e.From
+	switch e.Dep {
+	case RealValued:
+		if src.Status == NonMerge {
+			if i, ok := a.find(e.Evidence); ok {
+				a.kinds[i].nonMerge--
+				if a.kinds[i].count == 0 && a.kinds[i].nonMerge == 0 {
+					a.kinds = append(a.kinds[:i], a.kinds[i+1:]...)
+				}
+			}
+			return
+		}
+		i, ok := a.find(e.Evidence)
+		if !ok {
+			return
+		}
+		if src.Sim >= a.kinds[i].max || a.kinds[i].count <= 1 {
+			g.rebuildKind(t, e.Evidence)
+			return
+		}
+		a.kinds[i].count--
+	case StrongBoolean:
+		if src.Status == Merged {
+			a.strong--
+		}
+	case WeakBoolean:
+		if src.Status == Merged {
+			a.weak--
+		}
+	}
+}
+
+// aggOnMerged patches the boolean counts of n's dependents after n
+// transitioned to Merged. Must be invoked exactly once per transition.
+func (g *Graph) aggOnMerged(n *Node) {
+	for _, e := range n.out {
+		a := e.To.agg
+		if a == nil {
+			continue
+		}
+		switch e.Dep {
+		case StrongBoolean:
+			a.strong++
+		case WeakBoolean:
+			a.weak++
+		}
+	}
+}
+
+// aggOnDemoted patches the boolean counts of n's dependents after a
+// re-seeding demoted n from Merged back to Active (the inverse of
+// aggOnMerged; n's similarity is untouched, so real maxima are unaffected).
+func (g *Graph) aggOnDemoted(n *Node) {
+	for _, e := range n.out {
+		a := e.To.agg
+		if a == nil {
+			continue
+		}
+		switch e.Dep {
+		case StrongBoolean:
+			a.strong--
+		case WeakBoolean:
+			a.weak--
+		}
+	}
+}
+
+// aggOnNonMerge patches n's dependents after n transitioned to NonMerge
+// (similarity forced to 0): real-valued contributions move to the
+// non-merge tally via a per-kind rebuild, and boolean counts drop if n had
+// been Merged.
+func (g *Graph) aggOnNonMerge(n *Node, wasMerged bool) {
+	for _, e := range n.out {
+		a := e.To.agg
+		if a == nil {
+			continue
+		}
+		switch e.Dep {
+		case RealValued:
+			g.rebuildKind(e.To, e.Evidence)
+		case StrongBoolean:
+			if wasMerged {
+				a.strong--
+			}
+		case WeakBoolean:
+			if wasMerged {
+				a.weak--
+			}
+		}
+	}
+}
+
+// raiseSim raises n's similarity (never lowering it) and bumps the real
+// maxima of its maintained dependents. All similarity increases — engine
+// scoring, fold inheritance, AddValuePair on an existing node — go through
+// here so aggregates can never go stale.
+func (g *Graph) raiseSim(n *Node, sim float64) {
+	if sim <= n.Sim {
+		return
+	}
+	n.Sim = sim
+	for _, e := range n.out {
+		if e.Dep == RealValued && e.To.agg != nil {
+			e.To.agg.bumpReal(e.Evidence, sim)
+		}
+	}
+}
+
+// deltaCounters tallies aggregate activity; Run reports per-run deltas.
+type deltaCounters struct {
+	hits     uint64 // scores served from a maintained aggregate
+	builds   uint64 // aggregates built by a full neighborhood scan
+	rebuilds uint64 // per-kind rebuilds forced by folds / NonMerge turns
+}
+
+// EvidenceDigest is the read-only view of a node's evidence aggregate that
+// scorers consume in place of rescanning the incoming edges. The zero
+// value is an empty digest.
+type EvidenceDigest struct {
+	a *aggregate
+}
+
+// RealEvidence returns the maximum similarity among the node's real-valued
+// sources of the kind and whether any such source exists (presence counts
+// even at similarity 0; NonMerge sources do not make a kind present).
+func (d EvidenceDigest) RealEvidence(kind string) (float64, bool) {
+	if d.a == nil {
+		return 0, false
+	}
+	if i, ok := d.a.find(kind); ok && d.a.kinds[i].count > 0 {
+		return d.a.kinds[i].max, true
+	}
+	return 0, false
+}
+
+// EachRealEvidence invokes fn for every present real-valued evidence kind
+// in lexicographic order (a deterministic enumeration, unlike a map walk).
+func (d EvidenceDigest) EachRealEvidence(fn func(kind string, max float64)) {
+	if d.a == nil {
+		return
+	}
+	for i := range d.a.kinds {
+		if d.a.kinds[i].count > 0 {
+			fn(d.a.kinds[i].evidence, d.a.kinds[i].max)
+		}
+	}
+}
+
+// NonMergeReal reports whether some real-valued source of the kind is a
+// NonMerge node (hard negative evidence).
+func (d EvidenceDigest) NonMergeReal(kind string) bool {
+	if d.a == nil {
+		return false
+	}
+	i, ok := d.a.find(kind)
+	return ok && d.a.kinds[i].nonMerge > 0
+}
+
+// StrongMergedCount returns the number of merged strong-boolean sources.
+func (d EvidenceDigest) StrongMergedCount() int {
+	if d.a == nil {
+		return 0
+	}
+	return d.a.strong
+}
+
+// WeakMergedCount returns the number of merged weak-boolean sources.
+func (d EvidenceDigest) WeakMergedCount() int {
+	if d.a == nil {
+		return 0
+	}
+	return d.a.weak
+}
+
+// Digest returns the node's evidence digest. While the graph is in
+// maintained mode (from the first Run onward) the digest is memoized and
+// delta-patched, so reading it avoids the O(neighborhood) rescan; outside
+// maintained mode it is built fresh on every call and always correct, even
+// if the caller mutated node state directly.
+func (n *Node) Digest() EvidenceDigest {
+	if n.g != nil && n.g.maintain && n.alive {
+		if n.agg == nil {
+			n.agg = buildAggregate(n)
+			n.g.delta.builds++
+		} else {
+			n.g.delta.hits++
+		}
+		return EvidenceDigest{n.agg}
+	}
+	return EvidenceDigest{buildAggregate(n)}
+}
+
+// checkAggregate compares n's maintained aggregate against a fresh scan,
+// reporting the first discrepancy; the equivalence tests use it to assert
+// the delta-maintenance invariant. It returns "" when consistent (or when
+// no aggregate is maintained).
+func (n *Node) checkAggregate() string {
+	if n.agg == nil {
+		return ""
+	}
+	fresh := buildAggregate(n)
+	if fresh.strong != n.agg.strong || fresh.weak != n.agg.weak {
+		return "boolean counts diverged"
+	}
+	if len(fresh.kinds) != len(n.agg.kinds) {
+		return "kind sets diverged"
+	}
+	if !sort.SliceIsSorted(n.agg.kinds, func(i, j int) bool {
+		return n.agg.kinds[i].evidence < n.agg.kinds[j].evidence
+	}) {
+		return "kinds not sorted"
+	}
+	for i := range fresh.kinds {
+		f, m := fresh.kinds[i], n.agg.kinds[i]
+		if f.evidence != m.evidence || f.count != m.count || f.nonMerge != m.nonMerge {
+			return "kind " + f.evidence + " counts diverged"
+		}
+		if f.count > 0 && f.max != m.max {
+			return "kind " + f.evidence + " max diverged"
+		}
+	}
+	return ""
+}

@@ -48,6 +48,16 @@ type Stats struct {
 	Folds      int  // nodes removed by enrichment
 	Reactivate int  // re-activations pushed by propagation
 	Truncated  bool // true if MaxSteps was hit
+
+	// Delta-scoring counters (zero when the scorer rescans neighborhoods
+	// instead of reading digests). DeltaHits counts scores served from a
+	// memoized aggregate — each one a full neighborhood rescan avoided;
+	// AggBuilds counts aggregates built by a first-touch full scan;
+	// AggRebuilds counts per-evidence-kind rebuilds forced by enrichment
+	// folds and NonMerge transitions.
+	DeltaHits   int
+	AggBuilds   int
+	AggRebuilds int
 }
 
 // Run executes the propagation algorithm of Figure 4 over the graph. seed
@@ -67,8 +77,19 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 	}
 	var st Stats
 
+	// From the first Run on, every evidence-changing mutation is hooked, so
+	// digests built now stay exact — including across incremental sessions.
+	g.maintain = true
+	d0 := g.delta
+
 	for _, n := range seed {
 		if n.alive && n.Status != NonMerge {
+			if n.Status == Merged {
+				// Re-seeding demotes a previously merged node to Active; its
+				// boolean contribution disappears until it re-merges, and
+				// maintained dependents must see that immediately.
+				g.aggOnDemoted(n)
+			}
 			n.Status = Active
 			g.queue.pushBack(n)
 		}
@@ -95,7 +116,9 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			s = 1
 		}
 		if s > n.Sim {
-			n.Sim = s
+			// raiseSim also bumps the per-kind running maxima of maintained
+			// dependents, the delta patch that replaces their rescans.
+			g.raiseSim(n, s)
 		}
 		increased := n.Sim > old+eps
 
@@ -105,6 +128,9 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			n.Status = Inactive
 		}
 		newlyMerged := n.Status == Merged && !wasMerged
+		if newlyMerged {
+			g.aggOnMerged(n)
+		}
 
 		if opt.Propagate && increased {
 			for _, e := range n.out {
@@ -145,6 +171,9 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			}
 		}
 	}
+	st.DeltaHits = int(g.delta.hits - d0.hits)
+	st.AggBuilds = int(g.delta.builds - d0.builds)
+	st.AggRebuilds = int(g.delta.rebuilds - d0.rebuilds)
 	return st
 }
 
@@ -229,7 +258,7 @@ func (g *Graph) fold(l, m *Node) {
 	case m.Status != NonMerge && l.Sim > m.Sim:
 		// Inherit the similarity but not the status: re-queueing m lets
 		// the normal pop path mark it merged and fire its neighbors.
-		m.Sim = l.Sim
+		g.raiseSim(m, l.Sim)
 		gainedIncoming = true
 	}
 	g.removeNode(l)

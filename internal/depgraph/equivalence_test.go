@@ -1,0 +1,232 @@
+package depgraph
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"refrecon/internal/reference"
+)
+
+// This file holds the equivalence property test for delta scoring: random
+// merge/enrich sequences scored through the delta-maintained evidence
+// digests must be bit-identical — similarities, statuses, merge sets, and
+// engine counters — to the same sequences scored by a full-rescan
+// reference scorer. The two scorers below implement the same similarity
+// template (a generic S_rv average plus gated boolean boosts, mirroring
+// the simfn scoring shape); only their evidence access differs.
+
+const (
+	eqTRV   = 0.3
+	eqBeta  = 0.1
+	eqGamma = 0.05
+)
+
+func eqScoreTemplate(sum float64, count, strong, weak int) float64 {
+	srv := 0.0
+	if count > 0 {
+		srv = sum / float64(count)
+	}
+	total := srv
+	if srv >= eqTRV {
+		total += eqBeta*float64(strong) + eqGamma*float64(weak)
+	}
+	if total > 1 {
+		total = 1
+	}
+	return total
+}
+
+// eqRescanScore is the retained reference scorer: a full scan of the
+// incoming edges on every call, accumulating evidence kinds in sorted
+// order so float rounding matches the digest path exactly.
+func eqRescanScore(n *Node) float64 {
+	if n.Kind == ValuePair {
+		for _, e := range n.in {
+			if e.Dep == StrongBoolean && e.From.Status == Merged {
+				return 1
+			}
+		}
+		return n.Sim
+	}
+	maxBy := make(map[string]float64)
+	var kinds []string
+	strong, weak := 0, 0
+	for _, e := range n.in {
+		switch e.Dep {
+		case RealValued:
+			if e.From.Status == NonMerge {
+				continue
+			}
+			if cur, ok := maxBy[e.Evidence]; !ok {
+				maxBy[e.Evidence] = e.From.Sim
+				kinds = append(kinds, e.Evidence)
+			} else if e.From.Sim > cur {
+				maxBy[e.Evidence] = e.From.Sim
+			}
+		case StrongBoolean:
+			if e.From.Status == Merged {
+				strong++
+			}
+		case WeakBoolean:
+			if e.From.Status == Merged {
+				weak++
+			}
+		}
+	}
+	sort.Strings(kinds)
+	sum := 0.0
+	for _, k := range kinds {
+		sum += maxBy[k]
+	}
+	return eqScoreTemplate(sum, len(kinds), strong, weak)
+}
+
+// eqDigestScore reads the delta-maintained digest instead of rescanning.
+func eqDigestScore(n *Node) float64 {
+	d := n.Digest()
+	if n.Kind == ValuePair {
+		if d.StrongMergedCount() > 0 {
+			return 1
+		}
+		return n.Sim
+	}
+	sum, count := 0.0, 0
+	d.EachRealEvidence(func(_ string, max float64) {
+		sum += max
+		count++
+	})
+	return eqScoreTemplate(sum, count, d.StrongMergedCount(), d.WeakMergedCount())
+}
+
+func eqOptions(scorer func(*Node) float64) Options {
+	return Options{
+		Scorer: ScorerFunc(scorer),
+		MergeThreshold: func(n *Node) float64 {
+			if n.Kind == ValuePair {
+				return 1
+			}
+			return 0.7
+		},
+		Epsilon:   1e-9,
+		Propagate: true,
+		Enrich:    true,
+		MaxSteps:  1_000_000,
+	}
+}
+
+// eqBuildPhase mutates g with one batch of random construction operations
+// (the same operation mix as the graph-invariant generator, plus value-pair
+// sim raises and constraint marks), drawing every random choice from rng so
+// two graphs driven by equal-seeded rngs receive identical operation
+// sequences. refHi bounds the reference-id universe; later batches pass a
+// larger bound so new references wire into the existing graph. Returns the
+// RefPair nodes touched this batch, in operation order — the propagation
+// seed, which may include already-merged nodes from earlier batches
+// (exercising the re-seed demotion path).
+func eqBuildPhase(g *Graph, rng *rand.Rand, refHi int) []*Node {
+	evidences := [...]string{"name", "email", "title"}
+	var pairs []*Node
+	for i := 0; i < 60; i++ {
+		a := reference.ID(rng.Intn(refHi))
+		b := reference.ID(rng.Intn(refHi))
+		if a == b {
+			continue
+		}
+		n := g.AddRefPair(a, b, "Person")
+		pairs = append(pairs, n)
+		for k := 0; k < 1+rng.Intn(2); k++ {
+			ev := evidences[rng.Intn(len(evidences))]
+			v := g.AddValuePair(ev,
+				fmt.Sprintf("x%d", rng.Intn(12)),
+				fmt.Sprintf("x%d", rng.Intn(12)),
+				rng.Float64())
+			g.AddEdge(v, n, RealValued, ev)
+			if rng.Intn(4) == 0 {
+				g.AddEdge(n, v, StrongBoolean, ev)
+			}
+		}
+	}
+	for i := 0; i < 50 && len(pairs) > 1; i++ {
+		a := pairs[rng.Intn(len(pairs))]
+		b := pairs[rng.Intn(len(pairs))]
+		g.AddEdge(a, b, DepType(rng.Intn(3)), "contact")
+	}
+	for i := 0; i < 4; i++ {
+		g.MarkNonMerge(pairs[rng.Intn(len(pairs))])
+	}
+	return pairs
+}
+
+// eqSnapshot canonically renders every live node's key, kind, status, and
+// exact similarity bits.
+func eqSnapshot(g *Graph) string {
+	var lines []string
+	g.Nodes(func(n *Node) {
+		lines = append(lines, fmt.Sprintf("%s|%d|%d|%016x",
+			n.Key, n.Kind, n.Status, math.Float64bits(n.Sim)))
+	})
+	sort.Strings(lines)
+	return strings.Join(lines, "\n")
+}
+
+// eqComparable zeroes the delta counters: the rescan run never touches
+// aggregates, so only the shared engine counters are compared.
+func eqComparable(st Stats) Stats {
+	st.DeltaHits, st.AggBuilds, st.AggRebuilds = 0, 0, 0
+	return st
+}
+
+func eqCheckAggregates(t *testing.T, g *Graph, seed int64, phase string) {
+	t.Helper()
+	g.Nodes(func(n *Node) {
+		if msg := n.checkAggregate(); msg != "" {
+			t.Fatalf("seed %d %s: node %s aggregate inconsistent: %s", seed, phase, n.Key, msg)
+		}
+	})
+}
+
+// TestDeltaRescanEquivalence drives pairs of identically constructed
+// random graphs — one scored via delta-maintained digests, one via the
+// full-rescan reference scorer — through a propagation run, an incremental
+// second construction batch, and a second run. After every phase the two
+// graphs must agree exactly, and every maintained aggregate must equal a
+// fresh scan of its in-edges.
+func TestDeltaRescanEquivalence(t *testing.T) {
+	for seed := int64(0); seed < 12; seed++ {
+		gDelta, gRescan := New(), New()
+		rngD := rand.New(rand.NewSource(seed))
+		rngR := rand.New(rand.NewSource(seed))
+
+		for batch, refHi := range []int{24, 40} {
+			phase := fmt.Sprintf("batch %d", batch)
+			seedD := eqBuildPhase(gDelta, rngD, refHi)
+			seedR := eqBuildPhase(gRescan, rngR, refHi)
+			if len(seedD) != len(seedR) {
+				t.Fatalf("seed %d %s: construction diverged", seed, phase)
+			}
+			stD := gDelta.Run(seedD, eqOptions(eqDigestScore))
+			stR := gRescan.Run(seedR, eqOptions(eqRescanScore))
+
+			if got, want := eqComparable(stD), eqComparable(stR); got != want {
+				t.Errorf("seed %d %s: delta stats %+v != rescan stats %+v", seed, phase, got, want)
+			}
+			if stR.DeltaHits != 0 || stR.AggBuilds != 0 || stR.AggRebuilds != 0 {
+				t.Errorf("seed %d %s: rescan run reported aggregate activity: %+v", seed, phase, stR)
+			}
+			if stD.DeltaHits == 0 {
+				t.Errorf("seed %d %s: delta run served no digest hits", seed, phase)
+			}
+			if snapD, snapR := eqSnapshot(gDelta), eqSnapshot(gRescan); snapD != snapR {
+				t.Fatalf("seed %d %s: graphs diverged\n--- delta ---\n%s\n--- rescan ---\n%s",
+					seed, phase, snapD, snapR)
+			}
+			eqCheckAggregates(t, gDelta, seed, phase)
+			checkInvariants(t, gDelta, seed)
+			checkInvariants(t, gRescan, seed)
+		}
+	}
+}

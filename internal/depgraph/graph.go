@@ -19,6 +19,15 @@ type Graph struct {
 
 	liveNodes int
 	edgeCount int
+
+	// maintain turns on delta-maintenance of per-node evidence aggregates.
+	// It is set by the first Run and stays on: from then every mutation
+	// that can change a node's evidence goes through a hook in
+	// aggregate.go, so memoized digests remain exact across incremental
+	// sessions. Outside maintained mode Digest falls back to a full scan,
+	// which keeps direct Status/Sim mutation (tests, construction) safe.
+	maintain bool
+	delta    deltaCounters
 }
 
 // New returns an empty graph.
@@ -81,7 +90,7 @@ func (g *Graph) AddValuePair(evidence, elemX, elemY string, sim float64) *Node {
 	key := ValuePairKey(evidence, elemX, elemY)
 	if n := g.Lookup(key); n != nil {
 		if sim > n.Sim && n.Status != NonMerge {
-			n.Sim = sim
+			g.raiseSim(n, sim)
 		}
 		return n
 	}
@@ -94,6 +103,7 @@ func (g *Graph) AddValuePair(evidence, elemX, elemY string, sim float64) *Node {
 }
 
 func (g *Graph) insert(n *Node) {
+	n.g = g
 	g.nodes = append(g.nodes, n)
 	g.byKey[n.Key] = n
 	g.liveNodes++
@@ -115,6 +125,7 @@ func (g *Graph) AddEdge(from, to *Node, dep DepType, evidence string) *Edge {
 	from.out = append(from.out, e)
 	to.in = append(to.in, e)
 	g.edgeCount++
+	g.aggOnAddEdge(e)
 	return e
 }
 
@@ -139,10 +150,12 @@ func (g *Graph) removeNode(n *Node) {
 	}
 	for _, e := range n.out {
 		e.To.dropEdge(e, false)
+		g.aggOnDropSource(e.To, e)
 		g.edgeCount--
 	}
 	n.in, n.out = nil, nil
 	n.edgeSet = nil
+	n.agg = nil
 	n.alive = false
 	delete(g.byKey, n.Key)
 	g.liveNodes--
@@ -172,9 +185,27 @@ func (n *Node) dropEdge(e *Edge, outgoing bool) {
 // MarkNonMerge marks the node as constrained-distinct. A non-merge node is
 // frozen at similarity 0 and never enters the queue.
 func (g *Graph) MarkNonMerge(n *Node) {
+	if n.Status == NonMerge {
+		return
+	}
+	wasMerged := n.Status == Merged
 	n.Status = NonMerge
 	n.Sim = 0
 	g.queue.remove(n)
+	g.aggOnNonMerge(n, wasMerged)
+}
+
+// MarkMerged marks the node as merged, patching dependents' evidence
+// aggregates. All Merged transitions outside the engine's own pop path
+// (e.g. value pairs that clear their merge threshold at construction time)
+// must go through here rather than writing Status directly, or maintained
+// digests would go stale.
+func (g *Graph) MarkMerged(n *Node) {
+	if n.Status == Merged || n.Status == NonMerge {
+		return
+	}
+	n.Status = Merged
+	g.aggOnMerged(n)
 }
 
 // Nodes invokes fn for every live node, in insertion order.

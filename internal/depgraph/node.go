@@ -130,6 +130,12 @@ type Node struct {
 	out     []*Edge
 	edgeSet map[edgeKey]bool
 
+	// g backlinks to the owning graph so Digest can consult maintenance
+	// mode; agg is the delta-maintained evidence aggregate (nil until the
+	// node is first scored in maintained mode). See aggregate.go.
+	g   *Graph
+	agg *aggregate
+
 	alive   bool
 	queued  bool
 	queueID uint64 // generation marker used by the queue to skip stale entries

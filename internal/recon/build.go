@@ -315,7 +315,9 @@ func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []v
 		elemY := elemPrefix(v.cmp.attrB) + tokenizer.Normalize(v.v2)
 		n := b.g.AddValuePair(v.cmp.evidence, elemX, elemY, sim)
 		if n.Sim >= b.cfg.AttrMergeThreshold {
-			n.Status = depgraph.Merged
+			// MarkMerged (not a direct Status write) so that incremental
+			// batches keep the maintained evidence digests exact.
+			b.g.MarkMerged(n)
 		}
 		b.g.AddEdge(n, m, depgraph.RealValued, v.cmp.evidence)
 		// Alias learning: merging the references certifies
@@ -361,7 +363,7 @@ func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []v
 func (b *builder) sharedValueNode(target reference.ID) *depgraph.Node {
 	elem := "r:" + refIDString(target)
 	n := b.g.AddValuePair("shared", elem, elem, 1)
-	n.Status = depgraph.Merged
+	b.g.MarkMerged(n)
 	return n
 }
 

@@ -111,6 +111,13 @@ type Config struct {
 	MaxSteps int
 	// Epsilon is the reactivation threshold (0 = engine default).
 	Epsilon float64
+	// RescanScoring disables delta-maintained evidence digests: every
+	// propagation step rescans the node's full incoming neighborhood, the
+	// pre-optimization reference behavior. Results are bit-identical either
+	// way (the determinism tests enforce it); the flag exists for
+	// benchmarking the delta scorer against its baseline and as an escape
+	// hatch.
+	RescanScoring bool
 }
 
 // DefaultConfig returns the full algorithm with the published parameters.

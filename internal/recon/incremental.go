@@ -7,7 +7,6 @@ import (
 
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
-	"refrecon/internal/simfn"
 )
 
 // Session supports incremental reconciliation — the first future-work
@@ -68,20 +67,7 @@ func (s *Session) Reconcile() (*Result, error) {
 	}
 	s.stats.BuildTime += time.Since(start)
 	start = time.Now()
-	scorer := &simfn.Scorer{Params: s.rc.cfg.Params}
-	engine := s.g.Run(seed, depgraph.Options{
-		Scorer: scorer,
-		MergeThreshold: func(n *depgraph.Node) float64 {
-			if n.Kind == depgraph.ValuePair {
-				return s.rc.cfg.AttrMergeThreshold
-			}
-			return s.rc.cfg.MergeThreshold
-		},
-		Epsilon:   s.rc.cfg.Epsilon,
-		Propagate: s.rc.cfg.Mode.propagate(),
-		Enrich:    s.rc.cfg.Mode.enrich(),
-		MaxSteps:  s.rc.cfg.MaxSteps,
-	})
+	engine := s.g.Run(seed, s.rc.engineOptions())
 	s.stats.PropagateTime += time.Since(start)
 
 	s.stats.CandidatePairs = s.b.candidatePairs
@@ -93,6 +79,9 @@ func (s *Session) Reconcile() (*Result, error) {
 	s.stats.Engine.Folds += engine.Folds
 	s.stats.Engine.Reactivate += engine.Reactivate
 	s.stats.Engine.Truncated = s.stats.Engine.Truncated || engine.Truncated
+	s.stats.Engine.DeltaHits += engine.DeltaHits
+	s.stats.Engine.AggBuilds += engine.AggBuilds
+	s.stats.Engine.AggRebuilds += engine.AggRebuilds
 	s.stats.NonMergeNodes = 0
 	s.g.Nodes(func(n *depgraph.Node) {
 		if n.Status == depgraph.NonMerge {

@@ -96,27 +96,13 @@ func (rc *Reconciler) BuildGraph(store *reference.Store) (Stats, error) {
 	}, nil
 }
 
-// Reconcile partitions the store's references into entities.
-func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
-	if err := store.Validate(rc.sch); err != nil {
-		return nil, fmt.Errorf("recon: invalid input: %w", err)
-	}
-	start := time.Now()
-	b := newBuilder(store, rc.sch, rc.cfg)
-	g, seed := b.build()
-
-	stats := Stats{
-		CandidatePairs: b.candidatePairs,
-		GraphNodes:     g.NodeCount(),
-		GraphEdges:     g.EdgeCount(),
-		SkippedBuckets: b.skippedBuckets,
-		BuildTime:      time.Since(start),
-	}
-
-	start = time.Now()
-	scorer := &simfn.Scorer{Params: rc.cfg.Params}
-	stats.Engine = g.Run(seed, depgraph.Options{
-		Scorer: scorer,
+// engineOptions assembles the propagation-engine configuration shared by
+// one-shot and incremental reconciliation. The scorer reads the
+// delta-maintained evidence digests unless Config.RescanScoring forces the
+// reference full-rescan path.
+func (rc *Reconciler) engineOptions() depgraph.Options {
+	return depgraph.Options{
+		Scorer: &simfn.Scorer{Params: rc.cfg.Params, Rescan: rc.cfg.RescanScoring},
 		MergeThreshold: func(n *depgraph.Node) float64 {
 			if n.Kind == depgraph.ValuePair {
 				return rc.cfg.AttrMergeThreshold
@@ -127,20 +113,77 @@ func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
 		Propagate: rc.cfg.Mode.propagate(),
 		Enrich:    rc.cfg.Mode.enrich(),
 		MaxSteps:  rc.cfg.MaxSteps,
-	})
+	}
+}
+
+// Prepared is a fully constructed dependency graph awaiting propagation.
+// BuildRetained returns one; Propagate consumes it. The split lets
+// benchmarks (and diagnostics) time the propagation fixed point and the
+// closure separately from construction.
+type Prepared struct {
+	rc    *Reconciler
+	store *reference.Store
+	g     *depgraph.Graph
+	seed  []*depgraph.Node
+	stats Stats
+	used  bool
+}
+
+// BuildRetained runs the construction phase and keeps the graph, ready for
+// a single Propagate call.
+func (rc *Reconciler) BuildRetained(store *reference.Store) (*Prepared, error) {
+	if err := store.Validate(rc.sch); err != nil {
+		return nil, fmt.Errorf("recon: invalid input: %w", err)
+	}
+	start := time.Now()
+	b := newBuilder(store, rc.sch, rc.cfg)
+	g, seed := b.build()
+	return &Prepared{
+		rc: rc, store: store, g: g, seed: seed,
+		stats: Stats{
+			CandidatePairs: b.candidatePairs,
+			GraphNodes:     g.NodeCount(),
+			GraphEdges:     g.EdgeCount(),
+			SkippedBuckets: b.skippedBuckets,
+			BuildTime:      time.Since(start),
+		},
+	}, nil
+}
+
+// Propagate runs the fixed point and the constrained closure over the
+// prepared graph. Propagation mutates the graph, so a Prepared value is
+// single-use; a second call errors.
+func (p *Prepared) Propagate() (*Result, error) {
+	if p.used {
+		return nil, fmt.Errorf("recon: Prepared.Propagate called twice (the graph is consumed)")
+	}
+	p.used = true
+	stats := p.stats
+
+	start := time.Now()
+	stats.Engine = p.g.Run(p.seed, p.rc.engineOptions())
 	stats.PropagateTime = time.Since(start)
 
-	g.Nodes(func(n *depgraph.Node) {
+	p.g.Nodes(func(n *depgraph.Node) {
 		if n.Status == depgraph.NonMerge {
 			stats.NonMergeNodes++
 		}
 	})
 
 	start = time.Now()
-	res := closure(store, g, rc.cfg.Constraints)
+	res := closure(p.store, p.g, p.rc.cfg.Constraints)
 	stats.ClosureTime = time.Since(start)
 	res.Stats = stats
 	return res, nil
+}
+
+// Reconcile partitions the store's references into entities.
+func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
+	p, err := rc.BuildRetained(store)
+	if err != nil {
+		return nil, err
+	}
+	return p.Propagate()
 }
 
 // closure computes the transitive closure over merged reference pairs,

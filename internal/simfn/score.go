@@ -1,6 +1,8 @@
 package simfn
 
 import (
+	"sort"
+
 	"refrecon/internal/depgraph"
 	"refrecon/internal/schema"
 )
@@ -76,10 +78,60 @@ func Gather(n *depgraph.Node) Evidence {
 // Has reports whether any real-valued evidence of the type is present.
 func (ev Evidence) Has(t string) bool { _, ok := ev.Real[t]; return ok }
 
+// EvidenceView is the read-only evidence access the decision trees consume.
+// Two implementations exist: Evidence (a full rescan of the incoming edges,
+// the reference semantics) and depgraph.EvidenceDigest (the delta-maintained
+// aggregate, O(changed neighbors) per step). The contract for bit-identical
+// scores: both enumerate present evidence kinds in lexicographic order and
+// expose the same per-kind maxima and boolean counts.
+type EvidenceView interface {
+	// RealEvidence returns the maximum similarity among real-valued sources
+	// of the kind and whether any such source is present.
+	RealEvidence(kind string) (float64, bool)
+	// EachRealEvidence visits the present kinds in lexicographic order.
+	EachRealEvidence(fn func(kind string, max float64))
+	// StrongMergedCount returns the number of merged strong-boolean sources.
+	StrongMergedCount() int
+	// WeakMergedCount returns the number of merged weak-boolean sources.
+	WeakMergedCount() int
+}
+
+// RealEvidence implements EvidenceView.
+func (ev Evidence) RealEvidence(kind string) (float64, bool) {
+	v, ok := ev.Real[kind]
+	return v, ok
+}
+
+// EachRealEvidence implements EvidenceView: kinds are visited in sorted
+// order so that accumulation order (and thus float rounding) matches the
+// digest path bit for bit.
+func (ev Evidence) EachRealEvidence(fn func(kind string, max float64)) {
+	kinds := make([]string, 0, len(ev.Real))
+	for k := range ev.Real {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	for _, k := range kinds {
+		fn(k, ev.Real[k])
+	}
+}
+
+// StrongMergedCount implements EvidenceView.
+func (ev Evidence) StrongMergedCount() int { return ev.StrongMerged }
+
+// WeakMergedCount implements EvidenceView.
+func (ev Evidence) WeakMergedCount() int { return ev.WeakMerged }
+
 // Scorer scores dependency-graph nodes with the paper's similarity
 // template. It implements depgraph.Scorer.
 type Scorer struct {
 	Params map[string]ClassParams
+	// Rescan forces the reference scoring path: every Score call digests
+	// the node's full incoming neighborhood with Gather. When false (the
+	// default) Score reads the node's delta-maintained evidence digest,
+	// making each propagation step O(changed neighbors). Both paths
+	// produce bit-identical similarities; the equivalence tests enforce it.
+	Rescan bool
 }
 
 // NewScorer returns a Scorer with the published parameters.
@@ -88,10 +140,15 @@ func NewScorer() *Scorer { return &Scorer{Params: PaperParams()} }
 // Score implements depgraph.Scorer.
 func (s *Scorer) Score(n *depgraph.Node) float64 {
 	if n.Kind == depgraph.ValuePair {
-		return scoreValuePair(n)
+		return s.scoreValuePairNode(n)
 	}
-	ev := Gather(n)
-	srv := SRV(n.Class, ev)
+	var view EvidenceView
+	if s.Rescan {
+		view = Gather(n)
+	} else {
+		view = n.Digest()
+	}
+	srv := srvClass(n.Class, view)
 	p, ok := s.Params[n.Class]
 	if !ok {
 		// Custom classes default to the Person/Article settings.
@@ -99,8 +156,8 @@ func (s *Scorer) Score(n *depgraph.Node) float64 {
 	}
 	total := srv
 	if srv >= p.TRV {
-		total += p.Beta * float64(ev.StrongMerged)
-		total += p.Gamma * float64(ev.WeakMerged)
+		total += p.Beta * float64(view.StrongMergedCount())
+		total += p.Gamma * float64(view.WeakMergedCount())
 	}
 	if total > 1 {
 		total = 1
@@ -108,10 +165,21 @@ func (s *Scorer) Score(n *depgraph.Node) float64 {
 	return total
 }
 
-// scoreValuePair implements alias learning: a value pair's similarity is
-// its precomputed score, raised to 1 once any reference pair it identifies
-// (an incoming strong-boolean neighbor) has merged — e.g. two venue names
-// become known aliases when their venues reconcile.
+// scoreValuePairNode implements alias learning: a value pair's similarity
+// is its precomputed score, raised to 1 once any reference pair it
+// identifies (an incoming strong-boolean neighbor) has merged — e.g. two
+// venue names become known aliases when their venues reconcile.
+func (s *Scorer) scoreValuePairNode(n *depgraph.Node) float64 {
+	if s.Rescan {
+		return scoreValuePair(n)
+	}
+	if n.Digest().StrongMergedCount() > 0 {
+		return 1
+	}
+	return n.Sim
+}
+
+// scoreValuePair is the rescan form of alias learning.
 func scoreValuePair(n *depgraph.Node) float64 {
 	s := n.Sim
 	for _, e := range n.In() {
@@ -124,7 +192,10 @@ func scoreValuePair(n *depgraph.Node) float64 {
 
 // SRV computes the class-specific S_rv decision tree over the gathered
 // evidence. Every branch is monotone in the evidence values.
-func SRV(class string, ev Evidence) float64 {
+func SRV(class string, ev Evidence) float64 { return srvClass(class, ev) }
+
+// srvClass dispatches the class decision tree over any evidence view.
+func srvClass(class string, ev EvidenceView) float64 {
 	switch class {
 	case schema.ClassPerson:
 		return srvPerson(ev)
@@ -149,10 +220,10 @@ func SRV(class string, ev Evidence) float64 {
 // The branches are alternatives; the best applicable one wins, which keeps
 // the function monotone and avoids penalizing missing or multi-valued
 // attributes (§4).
-func srvPerson(ev Evidence) float64 {
-	name, hasName := ev.Real[EvName]
-	email, hasEmail := ev.Real[EvEmail]
-	cross, hasCross := ev.Real[EvNameEmail]
+func srvPerson(ev EvidenceView) float64 {
+	name, hasName := ev.RealEvidence(EvName)
+	email, hasEmail := ev.RealEvidence(EvEmail)
+	cross, hasCross := ev.RealEvidence(EvNameEmail)
 
 	if hasEmail && email >= 1 {
 		return 1 // key attribute agreement
@@ -180,10 +251,10 @@ func srvPerson(ev Evidence) float64 {
 // evidence types that are present (missing attributes are excluded rather
 // than scored 0, §4), with title dominating. An exact title plus exact
 // pages acts as a key.
-func srvArticle(ev Evidence) float64 {
-	title := ev.Real[EvTitle]
-	pages, hasPages := ev.Real[EvPages]
-	if ev.Has(EvTitle) && title >= 1 && hasPages && pages >= 1 {
+func srvArticle(ev EvidenceView) float64 {
+	title, hasTitle := ev.RealEvidence(EvTitle)
+	pages, hasPages := ev.RealEvidence(EvPages)
+	if hasTitle && title >= 1 && hasPages && pages >= 1 {
 		return 1
 	}
 	// Titles gate everything: agreeing authors, venue, and year are
@@ -191,7 +262,7 @@ func srvArticle(ev Evidence) float64 {
 	// corroborating evidence only counts once the titles are already
 	// close. The branch structure stays monotone: raising the title
 	// similarity can only raise the score.
-	if !ev.Has(EvTitle) || title < 0.75 {
+	if !hasTitle || title < 0.75 {
 		return title
 	}
 	weights := []struct {
@@ -215,7 +286,7 @@ func srvArticle(ev Evidence) float64 {
 // (0.1), so article reconciliations readily push edition pairs over the
 // threshold (the paper's venue-recall machinery, and on noisy citation
 // data also its venue-precision cost).
-func srvVenue(ev Evidence) float64 {
+func srvVenue(ev EvidenceView) float64 {
 	weights := []struct {
 		t string
 		w float64
@@ -228,25 +299,27 @@ func srvVenue(ev Evidence) float64 {
 }
 
 // srvGeneric averages whatever evidence is present with equal weight; used
-// for classes without a specialized function.
-func srvGeneric(ev Evidence) float64 {
-	if len(ev.Real) == 0 {
+// for classes without a specialized function. Kinds are accumulated in the
+// view's sorted enumeration order so both evidence views round identically.
+func srvGeneric(ev EvidenceView) float64 {
+	sum, count := 0.0, 0
+	ev.EachRealEvidence(func(_ string, v float64) {
+		sum += v
+		count++
+	})
+	if count == 0 {
 		return 0
 	}
-	sum := 0.0
-	for _, v := range ev.Real {
-		sum += v
-	}
-	return sum / float64(len(ev.Real))
+	return sum / float64(count)
 }
 
-func weightedPresent(ev Evidence, weights []struct {
+func weightedPresent(ev EvidenceView, weights []struct {
 	t string
 	w float64
 }) float64 {
 	num, den := 0.0, 0.0
 	for _, wt := range weights {
-		if v, ok := ev.Real[wt.t]; ok {
+		if v, ok := ev.RealEvidence(wt.t); ok {
 			num += wt.w * v
 			den += wt.w
 		}

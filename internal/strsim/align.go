@@ -11,8 +11,11 @@ import (
 // a distorted copy of the other ("Dept. of Computer Science, Stanford"
 // vs "Stanford Computer Science Department").
 func SmithWaterman(a, b string) float64 {
-	ra := []rune(tokenizer.Normalize(a))
-	rb := []rune(tokenizer.Normalize(b))
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
@@ -24,8 +27,14 @@ func SmithWaterman(a, b string) float64 {
 		mismatch = -1
 		gap      = -1
 	)
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev := intRow(&sc.row0, len(rb)+1)
+	cur := intRow(&sc.row1, len(rb)+1)
+	for j := range prev {
+		prev[j] = 0
+	}
+	for j := range cur {
+		cur[j] = 0
+	}
 	best := 0
 	for i := 1; i <= len(ra); i++ {
 		for j := 1; j <= len(rb); j++ {
@@ -65,8 +74,11 @@ func SmithWaterman(a, b string) float64 {
 // score (match +1, mismatch -1, gap -1) rescaled from [-maxLen, maxLen].
 // Unlike Levenshtein it rewards matches rather than only counting errors.
 func NeedlemanWunsch(a, b string) float64 {
-	ra := []rune(tokenizer.Normalize(a))
-	rb := []rune(tokenizer.Normalize(b))
+	sc := getScratch()
+	defer putScratch(sc)
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	ra, rb := sc.ra, sc.rb
 	if len(ra) == 0 && len(rb) == 0 {
 		return 1
 	}
@@ -75,8 +87,8 @@ func NeedlemanWunsch(a, b string) float64 {
 		mismatch = -1
 		gap      = -1
 	)
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev := intRow(&sc.row0, len(rb)+1)
+	cur := intRow(&sc.row1, len(rb)+1)
 	for j := range prev {
 		prev[j] = j * gap
 	}

@@ -1,0 +1,92 @@
+package strsim
+
+import (
+	"testing"
+
+	"refrecon/internal/tokenizer"
+)
+
+// The comparator hot paths run inside the propagation engine's serial loop
+// and the parallel construction workers; the pooled-scratch design (see
+// scratch.go) is supposed to make them allocation-free in steady state.
+// These regression tests pin that at exactly zero so a stray []rune
+// conversion or per-call make can never creep back in.
+
+// allocSink defeats dead-code elimination of the measured calls.
+var allocSink float64
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	// AllocsPerRun runs fn once as warm-up, which primes the scratch pool
+	// and grows the buffers to their steady capacity.
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+	}
+}
+
+func TestLevenshteinZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "Levenshtein", func() {
+		allocSink += float64(Levenshtein("reference reconciliation", "refernce reconcilation"))
+	})
+}
+
+func TestLevenshteinSimZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "LevenshteinSim", func() {
+		allocSink += LevenshteinSim("José García-Molina", "Jose Garcia Molina")
+	})
+}
+
+func TestDamerauZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "DamerauLevenshtein", func() {
+		allocSink += float64(DamerauLevenshtein("michael stonebraker", "micheal stonebraker"))
+	})
+	assertZeroAllocs(t, "DamerauSim", func() {
+		allocSink += DamerauSim("michael stonebraker", "micheal stonebraker")
+	})
+}
+
+func TestJaroWinklerZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "Jaro", func() {
+		allocSink += Jaro("martha", "marhta")
+	})
+	assertZeroAllocs(t, "JaroWinkler", func() {
+		allocSink += JaroWinkler("dixon", "dicksonx")
+	})
+}
+
+func TestAlignZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "SmithWaterman", func() {
+		allocSink += SmithWaterman("dept of computer science stanford", "stanford computer science department")
+	})
+	assertZeroAllocs(t, "NeedlemanWunsch", func() {
+		allocSink += NeedlemanWunsch("sigmod conference", "sigmod record")
+	})
+}
+
+func TestNGramSimZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "TrigramSim", func() {
+		allocSink += TrigramSim("proceedings of the acm sigmod", "proc acm sigmod")
+	})
+}
+
+func TestLCSAndPrefixZeroAllocs(t *testing.T) {
+	assertZeroAllocs(t, "LCSSim", func() {
+		allocSink += LCSSim("very large data bases", "large databases")
+	})
+	assertZeroAllocs(t, "PrefixSim", func() {
+		allocSink += PrefixSim("proceedings", "proc")
+	})
+}
+
+func TestEachNGramZeroAllocs(t *testing.T) {
+	// The callback is bound outside the measured closure so the measurement
+	// sees only EachNGram's own behavior.
+	count := 0
+	emit := func(g []rune) { count += len(g) }
+	assertZeroAllocs(t, "tokenizer.EachNGram", func() {
+		tokenizer.EachNGram("Reference Reconciliation in Complex Information Spaces", 3, emit)
+	})
+	if count == 0 {
+		t.Fatal("EachNGram emitted no grams")
+	}
+}

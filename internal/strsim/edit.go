@@ -8,6 +8,10 @@
 // symmetric in its arguments, and returns 1 for equal inputs. Scores are
 // computed over normalized forms (see package tokenizer), so callers may
 // pass raw strings.
+//
+// The comparators are allocation-free in steady state: rune conversions
+// and dynamic-programming rows live in pooled scratch buffers (see
+// scratch.go), a property the alloc regression tests enforce.
 package strsim
 
 import (
@@ -20,11 +24,15 @@ import (
 // operates on the raw rune sequences; use LevenshteinSim for a normalized
 // similarity.
 func Levenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
-	return levenshteinRunes(ra, rb)
+	sc := getScratch()
+	sc.ra = appendRunes(sc.ra[:0], a)
+	sc.rb = appendRunes(sc.rb[:0], b)
+	d := levenshteinScratch(sc, sc.ra, sc.rb)
+	putScratch(sc)
+	return d
 }
 
-func levenshteinRunes(ra, rb []rune) int {
+func levenshteinScratch(sc *scratch, ra, rb []rune) int {
 	if len(ra) == 0 {
 		return len(rb)
 	}
@@ -35,8 +43,8 @@ func levenshteinRunes(ra, rb []rune) int {
 	if len(rb) > len(ra) {
 		ra, rb = rb, ra
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev := intRow(&sc.row0, len(rb)+1)
+	cur := intRow(&sc.row1, len(rb)+1)
 	for j := range prev {
 		prev[j] = j
 	}
@@ -59,7 +67,15 @@ func levenshteinRunes(ra, rb []rune) int {
 // string alignment" variant). Transpositions are the dominant typo class in
 // person names, so this distance is preferred for name comparison.
 func DamerauLevenshtein(a, b string) int {
-	ra, rb := []rune(a), []rune(b)
+	sc := getScratch()
+	sc.ra = appendRunes(sc.ra[:0], a)
+	sc.rb = appendRunes(sc.rb[:0], b)
+	d := damerauScratch(sc, sc.ra, sc.rb)
+	putScratch(sc)
+	return d
+}
+
+func damerauScratch(sc *scratch, ra, rb []rune) int {
 	la, lb := len(ra), len(rb)
 	if la == 0 {
 		return lb
@@ -68,9 +84,9 @@ func DamerauLevenshtein(a, b string) int {
 		return la
 	}
 	// Three rolling rows: i-2, i-1, i.
-	prev2 := make([]int, lb+1)
-	prev := make([]int, lb+1)
-	cur := make([]int, lb+1)
+	prev2 := intRow(&sc.row0, lb+1)
+	prev := intRow(&sc.row1, lb+1)
+	cur := intRow(&sc.row2, lb+1)
 	for j := 0; j <= lb; j++ {
 		prev[j] = j
 	}
@@ -97,17 +113,22 @@ func DamerauLevenshtein(a, b string) int {
 // 1 - dist/max(len). Inputs are normalized first. Two empty strings are
 // considered identical (similarity 1).
 func LevenshteinSim(a, b string) float64 {
-	na := []rune(tokenizer.Normalize(a))
-	nb := []rune(tokenizer.Normalize(b))
-	return editSim(levenshteinRunes(na, nb), len(na), len(nb))
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	s := editSim(levenshteinScratch(sc, sc.ra, sc.rb), len(sc.ra), len(sc.rb))
+	putScratch(sc)
+	return s
 }
 
 // DamerauSim is LevenshteinSim using the Damerau-Levenshtein distance.
 func DamerauSim(a, b string) float64 {
-	na := tokenizer.Normalize(a)
-	nb := tokenizer.Normalize(b)
-	d := DamerauLevenshtein(na, nb)
-	return editSim(d, len([]rune(na)), len([]rune(nb)))
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	s := editSim(damerauScratch(sc, sc.ra, sc.rb), len(sc.ra), len(sc.rb))
+	putScratch(sc)
+	return s
 }
 
 func editSim(dist, la, lb int) float64 {
@@ -124,13 +145,24 @@ func editSim(dist, la, lb int) float64 {
 // LongestCommonSubstring returns the length of the longest contiguous
 // substring shared by the normalized forms of a and b.
 func LongestCommonSubstring(a, b string) int {
-	ra := []rune(tokenizer.Normalize(a))
-	rb := []rune(tokenizer.Normalize(b))
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	best := lcsScratch(sc, sc.ra, sc.rb)
+	putScratch(sc)
+	return best
+}
+
+func lcsScratch(sc *scratch, ra, rb []rune) int {
 	if len(ra) == 0 || len(rb) == 0 {
 		return 0
 	}
-	prev := make([]int, len(rb)+1)
-	cur := make([]int, len(rb)+1)
+	prev := intRow(&sc.row0, len(rb)+1)
+	cur := intRow(&sc.row1, len(rb)+1)
+	for j := range prev {
+		prev[j] = 0
+	}
+	cur[0] = 0
 	best := 0
 	for i := 1; i <= len(ra); i++ {
 		for j := 1; j <= len(rb); j++ {
@@ -151,42 +183,54 @@ func LongestCommonSubstring(a, b string) int {
 // LCSSim normalizes LongestCommonSubstring by the length of the shorter
 // string, yielding 1 when one normalized string contains the other.
 func LCSSim(a, b string) float64 {
-	na := []rune(tokenizer.Normalize(a))
-	nb := []rune(tokenizer.Normalize(b))
-	if len(na) == 0 && len(nb) == 0 {
-		return 1
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	na, nb := sc.ra, sc.rb
+	var s float64
+	switch {
+	case len(na) == 0 && len(nb) == 0:
+		s = 1
+	case len(na) == 0 || len(nb) == 0:
+		s = 0
+	default:
+		short := len(na)
+		if len(nb) < short {
+			short = len(nb)
+		}
+		s = float64(lcsScratch(sc, na, nb)) / float64(short)
 	}
-	short := len(na)
-	if len(nb) < short {
-		short = len(nb)
-	}
-	if short == 0 {
-		return 0
-	}
-	return float64(LongestCommonSubstring(a, b)) / float64(short)
+	putScratch(sc)
+	return s
 }
 
 // PrefixSim measures how much of the shorter normalized string is a prefix
 // of the longer one, in [0,1]. Useful for abbreviation evidence
 // ("proc" vs "proceedings").
 func PrefixSim(a, b string) float64 {
-	na := []rune(tokenizer.Normalize(a))
-	nb := []rune(tokenizer.Normalize(b))
-	if len(na) == 0 && len(nb) == 0 {
-		return 1
+	sc := getScratch()
+	na := tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	nb := tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	sc.ra, sc.rb = na, nb
+	var s float64
+	switch {
+	case len(na) == 0 && len(nb) == 0:
+		s = 1
+	case len(na) == 0 || len(nb) == 0:
+		s = 0
+	default:
+		short, long := na, nb
+		if len(short) > len(long) {
+			short, long = long, short
+		}
+		n := 0
+		for n < len(short) && short[n] == long[n] {
+			n++
+		}
+		s = float64(n) / float64(len(short))
 	}
-	short, long := na, nb
-	if len(short) > len(long) {
-		short, long = long, short
-	}
-	if len(short) == 0 {
-		return 0
-	}
-	n := 0
-	for n < len(short) && short[n] == long[n] {
-		n++
-	}
-	return float64(n) / float64(len(short))
+	putScratch(sc)
+	return s
 }
 
 func minInt(xs ...int) int {

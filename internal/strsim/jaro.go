@@ -8,8 +8,15 @@ import "refrecon/internal/tokenizer"
 // short strings such as personal names, which is why it (and its Winkler
 // extension) is the de-facto standard comparator in record linkage.
 func Jaro(a, b string) float64 {
-	ra := []rune(tokenizer.Normalize(a))
-	rb := []rune(tokenizer.Normalize(b))
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	s := jaroScratch(sc, sc.ra, sc.rb)
+	putScratch(sc)
+	return s
+}
+
+func jaroScratch(sc *scratch, ra, rb []rune) float64 {
 	la, lb := len(ra), len(rb)
 	if la == 0 && lb == 0 {
 		return 1
@@ -21,8 +28,8 @@ func Jaro(a, b string) float64 {
 	if window < 0 {
 		window = 0
 	}
-	aMatched := make([]bool, la)
-	bMatched := make([]bool, lb)
+	aMatched := boolRow(&sc.am, la)
+	bMatched := boolRow(&sc.bm, lb)
 	matches := 0
 	for i := 0; i < la; i++ {
 		lo := maxInt(0, i-window)
@@ -76,13 +83,16 @@ func JaroWinklerP(a, b string, p float64) float64 {
 	if p > 0.25 {
 		p = 0.25
 	}
-	j := Jaro(a, b)
-	ra := []rune(tokenizer.Normalize(a))
-	rb := []rune(tokenizer.Normalize(b))
+	sc := getScratch()
+	sc.ra = tokenizer.AppendNormalizedRunes(sc.ra[:0], a)
+	sc.rb = tokenizer.AppendNormalizedRunes(sc.rb[:0], b)
+	ra, rb := sc.ra, sc.rb
+	j := jaroScratch(sc, ra, rb)
 	l := 0
 	for l < len(ra) && l < len(rb) && l < 4 && ra[l] == rb[l] {
 		l++
 	}
+	putScratch(sc)
 	s := j + float64(l)*p*(1-j)
 	if s > 1 {
 		s = 1

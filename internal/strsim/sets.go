@@ -2,46 +2,84 @@ package strsim
 
 import (
 	"math"
+	"slices"
 	"sort"
 	"sync"
 
 	"refrecon/internal/tokenizer"
 )
 
+// tokenSet sorts and deduplicates a freshly produced token slice in place,
+// yielding a sorted-set representation. Merge joins over two such sets
+// replace the map-based set operations this package used to build per call.
+func tokenSet(toks []string) []string {
+	slices.Sort(toks)
+	return slices.Compact(toks)
+}
+
+// sortedIntersection counts the common elements of two sorted deduped sets.
+func sortedIntersection(a, b []string) int {
+	n, i, j := 0, 0, 0
+	for i < len(a) && j < len(b) {
+		switch {
+		case a[i] == b[j]:
+			n++
+			i++
+			j++
+		case a[i] < b[j]:
+			i++
+		default:
+			j++
+		}
+	}
+	return n
+}
+
+func sortedJaccard(a, b []string) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	if len(a) == 0 || len(b) == 0 {
+		return 0
+	}
+	inter := sortedIntersection(a, b)
+	return float64(inter) / float64(len(a)+len(b)-inter)
+}
+
 // JaccardTokens returns |A ∩ B| / |A ∪ B| over the word-token sets of a and
 // b. Two strings with no tokens at all are considered identical.
 func JaccardTokens(a, b string) float64 {
-	return jaccard(toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b)))
+	return sortedJaccard(tokenSet(tokenizer.Words(a)), tokenSet(tokenizer.Words(b)))
 }
 
 // JaccardContentTokens is JaccardTokens over stopword-filtered tokens,
 // appropriate for titles and venue names.
 func JaccardContentTokens(a, b string) float64 {
-	return jaccard(toSet(tokenizer.ContentWords(a)), toSet(tokenizer.ContentWords(b)))
+	return sortedJaccard(tokenSet(tokenizer.ContentWords(a)), tokenSet(tokenizer.ContentWords(b)))
 }
 
 // DiceTokens returns the Sørensen–Dice coefficient 2|A∩B| / (|A|+|B|) over
 // word-token sets.
 func DiceTokens(a, b string) float64 {
-	sa, sb := toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b))
+	sa, sb := tokenSet(tokenizer.Words(a)), tokenSet(tokenizer.Words(b))
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
 	}
-	inter := intersectionSize(sa, sb)
+	inter := sortedIntersection(sa, sb)
 	return 2 * float64(inter) / float64(len(sa)+len(sb))
 }
 
 // OverlapTokens returns |A ∩ B| / min(|A|,|B|) over word-token sets. It is
 // forgiving of containment: "ACM SIGMOD" vs "SIGMOD" scores 1.
 func OverlapTokens(a, b string) float64 {
-	sa, sb := toSet(tokenizer.Words(a)), toSet(tokenizer.Words(b))
+	sa, sb := tokenSet(tokenizer.Words(a)), tokenSet(tokenizer.Words(b))
 	if len(sa) == 0 && len(sb) == 0 {
 		return 1
 	}
 	if len(sa) == 0 || len(sb) == 0 {
 		return 0
 	}
-	inter := intersectionSize(sa, sb)
+	inter := sortedIntersection(sa, sb)
 	m := len(sa)
 	if len(sb) < m {
 		m = len(sb)
@@ -51,9 +89,59 @@ func OverlapTokens(a, b string) float64 {
 
 // NGramSim returns the Jaccard similarity of the character n-gram multiset
 // signatures of a and b (computed as sets for robustness). Bigrams (n=2)
-// and trigrams (n=3) are the usual choices.
+// and trigrams (n=3) are the usual choices. The grams never materialize as
+// strings: both inputs are normalized into pooled rune buffers and the
+// distinct-gram sets are represented as sorted window offsets, so the
+// comparison is allocation-free in steady state.
 func NGramSim(a, b string, n int) float64 {
-	return jaccard(toSet(tokenizer.NGrams(a, n)), toSet(tokenizer.NGrams(b, n)))
+	if n <= 0 {
+		return 1
+	}
+	sc := getScratch()
+	sc.ra = appendPaddedGrams(sc.ra[:0], a, n)
+	sc.rb = appendPaddedGrams(sc.rb[:0], b, n)
+	ga, gb := sc.ra, sc.rb
+
+	sc.ia = gramIndexes(sc.ia[:0], len(ga), n)
+	sc.ib = gramIndexes(sc.ib[:0], len(gb), n)
+	sortGramIdx(sc.ia, ga, n)
+	sortGramIdx(sc.ib, gb, n)
+	ia := dedupGramIdx(sc.ia, ga, n)
+	ib := dedupGramIdx(sc.ib, gb, n)
+
+	var s float64
+	switch {
+	case len(ia) == 0 && len(ib) == 0:
+		s = 1
+	case len(ia) == 0 || len(ib) == 0:
+		s = 0
+	default:
+		inter, i, j := 0, 0, 0
+		for i < len(ia) && j < len(ib) {
+			switch cmpWin(ga[ia[i]:int(ia[i])+n], gb[ib[j]:int(ib[j])+n]) {
+			case 0:
+				inter++
+				i++
+				j++
+			case -1:
+				i++
+			default:
+				j++
+			}
+		}
+		s = float64(inter) / float64(len(ia)+len(ib)-inter)
+	}
+	putScratch(sc)
+	return s
+}
+
+// gramIndexes appends the start offset of every n-rune window of a padded
+// buffer of the given length.
+func gramIndexes(dst []int32, bufLen, n int) []int32 {
+	for i := 0; i+n <= bufLen; i++ {
+		dst = append(dst, int32(i))
+	}
+	return dst
 }
 
 // TrigramSim is NGramSim with n = 3, the configuration used by the
@@ -69,31 +157,6 @@ func toSet(toks []string) map[string]bool {
 		s[t] = true
 	}
 	return s
-}
-
-func intersectionSize(a, b map[string]bool) int {
-	if len(b) < len(a) {
-		a, b = b, a
-	}
-	n := 0
-	for t := range a {
-		if b[t] {
-			n++
-		}
-	}
-	return n
-}
-
-func jaccard(a, b map[string]bool) float64 {
-	if len(a) == 0 && len(b) == 0 {
-		return 1
-	}
-	if len(a) == 0 || len(b) == 0 {
-		return 0
-	}
-	inter := intersectionSize(a, b)
-	union := len(a) + len(b) - inter
-	return float64(inter) / float64(union)
 }
 
 // MongeElkan computes the Monge-Elkan hybrid similarity: for each token of

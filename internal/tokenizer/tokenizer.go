@@ -9,6 +9,7 @@ package tokenizer
 
 import (
 	"strings"
+	"sync"
 	"unicode"
 )
 
@@ -32,6 +33,32 @@ func Normalize(s string) string {
 		b.WriteRune(unicode.ToLower(r))
 	}
 	return strings.TrimRight(b.String(), " ")
+}
+
+// AppendNormalizedRunes appends the normalized runes of s to dst and
+// returns the extended slice: exactly the runes of Normalize(s), but
+// written into a caller-owned buffer so that hot paths (the strsim
+// comparators, n-gram emission) can normalize without allocating a string
+// per call.
+func AppendNormalizedRunes(dst []rune, s string) []rune {
+	start := len(dst)
+	prevSpace := false
+	for _, r := range s {
+		r = foldRune(r)
+		if unicode.IsSpace(r) {
+			if !prevSpace && len(dst) > start {
+				dst = append(dst, ' ')
+				prevSpace = true
+			}
+			continue
+		}
+		prevSpace = false
+		dst = append(dst, unicode.ToLower(r))
+	}
+	if len(dst) > start && dst[len(dst)-1] == ' ' {
+		dst = dst[:len(dst)-1]
+	}
+	return dst
 }
 
 // foldRune maps accented Latin letters onto their unaccented base letter.
@@ -108,24 +135,37 @@ func foldRune(r rune) rune {
 
 // Words splits s into normalized alphanumeric tokens. Any rune that is not
 // a letter or digit acts as a separator. Empty input yields a nil slice.
+// All tokens share one backing string, so the call costs a constant number
+// of allocations instead of one per token.
 func Words(s string) []string {
-	var out []string
-	var cur strings.Builder
-	flush := func() {
-		if cur.Len() > 0 {
-			out = append(out, cur.String())
-			cur.Reset()
-		}
-	}
+	var b strings.Builder
+	b.Grow(len(s))
+	var bounds []int // flattened (start, end) byte-offset pairs
+	inTok := false
 	for _, r := range s {
 		r = foldRune(r)
 		if unicode.IsLetter(r) || unicode.IsDigit(r) {
-			cur.WriteRune(unicode.ToLower(r))
-		} else {
-			flush()
+			if !inTok {
+				bounds = append(bounds, b.Len())
+				inTok = true
+			}
+			b.WriteRune(unicode.ToLower(r))
+		} else if inTok {
+			bounds = append(bounds, b.Len())
+			inTok = false
 		}
 	}
-	flush()
+	if inTok {
+		bounds = append(bounds, b.Len())
+	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	backing := b.String()
+	out := make([]string, 0, len(bounds)/2)
+	for i := 0; i < len(bounds); i += 2 {
+		out = append(out, backing[bounds[i]:bounds[i+1]])
+	}
 	return out
 }
 
@@ -158,30 +198,46 @@ func ContentWords(s string) []string {
 	return out
 }
 
+// runeBufPool recycles the padded normalization buffers behind EachNGram;
+// after warm-up, n-gram emission performs zero steady-state allocations.
+var runeBufPool = sync.Pool{New: func() any { return new([]rune) }}
+
+// EachNGram invokes fn for every character n-gram of the normalized form
+// of s, including the leading and trailing '#'-padded grams, in order. The
+// gram slice is a window into a pooled buffer: it is valid only for the
+// duration of the callback and must be copied to be retained. EachNGram
+// itself allocates nothing in steady state; it is the zero-allocation core
+// that NGrams and the n-gram comparators are built on.
+func EachNGram(s string, n int, fn func(gram []rune)) {
+	if n <= 0 {
+		return
+	}
+	bp := runeBufPool.Get().(*[]rune)
+	buf := (*bp)[:0]
+	for i := 0; i < n-1; i++ {
+		buf = append(buf, '#')
+	}
+	mark := len(buf)
+	buf = AppendNormalizedRunes(buf, s)
+	if len(buf) > mark {
+		for i := 0; i < n-1; i++ {
+			buf = append(buf, '#')
+		}
+		for i := 0; i+n <= len(buf); i++ {
+			fn(buf[i : i+n])
+		}
+	}
+	*bp = buf
+	runeBufPool.Put(bp)
+}
+
 // NGrams returns the character n-grams of the normalized form of s,
 // including leading and trailing padded grams (using '#') so that string
 // boundaries contribute evidence. For n <= 0 or an empty string it returns
 // nil.
 func NGrams(s string, n int) []string {
-	if n <= 0 {
-		return nil
-	}
-	norm := []rune(Normalize(s))
-	if len(norm) == 0 {
-		return nil
-	}
-	padded := make([]rune, 0, len(norm)+2*(n-1))
-	for i := 0; i < n-1; i++ {
-		padded = append(padded, '#')
-	}
-	padded = append(padded, norm...)
-	for i := 0; i < n-1; i++ {
-		padded = append(padded, '#')
-	}
-	out := make([]string, 0, len(padded)-n+1)
-	for i := 0; i+n <= len(padded); i++ {
-		out = append(out, string(padded[i:i+n]))
-	}
+	var out []string
+	EachNGram(s, n, func(g []rune) { out = append(out, string(g)) })
 	return out
 }
 

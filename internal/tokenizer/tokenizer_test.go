@@ -185,3 +185,56 @@ func TestEqualFolded(t *testing.T) {
 		t.Error("expected not equal")
 	}
 }
+
+// TestAppendNormalizedRunesMatchesNormalize pins the zero-allocation
+// normalization path to the string-returning reference implementation:
+// for any input, AppendNormalizedRunes must produce exactly the runes of
+// Normalize, including appending after existing buffer content.
+func TestAppendNormalizedRunesMatchesNormalize(t *testing.T) {
+	f := func(s string) bool {
+		got := AppendNormalizedRunes(nil, s)
+		if string(got) != Normalize(s) {
+			return false
+		}
+		// Appending after a prefix must leave the prefix untouched.
+		pre := []rune{'x', 'y'}
+		ext := AppendNormalizedRunes(pre, s)
+		return string(ext[:2]) == "xy" && string(ext[2:]) == Normalize(s)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	for _, s := range []string{
+		"", "   ", "José  García-Molina ", "ACM SIGMOD\t1978", "ß, Ł, Đ",
+	} {
+		if got := string(AppendNormalizedRunes(nil, s)); got != Normalize(s) {
+			t.Errorf("AppendNormalizedRunes(%q) = %q, want %q", s, got, Normalize(s))
+		}
+	}
+}
+
+// TestEachNGramMatchesNGrams checks that streaming gram emission visits
+// exactly the grams NGrams returns, in order.
+func TestEachNGramMatchesNGrams(t *testing.T) {
+	f := func(s string, n uint8) bool {
+		k := int(n%5) + 1
+		want := NGrams(s, k)
+		var got []string
+		EachNGram(s, k, func(g []rune) { got = append(got, string(g)) })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if out := NGrams("ab", 0); out != nil {
+		t.Errorf("NGrams(n=0) = %v, want nil", out)
+	}
+}

@@ -26,4 +26,11 @@ go test ./...
 echo "== go test -race (concurrent packages) =="
 go test -race ./internal/parallel ./internal/recon
 
+echo "== go test -race (delta/rescan equivalence) =="
+go test -race -run 'DeltaRescanEquivalence' ./internal/depgraph
+go test -race -run 'RescanEquivalence' .
+
+echo "== bench smoke (propagate/fold benchmarks compile and run) =="
+go test -run=NONE -bench='Propagate|EnrichFold' -benchtime=1x .
+
 echo "CI gate passed."
