@@ -38,6 +38,7 @@ func main() {
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
 	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU, 1 = serial; results are identical at any setting)")
 	rescan := flag.Bool("rescan", false, "score by full neighborhood rescans instead of delta-maintained digests (results are identical; for benchmarking)")
+	auditFlag := flag.Bool("audit", false, "verify structural invariants at every phase boundary (depgraph only; slower, aborts on the first violation)")
 	dump := flag.String("dump", "", "write partitions as JSON to this file")
 	explain := flag.String("explain", "", "explain a pair decision, e.g. -explain 12,45 (depgraph only)")
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz DOT format to this file (depgraph only)")
@@ -71,6 +72,7 @@ func main() {
 		cfg.Constraints = *constraints
 		cfg.Workers = *workers
 		cfg.RescanScoring = *rescan
+		cfg.Audit = *auditFlag
 		switch strings.ToLower(*mode) {
 		case "full":
 			cfg.Mode = recon.ModeFull
@@ -117,6 +119,9 @@ func main() {
 		}
 		fmt.Printf("closure: %d non-merge constraint nodes honored (closed in %s)\n",
 			st.NonMergeNodes, st.ClosureTime.Round(time.Millisecond))
+		if st.AuditChecks > 0 {
+			fmt.Printf("audit: %d invariant checks passed\n", st.AuditChecks)
+		}
 		if *explain != "" {
 			var a, b int
 			if _, err := fmt.Sscanf(*explain, "%d,%d", &a, &b); err != nil {
@@ -142,8 +147,8 @@ func main() {
 			fmt.Printf("dependency graph written to %s\n", *dot)
 		}
 	case "indepdec":
-		if *explain != "" || *dot != "" {
-			log.Fatal("-explain and -dot require -algo depgraph")
+		if *explain != "" || *dot != "" || *auditFlag {
+			log.Fatal("-explain, -dot, and -audit require -algo depgraph")
 		}
 		res, err := indepdec.New(schema.PIM(), indepdec.DefaultConfig()).Reconcile(ds.Store)
 		if err != nil {

@@ -368,11 +368,12 @@ func (n *Node) Digest() EvidenceDigest {
 	return EvidenceDigest{buildAggregate(n)}
 }
 
-// checkAggregate compares n's maintained aggregate against a fresh scan,
-// reporting the first discrepancy; the equivalence tests use it to assert
-// the delta-maintenance invariant. It returns "" when consistent (or when
-// no aggregate is maintained).
-func (n *Node) checkAggregate() string {
+// CheckAggregate compares n's maintained aggregate against a fresh scan of
+// its in-edges, reporting the first discrepancy; the equivalence tests and
+// the invariant auditor (package audit) use it to assert the
+// delta-maintenance invariant. It returns "" when consistent (or when no
+// aggregate is maintained).
+func (n *Node) CheckAggregate() string {
 	if n.agg == nil {
 		return ""
 	}

@@ -95,6 +95,10 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 		}
 	}
 
+	if opt.Enrich {
+		st.Folds += g.reenrich()
+	}
+
 	for {
 		n := g.queue.pop()
 		if n == nil {
@@ -207,6 +211,38 @@ func (g *Graph) activateFront(m *Node) bool {
 
 func (g *Graph) eligible(m *Node) bool {
 	return m.alive && !m.queued && m.Status != NonMerge && m.Sim < 1
+}
+
+// reenrich re-applies reference enrichment for pairs that merged in a
+// previous Run. A pair created by a later incremental batch may duplicate
+// an existing pair of an already-merged reference — the merge event that
+// would have folded it fired before the node existed — leaving several live
+// nodes for the same (merged cluster, counterpart) relationship, each
+// holding a scattered fraction of the evidence a single-batch run
+// concentrates on one node. Folding eagerly at Run start restores the
+// enrichment fixed point. Iterates until no fold applies; every fold
+// removes a node, so the loop terminates. Node collection follows the
+// graph's deterministic insertion order.
+func (g *Graph) reenrich() int {
+	total := 0
+	for {
+		var merged []*Node
+		g.Nodes(func(n *Node) {
+			if n.Kind == RefPair && n.Status == Merged {
+				merged = append(merged, n)
+			}
+		})
+		folds := 0
+		for _, n := range merged {
+			if n.alive {
+				folds += g.enrich(n)
+			}
+		}
+		total += folds
+		if folds == 0 {
+			return total
+		}
+	}
 }
 
 // enrich implements §3.3: after merging n = (r1, r2), every node (r2, r3)

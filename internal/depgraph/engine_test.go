@@ -470,3 +470,54 @@ func TestRunPanicsWithoutScorer(t *testing.T) {
 	}()
 	New().Run(nil, Options{})
 }
+
+// TestReenrichFoldsLateDuplicates covers the incremental-session gap the
+// differential harness exposed: a pair created AFTER its reference merged
+// in an earlier Run never sees the enrichment fold that fires at merge
+// time, so several live nodes split the evidence one batch run
+// concentrates on a single node. The second Run must fold the latecomer
+// into the established pair before propagating.
+func TestReenrichFoldsLateDuplicates(t *testing.T) {
+	const r1, r2, r3 = 1, 2, 3
+	g := New()
+
+	// Run 1: (r1, r2) merges on a key value.
+	merged := g.AddRefPair(r1, r2, "Venue")
+	key := g.AddValuePair("name", "sigmod", "sigmod", 1.0)
+	key.Status = Merged
+	g.AddEdge(key, merged, RealValued, "name")
+	g.Run([]*Node{merged}, opts(true, true))
+	if merged.Status != Merged {
+		t.Fatal("(r1,r2) should merge in run 1")
+	}
+
+	// Run 2 (a later incremental batch): both (r1, r3) and the duplicate
+	// (r2, r3) appear, each holding evidence 0.5 that only suffices when
+	// combined (sumScorer MAXes real-valued evidence per node, and each
+	// node also carries a merged strong-boolean worth 0.3).
+	keep := g.AddRefPair(r1, r3, "Venue")
+	dup := g.AddRefPair(r2, r3, "Venue")
+	v1 := g.AddValuePair("name", "a", "b", 0.5)
+	g.AddEdge(v1, keep, RealValued, "name")
+	v2 := g.AddValuePair("year", "x", "y", 0.5)
+	g.AddEdge(v2, dup, RealValued, "year")
+	s1 := g.AddValuePair("shared", "art1", "art1", 1.0)
+	s1.Status = Merged
+	g.AddEdge(s1, keep, StrongBoolean, "article")
+	s2 := g.AddValuePair("shared", "art2", "art2", 1.0)
+	s2.Status = Merged
+	g.AddEdge(s2, dup, StrongBoolean, "article")
+
+	st := g.Run([]*Node{keep, dup}, opts(true, true))
+	if dup.Alive() {
+		t.Fatal("(r2,r3) should have been folded into (r1,r3) at run start")
+	}
+	if st.Folds < 1 {
+		t.Errorf("Folds = %d, want >= 1", st.Folds)
+	}
+	// 0.5 real + 2 strong-boolean merged sources x 0.3 = 1.1, clamped; the
+	// scattered alternative leaves both nodes at 0.8 < 0.85.
+	if keep.Status != Merged {
+		t.Errorf("(r1,r3) should merge on the pooled evidence: sim=%f status=%v", keep.Sim, keep.Status)
+	}
+}

@@ -183,7 +183,7 @@ func eqComparable(st Stats) Stats {
 func eqCheckAggregates(t *testing.T, g *Graph, seed int64, phase string) {
 	t.Helper()
 	g.Nodes(func(n *Node) {
-		if msg := n.checkAggregate(); msg != "" {
+		if msg := n.CheckAggregate(); msg != "" {
 			t.Fatalf("seed %d %s: node %s aggregate inconsistent: %s", seed, phase, n.Key, msg)
 		}
 	})

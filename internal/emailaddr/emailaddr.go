@@ -56,13 +56,22 @@ func Parse(raw string) (Address, bool) {
 	a.Domain = tokenizer.Normalize(addrPart[at+1:])
 	a.Local = strings.ReplaceAll(a.Local, " ", "")
 	a.Domain = strings.ReplaceAll(a.Domain, " ", "")
+	// An account or server containing list or header syntax is not an
+	// address: accepting it would let a Key() leak separators back into
+	// rendered headers, where they re-parse as multiple mailboxes.
+	if strings.ContainsAny(a.Local, ",;<>\"'@") || strings.ContainsAny(a.Domain, ",;<>\"'@") {
+		a.Local, a.Domain = "", ""
+		a.Display = cleanDisplay(raw)
+		return a, false
+	}
 	return a, true
 }
 
+// cleanDisplay strips surrounding whitespace and quoting. The cutset form
+// removes any mix of quotes and spaces in one pass, so cleaning is
+// idempotent — display names survive a render/parse round trip unchanged.
 func cleanDisplay(s string) string {
-	s = strings.TrimSpace(s)
-	s = strings.Trim(s, `"'`)
-	return strings.TrimSpace(s)
+	return strings.Trim(s, "\"' \t\r\n")
 }
 
 // Key returns the canonical account key "local@domain", the identity the

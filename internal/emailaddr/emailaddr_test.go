@@ -224,3 +224,33 @@ func TestNameSimBounded(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestParseRejectsSeparatorAddresses pins the FuzzEmail-driven hardening:
+// an "address" whose local or domain carries list/header syntax must fail
+// to parse instead of leaking the separator through Key() into rendered
+// headers.
+func TestParseRejectsSeparatorAddresses(t *testing.T) {
+	for _, raw := range []string{
+		"0@0,0", "a,b@c", "x@d;e", `q"u@dom`, "a@b@c",
+	} {
+		a, ok := Parse(raw)
+		if ok {
+			t.Errorf("Parse(%q) ok with key %q, want rejection", raw, a.Key())
+		}
+		if a.Key() != "" {
+			t.Errorf("Parse(%q) produced key %q after rejection", raw, a.Key())
+		}
+	}
+}
+
+// TestCleanDisplayIdempotent: display cleaning must reach a fixed point in
+// one pass (mixed quote/space shells peeled one layer per parse made
+// render/parse oscillate).
+func TestCleanDisplayIdempotent(t *testing.T) {
+	for _, raw := range []string{`"'  x  '"`, "' a '", `" b '`, "c"} {
+		once := cleanDisplay(raw)
+		if twice := cleanDisplay(once); once != twice {
+			t.Errorf("cleanDisplay(%q): %q then %q", raw, once, twice)
+		}
+	}
+}

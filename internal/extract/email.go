@@ -116,39 +116,72 @@ func ParseAddressList(value string) []Mailbox {
 	return out
 }
 
+// sanitizeDisplay makes a display name safe to embed in a rendered header:
+// quotes, angle brackets, and control characters would change how the
+// mailbox re-parses (an unbalanced quote swallows the rest of the list; a
+// '<' starts a bogus address), so they are dropped rather than escaped.
+func sanitizeDisplay(name string) string {
+	name = strings.Map(func(r rune) rune {
+		switch {
+		case r == '"' || r == '<' || r == '>':
+			return -1
+		case r < 0x20 || r == 0x7f:
+			return ' '
+		}
+		return r
+	}, name)
+	name = strings.Join(strings.Fields(name), " ")
+	// The address parser strips surrounding quote characters; trim them
+	// here too so the rendered name survives a parse unchanged.
+	return strings.Trim(name, "' ")
+}
+
 // RenderMessage produces the textual form of a message, suitable for
 // ParseMessage round-trips; the data generators use it so that synthetic
-// corpora flow through the same parsing path as real mail would.
+// corpora flow through the same parsing path as real mail would. Display
+// names are sanitized: characters that would derail re-parsing are removed
+// and comma-containing names are quoted.
 func RenderMessage(m Message) string {
 	var b strings.Builder
 	writeBox := func(mb Mailbox) string {
+		name := sanitizeDisplay(mb.Name)
 		switch {
-		case mb.Name != "" && mb.Email != "":
-			if strings.Contains(mb.Name, ",") {
-				return `"` + mb.Name + `" <` + mb.Email + ">"
+		case name != "" && mb.Email != "":
+			if strings.Contains(name, ",") {
+				return `"` + name + `" <` + mb.Email + ">"
 			}
-			return mb.Name + " <" + mb.Email + ">"
+			return name + " <" + mb.Email + ">"
 		case mb.Email != "":
 			return mb.Email
 		default:
-			return mb.Name
+			if strings.ContainsRune(name, '@') {
+				// A bare display name containing '@' would re-parse as an
+				// address; there is no faithful rendering for it.
+				return ""
+			}
+			if strings.Contains(name, ",") {
+				return `"` + name + `"`
+			}
+			return name
+		}
+	}
+	// Mailboxes whose name sanitizes away and that carry no address render
+	// to nothing; keeping them would emit list entries the parser cannot
+	// see, breaking the round trip.
+	writeList := func(header string, boxes []Mailbox) {
+		var rendered []string
+		for _, t := range boxes {
+			if s := writeBox(t); s != "" {
+				rendered = append(rendered, s)
+			}
+		}
+		if len(rendered) > 0 {
+			fmt.Fprintf(&b, "%s: %s\n", header, strings.Join(rendered, ", "))
 		}
 	}
 	fmt.Fprintf(&b, "From: %s\n", writeBox(m.From))
-	if len(m.To) > 0 {
-		tos := make([]string, len(m.To))
-		for i, t := range m.To {
-			tos[i] = writeBox(t)
-		}
-		fmt.Fprintf(&b, "To: %s\n", strings.Join(tos, ", "))
-	}
-	if len(m.Cc) > 0 {
-		ccs := make([]string, len(m.Cc))
-		for i, t := range m.Cc {
-			ccs[i] = writeBox(t)
-		}
-		fmt.Fprintf(&b, "Cc: %s\n", strings.Join(ccs, ", "))
-	}
+	writeList("To", m.To)
+	writeList("Cc", m.Cc)
 	if m.Subject != "" {
 		fmt.Fprintf(&b, "Subject: %s\n", m.Subject)
 	}

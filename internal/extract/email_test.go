@@ -89,3 +89,28 @@ func TestRenderParseRoundTrip(t *testing.T) {
 		t.Errorf("scalar headers = %+v", got)
 	}
 }
+
+// TestRenderMessageHostileNames pins the hardening the FuzzEmail harness
+// drove: display names carrying header syntax (quotes, angle brackets,
+// commas, control bytes) must render into text that re-parses to the same
+// rendering — see testdata/fuzz/FuzzEmail for the original crashers.
+func TestRenderMessageHostileNames(t *testing.T) {
+	cases := []Message{
+		{From: Mailbox{Name: `"Dong, Xin" <trick`, Email: "xin@cs.example.edu"}},
+		{From: Mailbox{Name: "name <with@angle>"}},
+		{To: []Mailbox{{Name: `"`}, {Name: "ok", Email: "a@b"}}},
+		{From: Mailbox{Name: "ctrl\x7fchar' "}},
+		{From: Mailbox{Name: "junk@looks.like.address"}},
+	}
+	for _, m := range cases {
+		r1 := RenderMessage(m)
+		m2, err := ParseMessage(r1)
+		if err != nil {
+			t.Errorf("rendered %+v does not re-parse: %v", m, err)
+			continue
+		}
+		if r2 := RenderMessage(m2); r1 != r2 {
+			t.Errorf("not a fixed point for %+v:\nfirst  %q\nsecond %q", m, r1, r2)
+		}
+	}
+}

@@ -111,8 +111,13 @@ type builder struct {
 	// association wiring and engine seeding work off it.
 	fresh []*depgraph.Node
 	// removed remembers pairs pruned for lack of evidence so they are not
-	// rebuilt during the association pass.
-	removed map[string]bool
+	// rebuilt during the association pass, mapped to the batch ordinal
+	// that pruned them. Within one batch the tombstone is final; an
+	// association-induced request from a later batch may rebuild the pair
+	// (see ensureRefPair).
+	removed map[string]int
+	// batch is the 1-based ordinal of the incorporate call in progress.
+	batch int
 
 	// caches of parsed attribute values, keyed by reference id.
 	parsedNames  map[reference.ID][]names.Name
@@ -131,7 +136,7 @@ func newBuilder(store *reference.Store, sch *schema.Schema, cfg Config) *builder
 		g:            depgraph.New(),
 		indexes:      make(map[string]*blocking.Index),
 		seeds:        make(map[int][]*depgraph.Node),
-		removed:      make(map[string]bool),
+		removed:      make(map[string]int),
 		parsedNames:  make(map[reference.ID][]names.Name),
 		parsedEmails: make(map[reference.ID][]emailaddr.Address),
 	}
@@ -149,6 +154,7 @@ func (b *builder) build() (*depgraph.Graph, []*depgraph.Node) {
 // association dependencies, and constraints. It returns the RefPair nodes
 // created by this batch in seed (rank) order.
 func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
+	b.batch++
 	for _, r := range newRefs {
 		for _, t := range r.Atomic(schema.AttrTitle) {
 			b.lib.Titles.Add(t)
@@ -201,7 +207,7 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 				return
 			}
 			key := depgraph.RefPairKey(r1.ID, r2.ID)
-			if b.g.Lookup(key) != nil || b.removed[key] {
+			if b.g.Lookup(key) != nil || b.removed[key] != 0 {
 				return
 			}
 			items = append(items, &pairItem{r1: r1, r2: r2, vals: b.enumerateVals(r1, r2)})
@@ -280,8 +286,18 @@ func (b *builder) ensureRefPair(r1, r2 *reference.Reference, induced bool) *depg
 	if n := b.g.Lookup(key); n != nil {
 		return n
 	}
-	if b.removed[key] {
-		return nil
+	if prunedIn, ok := b.removed[key]; ok {
+		if !induced || prunedIn == b.batch {
+			return nil
+		}
+		// The pair was pruned for lack of evidence in an earlier batch, but
+		// this batch's associations reach for it: rebuild it. The induced
+		// path keeps relaxed-threshold venue pairs, and the library
+		// statistics have grown since the pruning, so the original verdict
+		// no longer stands — a permanent tombstone here made incremental
+		// sessions silently drop article-driven venue evidence that the
+		// equivalent batch run wires up.
+		delete(b.removed, key)
 	}
 	vals := b.enumerateVals(r1, r2)
 	return b.wireScored(r1, r2, induced, vals, b.scoreVals(vals))
@@ -345,7 +361,7 @@ func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []v
 		b.g.MarkNonMerge(m)
 	} else if !hasEvidence && !relax {
 		b.g.RemoveIfIsolated(m)
-		b.removed[key] = true
+		b.removed[key] = b.batch
 		return nil
 	}
 	rank := 0

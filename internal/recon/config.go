@@ -118,6 +118,14 @@ type Config struct {
 	// benchmarking the delta scorer against its baseline and as an escape
 	// hatch.
 	RescanScoring bool
+	// Audit runs the structural invariant auditor (package audit) at every
+	// phase boundary — after graph construction, after the propagation
+	// fixed point, and after the transitive closure. A violation aborts the
+	// run with a descriptive error. The graph checks cost one extra scan of
+	// nodes, edges, and maintained aggregates per phase; leave Audit off in
+	// production-scale runs and on in CI and while bisecting a suspected
+	// consistency bug.
+	Audit bool
 }
 
 // DefaultConfig returns the full algorithm with the published parameters.

@@ -5,6 +5,7 @@ import (
 	"io"
 	"time"
 
+	"refrecon/internal/audit"
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
 )
@@ -34,6 +35,11 @@ type Session struct {
 	seen   int
 	stats  Stats
 	latest *Result
+	// aud is the session-lifetime invariant auditor (nil unless
+	// Config.Audit). One auditor spans every batch so the cross-phase
+	// checks (monotone similarities, merged-never-demoted) also hold
+	// across batch boundaries.
+	aud *audit.Auditor
 }
 
 // NewSession returns an incremental reconciliation session over the store
@@ -53,12 +59,24 @@ func (s *Session) Store() *reference.Store { return s.store }
 
 // Reconcile incorporates the references added since the previous call and
 // returns the updated partitioning of the whole store.
+//
+// A call with no new references is a cheap no-op that returns the previous
+// result: nothing is re-seeded, no phase runs, and the accumulated stats
+// are untouched. The seen-cursor only advances once validation has passed,
+// so a batch rejected by store.Validate is re-incorporated in full when
+// Reconcile is retried after the store is repaired.
 func (s *Session) Reconcile() (*Result, error) {
 	if err := s.store.Validate(s.rc.sch); err != nil {
 		return nil, fmt.Errorf("recon: invalid input: %w", err)
 	}
 	newRefs := s.store.All()[s.seen:]
+	if len(newRefs) == 0 && s.latest != nil {
+		return s.latest, nil
+	}
 	s.seen = s.store.Len()
+	if s.rc.cfg.Audit && s.aud == nil {
+		s.aud = s.rc.newAuditor()
+	}
 
 	start := time.Now()
 	seed := s.b.incorporate(newRefs)
@@ -66,9 +84,19 @@ func (s *Session) Reconcile() (*Result, error) {
 		s.g = s.b.g
 	}
 	s.stats.BuildTime += time.Since(start)
+	if s.aud != nil {
+		if err := s.aud.CheckGraph("build", s.g, false).Err(); err != nil {
+			return nil, err
+		}
+	}
 	start = time.Now()
 	engine := s.g.Run(seed, s.rc.engineOptions())
 	s.stats.PropagateTime += time.Since(start)
+	if s.aud != nil {
+		if err := s.aud.CheckGraph("propagate", s.g, engine.Truncated).Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	s.stats.CandidatePairs = s.b.candidatePairs
 	s.stats.GraphNodes = s.g.NodeCount()
@@ -92,6 +120,12 @@ func (s *Session) Reconcile() (*Result, error) {
 	start = time.Now()
 	res := closure(s.store, s.g, s.rc.cfg.Constraints)
 	s.stats.ClosureTime += time.Since(start)
+	if s.aud != nil {
+		if err := s.aud.CheckPartition("closure", s.store, s.g, res.Partitions, res.Assignment).Err(); err != nil {
+			return nil, err
+		}
+		s.stats.AuditChecks = s.aud.TotalChecks
+	}
 	res.Stats = s.stats
 	s.latest = res
 	return res, nil

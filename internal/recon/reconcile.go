@@ -5,6 +5,7 @@ import (
 	"sort"
 	"time"
 
+	"refrecon/internal/audit"
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
@@ -51,6 +52,9 @@ type Stats struct {
 	// Incremental sessions accumulate them across batches. Timings are
 	// informational and excluded from determinism comparisons.
 	BuildTime, PropagateTime, ClosureTime time.Duration
+	// AuditChecks counts the invariant assertions evaluated when
+	// Config.Audit is on (zero otherwise). Informational, like the timings.
+	AuditChecks int
 }
 
 // Result is the outcome of a reconciliation.
@@ -116,6 +120,15 @@ func (rc *Reconciler) engineOptions() depgraph.Options {
 	}
 }
 
+// newAuditor returns an invariant auditor matching the reconciler's engine
+// configuration, or nil when Config.Audit is off.
+func (rc *Reconciler) newAuditor() *audit.Auditor {
+	if !rc.cfg.Audit {
+		return nil
+	}
+	return audit.New(rc.engineOptions().MergeThreshold, rc.cfg.Constraints)
+}
+
 // Prepared is a fully constructed dependency graph awaiting propagation.
 // BuildRetained returns one; Propagate consumes it. The split lets
 // benchmarks (and diagnostics) time the propagation fixed point and the
@@ -160,6 +173,13 @@ func (p *Prepared) Propagate() (*Result, error) {
 	p.used = true
 	stats := p.stats
 
+	aud := p.rc.newAuditor()
+	if aud != nil {
+		if err := aud.CheckGraph("build", p.g, false).Err(); err != nil {
+			return nil, err
+		}
+	}
+
 	start := time.Now()
 	stats.Engine = p.g.Run(p.seed, p.rc.engineOptions())
 	stats.PropagateTime = time.Since(start)
@@ -169,10 +189,21 @@ func (p *Prepared) Propagate() (*Result, error) {
 			stats.NonMergeNodes++
 		}
 	})
+	if aud != nil {
+		if err := aud.CheckGraph("propagate", p.g, stats.Engine.Truncated).Err(); err != nil {
+			return nil, err
+		}
+	}
 
 	start = time.Now()
 	res := closure(p.store, p.g, p.rc.cfg.Constraints)
 	stats.ClosureTime = time.Since(start)
+	if aud != nil {
+		if err := aud.CheckPartition("closure", p.store, p.g, res.Partitions, res.Assignment).Err(); err != nil {
+			return nil, err
+		}
+		stats.AuditChecks = aud.TotalChecks
+	}
 	res.Stats = stats
 	return res, nil
 }

@@ -202,16 +202,30 @@ func (l *Library) NameRarity(initial, surname string) float64 {
 // as long as the library's statistics are not mutated concurrently.
 func (l *Library) Compare(evidence, a, b string) float64 {
 	if l == nil || l.pairs == nil {
-		return l.compare(evidence, a, b)
+		return clamp01(l.compare(evidence, a, b))
 	}
 	gen := l.generation()
 	k := pairKey{evidence, a, b}
 	if v, ok := l.pairs.get(gen, k); ok {
 		return v
 	}
-	v := l.compare(evidence, a, b)
+	v := clamp01(l.compare(evidence, a, b))
 	l.pairs.put(gen, k, v)
 	return v
+}
+
+// clamp01 is the last line of defense before a comparator output becomes a
+// graph node similarity: the engine requires [0,1] and non-NaN, and a
+// float-rounding excursion here would trip the invariant auditor.
+func clamp01(s float64) float64 {
+	switch {
+	case s > 1:
+		return 1
+	case s >= 0:
+		return s
+	default: // negative or NaN
+		return 0
+	}
 }
 
 // parseName memoizes names.Parse per raw value.

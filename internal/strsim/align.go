@@ -128,6 +128,11 @@ func (c *Corpus) SoftCosine(a, b string, theta float64) float64 {
 	if theta <= 0 {
 		theta = 0.9
 	}
+	if a == b {
+		// Same ulp hazard as CosineSim: self-dot and norm² sum the same
+		// terms in different orders.
+		return 1
+	}
 	va := c.vectorCached(a)
 	vb := c.vectorCached(b)
 	if len(va.w) == 0 && len(vb.w) == 0 {

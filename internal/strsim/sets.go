@@ -177,8 +177,9 @@ func MongeElkan(a, b string, inner func(string, string) float64) float64 {
 		return 0
 	}
 	// Symmetrize: average of both directions, so the measure stays
-	// symmetric like every other comparator in this package.
-	return (mongeElkanDir(ta, tb, inner) + mongeElkanDir(tb, ta, inner)) / 2
+	// symmetric like every other comparator in this package. Clamp: a
+	// caller-supplied inner comparator may stray outside [0,1].
+	return clamp01((mongeElkanDir(ta, tb, inner) + mongeElkanDir(tb, ta, inner)) / 2)
 }
 
 func mongeElkanDir(ta, tb []string, inner func(string, string) float64) float64 {
@@ -268,6 +269,12 @@ func (c *Corpus) idf(t string) float64 {
 // titles agreeing on distinctive words match strongly even if they disagree
 // on common ones. With an empty corpus it degrades to unweighted cosine.
 func (c *Corpus) CosineSim(a, b string) float64 {
+	if a == b {
+		// dot and norm² accumulate the same products in different orders;
+		// a self-comparison can land one ulp below 1, which matters to
+		// consumers gating on the exact value-pair threshold of 1.
+		return 1
+	}
 	va := c.vectorCached(a)
 	vb := c.vectorCached(b)
 	if len(va.w) == 0 && len(vb.w) == 0 {
@@ -292,7 +299,26 @@ func (c *Corpus) CosineSim(a, b string) float64 {
 			j++
 		}
 	}
-	return dot / (va.norm * vb.norm)
+	denom := va.norm * vb.norm
+	if denom == 0 {
+		return 0
+	}
+	// Rounding can push a self-comparison one ulp above 1 (dot and norm²
+	// accumulate the same products in different orders); downstream
+	// consumers require similarities in [0,1] exactly.
+	return clamp01(dot / denom)
+}
+
+// clamp01 forces a similarity into [0,1], mapping NaN to 0.
+func clamp01(s float64) float64 {
+	switch {
+	case s > 1:
+		return 1
+	case s >= 0:
+		return s
+	default: // negative or NaN
+		return 0
+	}
 }
 
 // vectorCached returns the memoized TF-IDF vector of s under the current

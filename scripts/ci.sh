@@ -33,4 +33,20 @@ go test -race -run 'RescanEquivalence' .
 echo "== bench smoke (propagate/fold benchmarks compile and run) =="
 go test -run=NONE -bench='Propagate|EnrichFold' -benchtime=1x .
 
+echo "== fuzz smoke (10s per target, seed corpora replayed by go test above) =="
+go test -fuzz='^FuzzBibTeX$' -fuzztime 10s ./internal/extract
+go test -fuzz='^FuzzVCard$' -fuzztime 10s ./internal/extract
+go test -fuzz='^FuzzEmail$' -fuzztime 10s ./internal/extract
+go test -fuzz='^FuzzCitation$' -fuzztime 10s ./internal/extract
+go test -fuzz='^FuzzStrsim$' -fuzztime 10s ./internal/strsim
+go test -fuzz='^FuzzEngineOps$' -fuzztime 10s ./internal/depgraph
+
+echo "== invariant audit (reconcile -audit over PIM A-D and Cora) =="
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT
+for d in A B C D cora; do
+    go run ./cmd/pimgen -dataset "$d" -o "$tmpdir/$d.json"
+    go run ./cmd/reconcile -in "$tmpdir/$d.json" -audit | grep '^audit:'
+done
+
 echo "CI gate passed."
