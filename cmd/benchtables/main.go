@@ -25,6 +25,7 @@ import (
 	"log"
 	"os"
 	"runtime"
+	"sort"
 	"time"
 
 	"refrecon/internal/experiments"
@@ -43,6 +44,7 @@ type benchBaseline struct {
 	Runs       []benchRun    `json:"runs"`
 	Speedup    []benchGain   `json:"speedup"`
 	Propagate  []benchRescan `json:"propagateComparison"`
+	Query      []benchQuery  `json:"queryLatency"`
 }
 
 type benchRun struct {
@@ -75,6 +77,81 @@ type benchRescan struct {
 	DeltaMS  float64 `json:"deltaPropagateMs"`
 	RescanMS float64 `json:"rescanPropagateMs"`
 	Speedup  float64 `json:"propagateSpeedup"`
+}
+
+// benchQuery is the query-time reconciliation latency over a warm
+// snapshot: N single queries replayed through the recon.Matcher (the
+// same path reconserve's /reconcile endpoint takes).
+type benchQuery struct {
+	Dataset           string  `json:"dataset"`
+	Queries           int     `json:"queries"`
+	P50MS             float64 `json:"query_p50_ms"`
+	P99MS             float64 `json:"query_p99_ms"`
+	MeanCandidateRefs float64 `json:"meanCandidateRefs"`
+}
+
+// queryPhase reconciles the store once, exports a snapshot, and replays
+// up to n exact-copy queries (each reference's own atomic values) against
+// the warm matcher, reporting per-query latency quantiles.
+func queryPhase(store *reference.Store, n int) benchQuery {
+	sess := recon.New(schema.PIM(), recon.DefaultConfig()).NewSession(store)
+	if _, err := sess.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+	m := recon.NewMatcher(schema.PIM(), recon.DefaultConfig(), snap)
+
+	var queries []recon.Query
+	stride := store.Len() / n
+	if stride < 1 {
+		stride = 1
+	}
+	for id := 0; id < store.Len() && len(queries) < n; id += stride {
+		r := store.Get(reference.ID(id))
+		q := recon.Query{Class: r.Class, Atomic: make(map[string][]string), Limit: 10}
+		for _, attr := range r.AtomicAttrs() {
+			q.Atomic[attr] = r.Atomic(attr)
+		}
+		if len(q.Atomic) > 0 {
+			queries = append(queries, q)
+		}
+	}
+
+	lats := make([]time.Duration, 0, len(queries))
+	totalRefs := 0
+	for rep := 0; rep < 2; rep++ { // first pass warms, second is timed
+		lats = lats[:0]
+		totalRefs = 0
+		for _, q := range queries {
+			t0 := time.Now()
+			_, stats, err := m.Match(q)
+			lat := time.Since(t0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			lats = append(lats, lat)
+			totalRefs += stats.CandidateRefs
+		}
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	quant := func(q float64) float64 {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(q * float64(len(lats)))
+		if i >= len(lats) {
+			i = len(lats) - 1
+		}
+		return float64(lats[i].Nanoseconds()) / 1e6
+	}
+	out := benchQuery{Queries: len(lats), P50MS: quant(0.50), P99MS: quant(0.99)}
+	if len(lats) > 0 {
+		out.MeanCandidateRefs = float64(totalRefs) / float64(len(lats))
+	}
+	return out
 }
 
 // propagatePhase times only the propagation fixed point: the graph is
@@ -186,6 +263,11 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 		base.Propagate = append(base.Propagate, cmp)
 		fmt.Printf("%-5s propagate: delta %8.1fms  rescan %8.1fms  (%.2fx)\n",
 			name, cmp.DeltaMS, cmp.RescanMS, cmp.Speedup)
+		qb := queryPhase(store, 200)
+		qb.Dataset = name
+		base.Query = append(base.Query, qb)
+		fmt.Printf("%-5s query:     p50 %8.3fms  p99 %8.3fms  (%d queries, mean %.1f candidate refs)\n",
+			name, qb.P50MS, qb.P99MS, qb.Queries, qb.MeanCandidateRefs)
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -1,0 +1,123 @@
+// Command reconserve runs the reconciliation service: an HTTP server
+// exposing the OpenRefine reconciliation API, ingest, entity/explain
+// lookups, and metrics over a snapshot-isolated incremental session.
+//
+// Usage:
+//
+//	reconserve [-addr :8080] [-in dataset.json] [-name refrecon]
+//	           [-evidence attr|nameemail|article|contact] [-constraints=true]
+//	           [-workers N] [-audit]
+//
+// With -in, the dataset (cmd/pimgen JSON format) is reconciled at startup
+// as the first batch; without it the service starts empty and is
+// populated through POST /ingest. The server shuts down gracefully on
+// SIGINT/SIGTERM.
+package main
+
+import (
+	"context"
+	"errors"
+	"expvar"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"refrecon/internal/dataset"
+	"refrecon/internal/recon"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reconserve: ")
+	addr := flag.String("addr", ":8080", "listen address")
+	in := flag.String("in", "", "dataset JSON to reconcile at startup (optional)")
+	name := flag.String("name", "refrecon", "service name advertised in the manifest")
+	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
+	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
+	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU)")
+	auditFlag := flag.Bool("audit", false, "verify structural invariants after every batch (slower)")
+	flag.Parse()
+
+	cfg := recon.DefaultConfig()
+	cfg.Constraints = *constraints
+	cfg.Workers = *workers
+	cfg.Audit = *auditFlag
+	switch *evidence {
+	case "attr":
+		cfg.Evidence = recon.EvidenceAttrWise
+	case "nameemail":
+		cfg.Evidence = recon.EvidenceNameEmail
+	case "article":
+		cfg.Evidence = recon.EvidenceArticle
+	case "contact":
+		cfg.Evidence = recon.EvidenceContact
+	default:
+		log.Fatalf("unknown evidence level %q", *evidence)
+	}
+
+	store := reference.NewStore()
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds, err := dataset.ReadJSON(f)
+		f.Close()
+		if err != nil {
+			log.Fatalf("read %s: %v", *in, err)
+		}
+		store = ds.Store
+		log.Printf("loaded %s: %d references", *in, store.Len())
+	}
+
+	start := time.Now()
+	svc, err := serve.NewFromStore(serve.Config{
+		Schema: schema.PIM(),
+		Recon:  cfg,
+		Name:   *name,
+	}, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	v := svc.View()
+	log.Printf("initial snapshot v%d: %d references, %d entities (%.1fms)",
+		v.Snapshot.Version, v.Snapshot.RefCount(), len(v.Snapshot.Entities()),
+		float64(time.Since(start).Microseconds())/1000)
+
+	expvar.Publish("reconserve", expvar.Func(func() any { return svc.Metrics() }))
+	mux := http.NewServeMux()
+	mux.Handle("/", svc.Handler())
+	mux.Handle("GET /debug/vars", expvar.Handler())
+
+	srv := &http.Server{Addr: *addr, Handler: mux}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	log.Printf("listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	case sig := <-sigc:
+		log.Printf("received %s, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(ctx); err != nil {
+			log.Printf("shutdown: %v", err)
+		}
+	}
+	m := svc.Metrics()
+	fmt.Fprintf(os.Stderr, "reconserve: served %d queries (%d errors), %d ingest batches\n",
+		m.Queries, m.QueryErrors, m.Ingest.Batches)
+}

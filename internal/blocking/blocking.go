@@ -124,6 +124,36 @@ func (x *Index) PairsInvolving(ids []reference.ID, fn func(a, b reference.ID)) {
 	}
 }
 
+// Candidates returns every reference sharing at least one non-skipped key
+// with the given key set — the single-query lookup ("candidates for this
+// one new reference") behind query-time reconciliation. The result is
+// sorted and deduplicated; over-cap buckets are skipped exactly as Pairs
+// skips them. Unlike Pairs, Candidates mutates no index state, so it is
+// safe for concurrent use by any number of readers (as long as no
+// concurrent Add/Pairs runs).
+func (x *Index) Candidates(keys []string) []reference.ID {
+	var out []reference.ID
+	seen := make(map[reference.ID]bool)
+	for _, k := range keys {
+		bucket := x.buckets[k]
+		if len(bucket) == 0 {
+			continue
+		}
+		ids := dedupIDs(bucket)
+		if x.bucketCap > 0 && len(ids) > x.bucketCap {
+			continue
+		}
+		for _, id := range ids {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
 func dedupIDs(ids []reference.ID) []reference.ID {
 	sorted := make([]reference.ID, len(ids))
 	copy(sorted, ids)

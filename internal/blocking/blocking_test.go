@@ -111,3 +111,110 @@ func TestDeterministicOrder(t *testing.T) {
 		}
 	}
 }
+
+// TestCandidates covers the single-query lookup: candidates for one new
+// reference's key set against a prebuilt index.
+func TestCandidates(t *testing.T) {
+	tests := []struct {
+		name string
+		cap  int
+		add  map[string][]reference.ID // index contents
+		keys []string
+		want []reference.ID
+	}{
+		{
+			name: "empty store",
+			add:  nil,
+			keys: []string{"pn:smith", "pe:a@b"},
+			want: nil,
+		},
+		{
+			name: "no keys",
+			add:  map[string][]reference.ID{"pn:smith": {1, 2}},
+			keys: nil,
+			want: nil,
+		},
+		{
+			name: "single-class store, one shared key",
+			add:  map[string][]reference.ID{"pn:smith": {2, 5}, "pn:jones": {3}},
+			keys: []string{"pn:smith"},
+			want: []reference.ID{2, 5},
+		},
+		{
+			name: "union across keys, sorted and deduplicated",
+			add:  map[string][]reference.ID{"a": {7, 1}, "b": {1, 4}, "c": {9}},
+			keys: []string{"b", "a", "b"},
+			want: []reference.ID{1, 4, 7},
+		},
+		{
+			name: "duplicate bucket entries collapse",
+			add:  map[string][]reference.ID{"a": {3, 3, 3, 1}},
+			keys: []string{"a"},
+			want: []reference.ID{1, 3},
+		},
+		{
+			name: "over-cap bucket skipped",
+			cap:  2,
+			add:  map[string][]reference.ID{"big": {1, 2, 3}, "ok": {4, 5}},
+			keys: []string{"big", "ok"},
+			want: []reference.ID{4, 5},
+		},
+		{
+			name: "missing key ignored",
+			add:  map[string][]reference.ID{"a": {1}},
+			keys: []string{"zz", "a"},
+			want: []reference.ID{1},
+		},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			x := New(tc.cap)
+			for k, ids := range tc.add {
+				for _, id := range ids {
+					x.Add(k, id)
+				}
+			}
+			got := x.Candidates(tc.keys)
+			if len(got) != len(tc.want) {
+				t.Fatalf("Candidates(%v) = %v, want %v", tc.keys, got, tc.want)
+			}
+			for i := range got {
+				if got[i] != tc.want[i] {
+					t.Fatalf("Candidates(%v) = %v, want %v", tc.keys, got, tc.want)
+				}
+			}
+		})
+	}
+}
+
+// TestCandidatesReadOnly pins that Candidates leaves the index unchanged:
+// a Pairs sweep before and after lookups sees identical state, and the
+// skipped-bucket counter is untouched (Candidates is the concurrent-reader
+// path).
+func TestCandidatesReadOnly(t *testing.T) {
+	x := New(2)
+	for k, ids := range map[string][]reference.ID{"big": {1, 2, 3}, "ok": {4, 5}} {
+		for _, id := range ids {
+			x.Add(k, id)
+		}
+	}
+	var before []reference.ID
+	x.Pairs(func(a, b reference.ID) { before = append(before, a, b) })
+	skipped := x.SkippedBuckets()
+	for i := 0; i < 3; i++ {
+		x.Candidates([]string{"big", "ok"})
+	}
+	if got := x.SkippedBuckets(); got != skipped {
+		t.Errorf("SkippedBuckets changed by Candidates: %d -> %d", skipped, got)
+	}
+	var after []reference.ID
+	x.Pairs(func(a, b reference.ID) { after = append(after, a, b) })
+	if len(before) != len(after) {
+		t.Fatalf("Pairs output changed after Candidates")
+	}
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("Pairs output changed after Candidates")
+		}
+	}
+}

@@ -24,6 +24,7 @@ package recon
 import (
 	"refrecon/internal/parallel"
 	"refrecon/internal/reference"
+	"refrecon/internal/schema"
 )
 
 // valCompare is one atomic value comparison of a candidate pair: the
@@ -46,9 +47,15 @@ type pairItem struct {
 // comparisonsFor resolves the comparable attribute pairs for a class,
 // falling back to the generic same-attribute table for custom schemas.
 func (b *builder) comparisonsFor(class string) []attrCompare {
-	cmp := atomicComparisons(class, b.cfg.Evidence)
+	return comparisons(b.sch, class, b.cfg.Evidence)
+}
+
+// comparisons is the schema-aware comparison table shared by graph
+// construction and the query-time Matcher.
+func comparisons(sch *schema.Schema, class string, level EvidenceLevel) []attrCompare {
+	cmp := atomicComparisons(class, level)
 	if cmp == nil {
-		if c, ok := b.sch.Class(class); ok {
+		if c, ok := sch.Class(class); ok {
 			cmp = genericComparisons(c)
 		}
 	}

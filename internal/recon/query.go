@@ -1,0 +1,233 @@
+package recon
+
+// Query-time reconciliation, after Bhattacharya & Getoor's query-time
+// entity resolution: instead of re-running the batch algorithm, a single
+// query reference is resolved against an immutable Snapshot by generating
+// candidates through the blocking index (never an O(n) scan) and scoring
+// each candidate *entity* with the same simfn comparators and class
+// decision trees graph construction uses. The entity's unioned attribute
+// values stand in for reference enrichment: the MAX rule over the union is
+// exactly what the enriched canonical reference would expose.
+
+import (
+	"fmt"
+	"sort"
+
+	"refrecon/internal/blocking"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/simfn"
+)
+
+// Query is one reconciliation question against a snapshot: a partial
+// description of an entity of one class.
+type Query struct {
+	// Class is the schema class queried (required).
+	Class string
+	// Atomic maps attribute names to the query's values.
+	Atomic map[string][]string
+	// Limit bounds the returned candidates (<= 0 means the Matcher's
+	// default of 10).
+	Limit int
+}
+
+// Candidate is one scored entity candidate.
+type Candidate struct {
+	// Entity points into the snapshot (read-only).
+	Entity *Entity
+	// Score is the class decision-tree similarity in [0, 1].
+	Score float64
+	// Match reports a confident match: the top candidate clears the merge
+	// threshold and no runner-up does.
+	Match bool
+}
+
+// MatchStats describes one Match call's candidate generation.
+type MatchStats struct {
+	// CandidateRefs is the number of references the blocking index
+	// returned for the query's keys (the pre-grouping candidate-set size).
+	CandidateRefs int
+	// CandidateEntities is the number of distinct entities scored.
+	CandidateEntities int
+}
+
+// Matcher answers reconciliation queries against one Snapshot. It owns a
+// per-snapshot similarity library (corpus statistics fed from the
+// snapshot's copied values, never the live session's) and per-class
+// blocking indexes, so concurrent Match calls share nothing mutable with
+// ingest. Build one Matcher per published snapshot; Match is safe for
+// concurrent use.
+type Matcher struct {
+	sch  *schema.Schema
+	cfg  Config
+	snap *Snapshot
+	lib  *simfn.Library
+	idx  map[string]*blocking.Index
+}
+
+// NewMatcher indexes a snapshot for query-time reconciliation. Cost is one
+// pass over the snapshot's references (blocking keys + corpus statistics).
+func NewMatcher(sch *schema.Schema, cfg Config, snap *Snapshot) *Matcher {
+	if cfg.Params == nil {
+		cfg.Params = simfn.PaperParams()
+	}
+	if cfg.MergeThreshold == 0 {
+		cfg.MergeThreshold = 0.85
+	}
+	m := &Matcher{
+		sch:  sch,
+		cfg:  cfg,
+		snap: snap,
+		lib:  simfn.NewLibrary(),
+		idx:  make(map[string]*blocking.Index),
+	}
+	snap.EachRef(func(sr *SnapRef) {
+		for _, t := range sr.Atomic[schema.AttrTitle] {
+			m.lib.Titles.Add(t)
+		}
+		switch sr.Class {
+		case schema.ClassVenue:
+			for _, v := range sr.Atomic[schema.AttrName] {
+				m.lib.Venues.Add(v)
+			}
+		case schema.ClassPerson:
+			for _, v := range sr.Atomic[schema.AttrName] {
+				m.lib.AddPersonName(v)
+			}
+		}
+		idx, ok := m.idx[sr.Class]
+		if !ok {
+			idx = blocking.New(cfg.BucketCap)
+			m.idx[sr.Class] = idx
+		}
+		id := sr.ID
+		blockingKeys(sr.detached(), func(k string) { idx.Add(k, id) })
+	})
+	return m
+}
+
+// Snapshot returns the snapshot the matcher serves.
+func (m *Matcher) Snapshot() *Snapshot { return m.snap }
+
+// Match resolves one query: blocking-index candidate lookup, grouping into
+// entities, and decision-tree scoring of each entity, returning candidates
+// in descending score order (ties broken by canonical id).
+func (m *Matcher) Match(q Query) ([]Candidate, MatchStats, error) {
+	class, ok := m.sch.Class(q.Class)
+	if !ok {
+		return nil, MatchStats{}, fmt.Errorf("recon: unknown query class %q", q.Class)
+	}
+	qr := reference.New(q.Class)
+	attrs := make([]string, 0, len(q.Atomic))
+	for a := range q.Atomic {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		a, ok := class.Attr(attr)
+		if !ok || a.Kind != schema.Atomic {
+			return nil, MatchStats{}, fmt.Errorf("recon: class %q has no atomic attribute %q", q.Class, attr)
+		}
+		for _, v := range q.Atomic[attr] {
+			qr.AddAtomic(attr, v)
+		}
+	}
+	if qr.IsEmpty() {
+		return nil, MatchStats{}, nil
+	}
+
+	var keys []string
+	blockingKeys(qr, func(k string) { keys = append(keys, k) })
+	var ids []reference.ID
+	if idx := m.idx[q.Class]; idx != nil {
+		ids = idx.Candidates(keys)
+	}
+
+	seen := make(map[int]bool)
+	var cands []Candidate
+	for _, id := range ids {
+		label, ok := m.snap.assignment[id]
+		if !ok || seen[label] {
+			continue
+		}
+		seen[label] = true
+		ent := m.snap.byLabel[label]
+		if ent == nil {
+			continue
+		}
+		cands = append(cands, Candidate{Entity: ent, Score: m.scoreEntity(qr, ent)})
+	}
+	stats := MatchStats{CandidateRefs: len(ids), CandidateEntities: len(cands)}
+
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Entity.Canonical < cands[j].Entity.Canonical
+	})
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	if len(cands) > limit {
+		cands = cands[:limit]
+	}
+	MarkMatches(cands, m.cfg.MergeThreshold)
+	return cands, stats, nil
+}
+
+// MarkMatches sets the Match flag on a score-sorted candidate list: the
+// top candidate matches iff it clears the threshold and no runner-up does
+// (an ambiguous result must not auto-match, per the OpenRefine protocol's
+// intent). Exported so callers that re-merge candidate lists across
+// classes can recompute the flag.
+func MarkMatches(cands []Candidate, threshold float64) {
+	for i := range cands {
+		cands[i].Match = false
+	}
+	if len(cands) > 0 && cands[0].Score >= threshold &&
+		(len(cands) == 1 || cands[1].Score < threshold) {
+		cands[0].Match = true
+	}
+}
+
+// scoreEntity scores the query against one entity's unioned attribute
+// values: per comparison, the maximum comparator similarity over the value
+// cross product (gated on the same candidate thresholds construction
+// uses), combined by the class decision tree.
+func (m *Matcher) scoreEntity(qr *reference.Reference, ent *Entity) float64 {
+	ev := simfn.Evidence{Real: make(map[string]float64)}
+	for _, cmp := range comparisons(m.sch, qr.Class, m.cfg.Evidence) {
+		qvals := qr.Atomic(cmp.attrA)
+		evals := ent.Atomic[cmp.attrB]
+		if len(qvals) == 0 || len(evals) == 0 {
+			continue
+		}
+		thr := simfn.CandidateThreshold(cmp.evidence)
+		best, found := 0.0, false
+		for _, v1 := range qvals {
+			for _, v2 := range evals {
+				x, y := v1, v2
+				if cmp.swap {
+					x, y = v2, v1
+				}
+				s := m.lib.Compare(cmp.evidence, x, y)
+				if s < thr {
+					continue
+				}
+				if !found || s > best {
+					best, found = s, true
+				}
+			}
+		}
+		if found {
+			if cur, ok := ev.Real[cmp.evidence]; !ok || best > cur {
+				ev.Real[cmp.evidence] = best
+			}
+		}
+	}
+	if len(ev.Real) == 0 {
+		return 0
+	}
+	return simfn.SRV(qr.Class, ev)
+}

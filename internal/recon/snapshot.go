@@ -1,0 +1,383 @@
+package recon
+
+// Snapshot export: a deep, read-only view of a reconciliation state that a
+// serving layer can publish to concurrent readers while the live session
+// keeps ingesting batches. A snapshot owns copies of everything it exposes
+// — reference attribute values, partitions, canonical enriched entities,
+// and per-pair explain data — so mutating the session (adding references,
+// running further Reconcile batches) never changes an already-exported
+// snapshot. See internal/serve for the copy-on-write publication scheme
+// built on top.
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"refrecon/internal/depgraph"
+	"refrecon/internal/reference"
+)
+
+// SnapRef is the deep-copied view of one reference inside a Snapshot.
+type SnapRef struct {
+	ID     reference.ID
+	Class  string
+	Source string
+	Entity string
+	// Atomic maps attribute names to copied value slices. Read-only.
+	Atomic map[string][]string
+	// Assoc maps association attribute names to copied target-id slices.
+	// Read-only.
+	Assoc map[string][]reference.ID
+}
+
+// detached rebuilds a free-standing reference.Reference carrying the
+// snapshot's copied atomic values — the shape the blocking key functions
+// and comparators expect. The result shares nothing with the live store.
+func (r *SnapRef) detached() *reference.Reference {
+	d := reference.New(r.Class)
+	d.ID = r.ID
+	attrs := make([]string, 0, len(r.Atomic))
+	for a := range r.Atomic {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		for _, v := range r.Atomic[a] {
+			d.AddAtomic(a, v)
+		}
+	}
+	return d
+}
+
+// Entity is one canonical enriched entity of a snapshot: a partition with
+// the union of its members' attribute values (the §3.3 enrichment view,
+// materialized). The member with the lowest id is the canonical
+// representative; its id doubles as the entity's external identifier.
+type Entity struct {
+	// Label is the snapshot-local partition label (not stable across
+	// snapshots; Canonical is the stable handle).
+	Label int
+	Class string
+	// Canonical is the lowest member reference id.
+	Canonical reference.ID
+	// Members lists the partition's reference ids in ascending order.
+	Members []reference.ID
+	// Atomic is the union of the members' atomic values, deduplicated,
+	// in member-then-value order. Read-only.
+	Atomic map[string][]string
+}
+
+// Name returns a display value for the entity: its first name-like
+// attribute value ("name", then "title"), falling back to the first value
+// of the alphabetically first attribute, then to the canonical id.
+func (e *Entity) Name() string {
+	for _, attr := range []string{"name", "title"} {
+		if vs := e.Atomic[attr]; len(vs) > 0 {
+			return vs[0]
+		}
+	}
+	attrs := make([]string, 0, len(e.Atomic))
+	for a := range e.Atomic {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		if vs := e.Atomic[a]; len(vs) > 0 {
+			return vs[0]
+		}
+	}
+	return fmt.Sprintf("entity %d", e.Canonical)
+}
+
+// mergedLink is one merged pair decision seen from one endpoint.
+type mergedLink struct {
+	other reference.ID
+	d     *PairDecision
+}
+
+// Snapshot is a deep, read-only view of one reconciliation state. All
+// methods are safe for concurrent use; nothing in a snapshot aliases the
+// live session's mutable state.
+type Snapshot struct {
+	// Version is the session batch ordinal the snapshot was taken after
+	// (0 for snapshots exported from a one-shot Result).
+	Version int
+	// Taken is the export wall-clock time (informational).
+	Taken time.Time
+	// Stats are the accumulated run statistics at export time.
+	Stats Stats
+
+	refs       []SnapRef
+	partitions map[string][][]reference.ID
+	assignment map[reference.ID]int
+	entities   []*Entity
+	byLabel    map[int]*Entity
+	// pairs holds one copied decision per RefPair node; merged holds the
+	// merged-pair adjacency for explain path search. Both are nil for
+	// Result-exported snapshots, which carry no graph.
+	pairs  map[uint64]*PairDecision
+	merged map[reference.ID][]mergedLink
+}
+
+// pairIndex packs an unordered reference-id pair into one map key.
+func pairIndex(a, b reference.ID) uint64 {
+	if b < a {
+		a, b = b, a
+	}
+	return uint64(a)<<32 | uint64(uint32(b))
+}
+
+// RefCount returns the number of references in the snapshot.
+func (s *Snapshot) RefCount() int { return len(s.refs) }
+
+// Ref returns the snapshot's view of one reference.
+func (s *Snapshot) Ref(id reference.ID) (*SnapRef, bool) {
+	if id < 0 || int(id) >= len(s.refs) {
+		return nil, false
+	}
+	return &s.refs[id], true
+}
+
+// EachRef visits every reference in id order.
+func (s *Snapshot) EachRef(fn func(*SnapRef)) {
+	for i := range s.refs {
+		fn(&s.refs[i])
+	}
+}
+
+// Partitions returns the class partition map. Read-only.
+func (s *Snapshot) Partitions() map[string][][]reference.ID { return s.partitions }
+
+// PartitionCount returns the number of partitions of a class.
+func (s *Snapshot) PartitionCount(class string) int { return len(s.partitions[class]) }
+
+// SameEntity reports whether two references share a partition.
+func (s *Snapshot) SameEntity(a, b reference.ID) bool {
+	pa, okA := s.assignment[a]
+	pb, okB := s.assignment[b]
+	return okA && okB && pa == pb
+}
+
+// Entities returns the canonical enriched entities, sorted by canonical
+// reference id. Read-only.
+func (s *Snapshot) Entities() []*Entity { return s.entities }
+
+// EntityOf returns the entity a reference belongs to (nil when the id is
+// out of range).
+func (s *Snapshot) EntityOf(id reference.ID) *Entity {
+	label, ok := s.assignment[id]
+	if !ok {
+		return nil
+	}
+	return s.byLabel[label]
+}
+
+// EntityByLabel returns the entity with the snapshot-local partition label.
+func (s *Snapshot) EntityByLabel(label int) *Entity { return s.byLabel[label] }
+
+// Pair returns the copied decision for the (a, b) pair node, or nil when
+// the graph had no such node (or the snapshot carries no graph data).
+func (s *Snapshot) Pair(a, b reference.ID) *PairDecision {
+	return s.pairs[pairIndex(a, b)]
+}
+
+// Explain mirrors Session.Explain over the snapshot's copied pair
+// decisions: it reports whether a and b share a partition and, when they
+// do, the chain of merged pair decisions connecting them. Snapshots
+// exported from a Result carry no pair data, so Path and Direct stay
+// empty there.
+func (s *Snapshot) Explain(a, b reference.ID) (Explanation, error) {
+	if int(a) >= len(s.refs) || int(b) >= len(s.refs) || a < 0 || b < 0 {
+		return Explanation{}, fmt.Errorf("recon: reference id out of range")
+	}
+	out := Explanation{A: a, B: b, Same: s.SameEntity(a, b)}
+	if d := s.Pair(a, b); d != nil {
+		cp := *d
+		out.Direct = &cp
+	}
+	if !out.Same || s.merged == nil {
+		return out, nil
+	}
+	// BFS over merged pair decisions from a to b; adjacency is pre-sorted,
+	// so the discovered path is deterministic.
+	type hop struct {
+		from reference.ID
+		d    *PairDecision
+	}
+	prev := map[reference.ID]hop{a: {from: a}}
+	queue := []reference.ID{a}
+	for len(queue) > 0 {
+		cur := queue[0]
+		queue = queue[1:]
+		if cur == b {
+			break
+		}
+		for _, l := range s.merged[cur] {
+			if _, seen := prev[l.other]; seen {
+				continue
+			}
+			prev[l.other] = hop{from: cur, d: l.d}
+			queue = append(queue, l.other)
+		}
+	}
+	if _, ok := prev[b]; !ok {
+		// The closure can unite a and b even when enrichment folded away
+		// the intermediate nodes; only Direct evidence is available then.
+		return out, nil
+	}
+	var rev []PairDecision
+	for cur := b; cur != a; {
+		h := prev[cur]
+		rev = append(rev, *h.d)
+		cur = h.from
+	}
+	for i := len(rev) - 1; i >= 0; i-- {
+		out.Path = append(out.Path, rev[i])
+	}
+	return out, nil
+}
+
+// Snapshot exports a deep, read-only view of the session's latest state:
+// references, partitions, canonical enriched entities, and per-pair
+// explain data. It errors before the first Reconcile. The export walks the
+// store and the dependency graph once; the result shares no mutable state
+// with the session, so later batches never disturb it.
+func (s *Session) Snapshot() (*Snapshot, error) {
+	if s.latest == nil || s.g == nil {
+		return nil, fmt.Errorf("recon: Snapshot before Reconcile")
+	}
+	return newSnapshot(s.store, s.latest, s.g, s.b.batch), nil
+}
+
+// Snapshot exports the result as a deep, read-only view over the store it
+// was computed from. One-shot results hold no dependency graph, so the
+// snapshot carries partitions and entities but no per-pair explain data;
+// use Session.Snapshot for the full view.
+func (r *Result) Snapshot(store *reference.Store) *Snapshot {
+	return newSnapshot(store, r, nil, 0)
+}
+
+func newSnapshot(store *reference.Store, res *Result, g *depgraph.Graph, version int) *Snapshot {
+	snap := &Snapshot{
+		Version:    version,
+		Taken:      time.Now(),
+		Stats:      res.Stats,
+		partitions: make(map[string][][]reference.ID, len(res.Partitions)),
+		assignment: make(map[reference.ID]int, len(res.Assignment)),
+		byLabel:    make(map[int]*Entity),
+	}
+
+	// Deep-copy the references. Snapshots cover the store prefix the result
+	// was computed over: references added to the store after the result's
+	// Reconcile (but before export) have no partition assignment yet and
+	// are excluded, keeping refs and partitions mutually consistent.
+	covered := store.Len()
+	for covered > 0 {
+		if _, ok := res.Assignment[reference.ID(covered-1)]; ok {
+			break
+		}
+		covered--
+	}
+	snap.refs = make([]SnapRef, covered)
+	for i := 0; i < covered; i++ {
+		r := store.Get(reference.ID(i))
+		sr := SnapRef{ID: r.ID, Class: r.Class, Source: r.Source, Entity: r.Entity}
+		if attrs := r.AtomicAttrs(); len(attrs) > 0 {
+			sr.Atomic = make(map[string][]string, len(attrs))
+			for _, a := range attrs {
+				sr.Atomic[a] = append([]string(nil), r.Atomic(a)...)
+			}
+		}
+		if attrs := r.AssocAttrs(); len(attrs) > 0 {
+			sr.Assoc = make(map[string][]reference.ID, len(attrs))
+			for _, a := range attrs {
+				sr.Assoc[a] = append([]reference.ID(nil), r.Assoc(a)...)
+			}
+		}
+		snap.refs[i] = sr
+	}
+
+	for class, parts := range res.Partitions {
+		cp := make([][]reference.ID, len(parts))
+		for i, part := range parts {
+			cp[i] = append([]reference.ID(nil), part...)
+			sort.Slice(cp[i], func(x, y int) bool { return cp[i][x] < cp[i][y] })
+		}
+		snap.partitions[class] = cp
+	}
+	for id, label := range res.Assignment {
+		snap.assignment[id] = label
+	}
+
+	// Canonical enriched entities: one per partition, attribute values
+	// unioned over the members (the MAX-rule view enrichment builds
+	// implicitly).
+	classes := make([]string, 0, len(snap.partitions))
+	for c := range snap.partitions {
+		classes = append(classes, c)
+	}
+	sort.Strings(classes)
+	for _, class := range classes {
+		for _, part := range snap.partitions[class] {
+			ent := &Entity{
+				Label:     snap.assignment[part[0]],
+				Class:     class,
+				Canonical: part[0],
+				Members:   part,
+				Atomic:    make(map[string][]string),
+			}
+			for _, id := range part {
+				sr := &snap.refs[id]
+				attrs := make([]string, 0, len(sr.Atomic))
+				for a := range sr.Atomic {
+					attrs = append(attrs, a)
+				}
+				sort.Strings(attrs)
+				for _, a := range attrs {
+					for _, v := range sr.Atomic[a] {
+						if !containsStr(ent.Atomic[a], v) {
+							ent.Atomic[a] = append(ent.Atomic[a], v)
+						}
+					}
+				}
+			}
+			snap.entities = append(snap.entities, ent)
+			snap.byLabel[ent.Label] = ent
+		}
+	}
+	sort.Slice(snap.entities, func(i, j int) bool {
+		return snap.entities[i].Canonical < snap.entities[j].Canonical
+	})
+
+	if g != nil {
+		snap.pairs = make(map[uint64]*PairDecision)
+		snap.merged = make(map[reference.ID][]mergedLink)
+		g.Nodes(func(node *depgraph.Node) {
+			if node.Kind != depgraph.RefPair {
+				return
+			}
+			d := describeNode(node)
+			dp := &d
+			snap.pairs[pairIndex(node.RefA, node.RefB)] = dp
+			if node.Status == depgraph.Merged {
+				snap.merged[node.RefA] = append(snap.merged[node.RefA], mergedLink{node.RefB, dp})
+				snap.merged[node.RefB] = append(snap.merged[node.RefB], mergedLink{node.RefA, dp})
+			}
+		})
+		for id := range snap.merged {
+			links := snap.merged[id]
+			sort.Slice(links, func(i, j int) bool { return links[i].other < links[j].other })
+		}
+	}
+	return snap
+}
+
+func containsStr(vs []string, v string) bool {
+	for _, x := range vs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

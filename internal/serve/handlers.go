@@ -1,0 +1,189 @@
+package serve
+
+// HTTP surface. All read handlers resolve the published View once at the
+// top and serve the whole request from it, so a concurrent ingest cannot
+// change the data mid-response; the snapshot version backing each
+// response is echoed in the X-Snapshot-Version header.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+
+	"refrecon/internal/reference"
+)
+
+const maxBodyBytes = 64 << 20 // 64 MiB ingest/batch ceiling
+
+// Handler returns the service's HTTP mux:
+//
+//	GET  /                    OpenRefine service manifest
+//	GET|POST /reconcile       batched reconciliation queries
+//	GET  /entity/{id}         entity document for any member reference id
+//	GET  /explain/{a}/{b}     merge explanation for a reference pair
+//	POST /ingest              apply one reference batch
+//	GET  /metrics             service metrics (JSON)
+//	GET  /healthz, /readyz    liveness / readiness
+func (s *Service) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /{$}", s.handleManifest)
+	mux.HandleFunc("GET /reconcile", s.handleReconcile)
+	mux.HandleFunc("POST /reconcile", s.handleReconcile)
+	mux.HandleFunc("GET /entity/{id}", s.handleEntity)
+	mux.HandleFunc("GET /explain/{a}/{b}", s.handleExplain)
+	mux.HandleFunc("POST /ingest", s.handleIngest)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, r *http.Request) {
+		if s.view.Load() == nil {
+			writeJSON(w, http.StatusServiceUnavailable, errorDoc{Error: "no snapshot published"})
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
+	})
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, code int, doc any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(doc)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, errorDoc{Error: fmt.Sprintf(format, args...)})
+}
+
+func snapshotHeader(w http.ResponseWriter, v *View) {
+	if v != nil {
+		w.Header().Set("X-Snapshot-Version", strconv.Itoa(v.Snapshot.Version))
+	}
+}
+
+func (s *Service) handleManifest(w http.ResponseWriter, r *http.Request) {
+	scheme := "http"
+	if r.TLS != nil {
+		scheme = "https"
+	}
+	writeJSON(w, http.StatusOK, s.Manifest(scheme+"://"+r.Host))
+}
+
+// handleReconcile implements the batch query endpoint: the OpenRefine
+// protocol sends queries={"q0": {...}, ...} as a form value (GET query
+// string or POST form); a raw JSON object body is also accepted.
+func (s *Service) handleReconcile(w http.ResponseWriter, r *http.Request) {
+	raw := r.FormValue("queries")
+	if raw == "" && r.Method == http.MethodPost {
+		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "read body: %v", err)
+			return
+		}
+		raw = string(body)
+	}
+	if raw == "" {
+		writeErr(w, http.StatusBadRequest, "missing queries parameter")
+		return
+	}
+	var batch map[string]ReconQuery
+	if err := json.Unmarshal([]byte(raw), &batch); err != nil {
+		writeErr(w, http.StatusBadRequest, "parse queries: %v", err)
+		return
+	}
+	v := s.view.Load()
+	snapshotHeader(w, v)
+	out := make(map[string]any, len(batch))
+	for key, q := range batch {
+		cands, err := s.Query(q)
+		if err != nil {
+			out[key] = map[string]string{"error": err.Error()}
+			continue
+		}
+		out[key] = toWire(cands)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Service) handleEntity(w http.ResponseWriter, r *http.Request) {
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad entity id %q", r.PathValue("id"))
+		return
+	}
+	v := s.view.Load()
+	snapshotHeader(w, v)
+	snap := v.Snapshot
+	if id < 0 || id >= snap.RefCount() {
+		writeErr(w, http.StatusNotFound, "reference %d not in snapshot (have %d references)", id, snap.RefCount())
+		return
+	}
+	ent := snap.EntityOf(reference.ID(id))
+	if ent == nil {
+		writeErr(w, http.StatusNotFound, "reference %d has no entity assignment", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, EntityDoc{
+		ID:              strconv.Itoa(int(ent.Canonical)),
+		Name:            ent.Name(),
+		Type:            []TypeRef{{ID: ent.Class, Name: ent.Class}},
+		Canonical:       ent.Canonical,
+		Members:         ent.Members,
+		Atomic:          ent.Atomic,
+		SnapshotVersion: snap.Version,
+	})
+}
+
+func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {
+	a, errA := strconv.Atoi(r.PathValue("a"))
+	b, errB := strconv.Atoi(r.PathValue("b"))
+	if errA != nil || errB != nil {
+		writeErr(w, http.StatusBadRequest, "bad reference pair %q/%q", r.PathValue("a"), r.PathValue("b"))
+		return
+	}
+	v := s.view.Load()
+	snapshotHeader(w, v)
+	exp, err := v.Snapshot.Explain(reference.ID(a), reference.ID(b))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, ExplainDoc{
+		A:               exp.A,
+		B:               exp.B,
+		Same:            exp.Same,
+		Path:            exp.Path,
+		Direct:          exp.Direct,
+		Rendered:        exp.String(),
+		SnapshotVersion: v.Snapshot.Version,
+	})
+}
+
+func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "read body: %v", err)
+		return
+	}
+	batch, err := decodeIngest(body)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	resp, err := s.Ingest(batch)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	snapshotHeader(w, s.view.Load())
+	writeJSON(w, http.StatusOK, resp)
+}
+
+func (s *Service) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.Metrics())
+}

@@ -1,0 +1,197 @@
+package serve
+
+// Service observability. Counters are lock-free (atomics plus a
+// fixed-bucket latency histogram) so the query hot path never contends
+// with scrapes or with other queries; /metrics renders them as JSON, and
+// cmd/reconserve additionally publishes the same view through expvar.
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// histogram is a lock-free fixed-bucket latency histogram. Buckets are
+// log-spaced; quantiles are estimated as the upper bound of the bucket the
+// target rank falls in (the max tracks the true worst case).
+type histogram struct {
+	boundsMS []float64 // upper bounds, ms
+	counts   []atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+func newHistogram() *histogram {
+	// 0.02ms .. ~84s in ×1.5 steps: fine resolution where queries live
+	// (sub-millisecond to tens of milliseconds), coarse at the tail.
+	var bounds []float64
+	for b := 0.02; b < 90_000; b *= 1.5 {
+		bounds = append(bounds, b)
+	}
+	return &histogram{boundsMS: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	i := 0
+	for i < len(h.boundsMS) && ms > h.boundsMS[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	for {
+		cur := h.maxNanos.Load()
+		if d.Nanoseconds() <= cur || h.maxNanos.CompareAndSwap(cur, d.Nanoseconds()) {
+			break
+		}
+	}
+}
+
+// quantile returns the estimated q-quantile in milliseconds (0 with no
+// observations).
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > target {
+			if i < len(h.boundsMS) {
+				return h.boundsMS[i]
+			}
+			return float64(h.maxNanos.Load()) / 1e6
+		}
+	}
+	return float64(h.maxNanos.Load()) / 1e6
+}
+
+// LatencySummary is the JSON rendering of a histogram.
+type LatencySummary struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P90MS  float64 `json:"p90Ms"`
+	P99MS  float64 `json:"p99Ms"`
+	MaxMS  float64 `json:"maxMs"`
+}
+
+func (h *histogram) summary() LatencySummary {
+	s := LatencySummary{
+		Count: h.count.Load(),
+		P50MS: h.quantile(0.50),
+		P90MS: h.quantile(0.90),
+		P99MS: h.quantile(0.99),
+		MaxMS: float64(h.maxNanos.Load()) / 1e6,
+	}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNanos.Load()) / 1e6 / float64(s.Count)
+	}
+	return s
+}
+
+// metrics aggregates the service counters.
+type metrics struct {
+	queries    atomic.Int64
+	queryErrs  atomic.Int64
+	queryLat   *histogram
+	candRefs   atomic.Int64 // total blocking candidate references across queries
+	candLast   atomic.Int64
+	candMax    atomic.Int64
+	batches    atomic.Int64
+	ingestRefs atomic.Int64
+	ingestNS   atomic.Int64
+	lastInNS   atomic.Int64
+}
+
+func newMetrics() *metrics { return &metrics{queryLat: newHistogram()} }
+
+func (m *metrics) recordQuery(d time.Duration, candRefs int, err bool) {
+	m.queries.Add(1)
+	if err {
+		m.queryErrs.Add(1)
+		return
+	}
+	m.queryLat.observe(d)
+	m.candRefs.Add(int64(candRefs))
+	m.candLast.Store(int64(candRefs))
+	for {
+		cur := m.candMax.Load()
+		if int64(candRefs) <= cur || m.candMax.CompareAndSwap(cur, int64(candRefs)) {
+			break
+		}
+	}
+}
+
+func (m *metrics) recordIngest(refs int, d time.Duration) {
+	m.batches.Add(1)
+	m.ingestRefs.Add(int64(refs))
+	m.ingestNS.Add(d.Nanoseconds())
+	m.lastInNS.Store(d.Nanoseconds())
+}
+
+// MetricsSnapshot is the JSON document served at /metrics (and published
+// via expvar by cmd/reconserve).
+type MetricsSnapshot struct {
+	Queries         int64          `json:"queries"`
+	QueryErrors     int64          `json:"queryErrors"`
+	QueryLatency    LatencySummary `json:"queryLatencyMs"`
+	Candidates      CandidateStats `json:"candidates"`
+	Ingest          IngestMetrics  `json:"ingest"`
+	Snapshot        SnapshotInfo   `json:"snapshot"`
+	UptimeSeconds   float64        `json:"uptimeSeconds"`
+	StoreReferences int            `json:"storeReferences"`
+}
+
+// CandidateStats describes blocking candidate-set sizes per query.
+type CandidateStats struct {
+	Total int64   `json:"total"`
+	Last  int64   `json:"last"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+}
+
+// IngestMetrics describes ingest batch timings.
+type IngestMetrics struct {
+	Batches    int64   `json:"batches"`
+	References int64   `json:"references"`
+	LastMS     float64 `json:"lastMs"`
+	TotalMS    float64 `json:"totalMs"`
+}
+
+// SnapshotInfo describes the currently published snapshot.
+type SnapshotInfo struct {
+	Version    int     `json:"version"`
+	AgeSeconds float64 `json:"ageSeconds"`
+	References int     `json:"references"`
+	Entities   int     `json:"entities"`
+}
+
+func (m *metrics) snapshot() MetricsSnapshot {
+	out := MetricsSnapshot{
+		Queries:      m.queries.Load(),
+		QueryErrors:  m.queryErrs.Load(),
+		QueryLatency: m.queryLat.summary(),
+		Candidates: CandidateStats{
+			Total: m.candRefs.Load(),
+			Last:  m.candLast.Load(),
+			Max:   m.candMax.Load(),
+		},
+		Ingest: IngestMetrics{
+			Batches:    m.batches.Load(),
+			References: m.ingestRefs.Load(),
+			LastMS:     float64(m.lastInNS.Load()) / 1e6,
+			TotalMS:    float64(m.ingestNS.Load()) / 1e6,
+		},
+	}
+	if ok := out.QueryLatency.Count; ok > 0 {
+		out.Candidates.Mean = float64(out.Candidates.Total) / float64(ok)
+	}
+	return out
+}

@@ -1,0 +1,358 @@
+package serve
+
+// Package serve is the long-running reconciliation service: a
+// single-writer recon.Session owns ingest, and every committed batch
+// publishes an immutable View (snapshot + query matcher) through an
+// atomic pointer. Reads — reconcile queries, entity and explain lookups,
+// metrics — run entirely against the published View, so they never block
+// on ingest and never observe a half-applied batch; writers pay the
+// snapshot copy, readers pay nothing.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"refrecon/internal/recon"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+// Config configures a Service.
+type Config struct {
+	// Schema is the information-space schema (required).
+	Schema *schema.Schema
+	// Recon configures the underlying reconciler.
+	Recon recon.Config
+	// Name is the service name advertised in the manifest.
+	Name string
+	// IdentifierSpace and SchemaSpace are the manifest URIs; defaults
+	// derive from the service name.
+	IdentifierSpace string
+	SchemaSpace     string
+	// DefaultLimit bounds candidates per query when the query doesn't
+	// specify one (default 10).
+	DefaultLimit int
+}
+
+// View is one published read state: an immutable snapshot and its query
+// matcher. Views are never mutated after publication.
+type View struct {
+	Snapshot  *recon.Snapshot
+	Matcher   *recon.Matcher
+	Published time.Time
+}
+
+// Service is the reconciliation service. One goroutine at a time may
+// ingest (Ingest serializes internally); any number may query.
+type Service struct {
+	cfg     Config
+	mu      sync.Mutex // guards sess + store writes
+	sess    *recon.Session
+	store   *reference.Store
+	view    atomic.Pointer[View]
+	met     *metrics
+	started time.Time
+}
+
+// New starts a service over an empty store.
+func New(cfg Config) (*Service, error) {
+	return NewFromStore(cfg, reference.NewStore())
+}
+
+// NewFromStore starts a service over a pre-populated store (reconciling
+// it as the first batch) and publishes the initial view.
+func NewFromStore(cfg Config, store *reference.Store) (*Service, error) {
+	if cfg.Schema == nil {
+		return nil, fmt.Errorf("serve: Config.Schema is required")
+	}
+	if cfg.Name == "" {
+		cfg.Name = "refrecon"
+	}
+	if cfg.IdentifierSpace == "" {
+		cfg.IdentifierSpace = "urn:refrecon:entity"
+	}
+	if cfg.SchemaSpace == "" {
+		cfg.SchemaSpace = "urn:refrecon:schema"
+	}
+	if cfg.DefaultLimit <= 0 {
+		cfg.DefaultLimit = 10
+	}
+	if err := store.Validate(cfg.Schema); err != nil {
+		return nil, fmt.Errorf("serve: initial store invalid: %w", err)
+	}
+	s := &Service{
+		cfg:     cfg,
+		store:   store,
+		sess:    recon.New(cfg.Schema, cfg.Recon).NewSession(store),
+		met:     newMetrics(),
+		started: time.Now(),
+	}
+	if _, err := s.sess.Reconcile(); err != nil {
+		return nil, fmt.Errorf("serve: initial reconcile: %w", err)
+	}
+	if err := s.publish(); err != nil {
+		return nil, err
+	}
+	return s, nil
+}
+
+// publish exports a snapshot of the session's current result, builds its
+// matcher, and swaps it in as the live view. Callers must hold mu (or be
+// the constructor, before the service escapes).
+func (s *Service) publish() error {
+	snap, err := s.sess.Snapshot()
+	if err != nil {
+		return fmt.Errorf("serve: snapshot: %w", err)
+	}
+	v := &View{
+		Snapshot:  snap,
+		Matcher:   recon.NewMatcher(s.cfg.Schema, s.cfg.Recon, snap),
+		Published: time.Now(),
+	}
+	s.view.Store(v)
+	return nil
+}
+
+// View returns the currently published read state.
+func (s *Service) View() *View { return s.view.Load() }
+
+// Schema returns the service schema.
+func (s *Service) Schema() *schema.Schema { return s.cfg.Schema }
+
+// validateBatch checks an ingest batch against the schema before any
+// reference is added: store.Add is irreversible, so a batch is applied
+// all-or-nothing. base is the store length the batch lands on;
+// association targets may point at existing references or forward into
+// the batch itself.
+func (s *Service) validateBatch(base int, batch []IngestRef) error {
+	classAt := func(id reference.ID) (string, bool) {
+		if id < 0 || int(id) >= base+len(batch) {
+			return "", false
+		}
+		if int(id) < base {
+			return s.store.Get(id).Class, true
+		}
+		return batch[int(id)-base].Class, true
+	}
+	for i, ir := range batch {
+		class, ok := s.cfg.Schema.Class(ir.Class)
+		if !ok {
+			return fmt.Errorf("reference %d: unknown class %q", i, ir.Class)
+		}
+		for attr := range ir.Atomic {
+			a, ok := class.Attr(attr)
+			if !ok || a.Kind != schema.Atomic {
+				return fmt.Errorf("reference %d: class %q has no atomic attribute %q", i, ir.Class, attr)
+			}
+		}
+		for attr, targets := range ir.Assoc {
+			a, ok := class.Attr(attr)
+			if !ok || a.Kind != schema.Association {
+				return fmt.Errorf("reference %d: class %q has no association attribute %q", i, ir.Class, attr)
+			}
+			for _, t := range targets {
+				tc, ok := classAt(t)
+				if !ok {
+					return fmt.Errorf("reference %d: association %q target %d out of range", i, attr, t)
+				}
+				if tc != a.Target {
+					return fmt.Errorf("reference %d: association %q target %d has class %q, want %q", i, attr, t, tc, a.Target)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// Ingest validates and applies one batch, reconciles it incrementally,
+// and publishes a fresh view. It returns the applied id range and the
+// new snapshot version. Validation errors leave the service unchanged.
+func (s *Service) Ingest(batch []IngestRef) (IngestResponse, error) {
+	if len(batch) == 0 {
+		return IngestResponse{}, fmt.Errorf("empty batch")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	start := time.Now()
+	base := s.store.Len()
+	if err := s.validateBatch(base, batch); err != nil {
+		return IngestResponse{}, err
+	}
+	for _, ir := range batch {
+		r := reference.New(ir.Class)
+		r.Source = ir.Source
+		r.Entity = ir.Entity
+		for attr, vals := range ir.Atomic {
+			for _, v := range vals {
+				r.AddAtomic(attr, v)
+			}
+		}
+		for attr, targets := range ir.Assoc {
+			for _, t := range targets {
+				r.AddAssoc(attr, t)
+			}
+		}
+		s.store.Add(r)
+	}
+	if _, err := s.sess.Reconcile(); err != nil {
+		return IngestResponse{}, fmt.Errorf("reconcile: %w", err)
+	}
+	if err := s.publish(); err != nil {
+		return IngestResponse{}, err
+	}
+	elapsed := time.Since(start)
+	s.met.recordIngest(len(batch), elapsed)
+	return IngestResponse{
+		Added:           len(batch),
+		FirstID:         reference.ID(base),
+		LastID:          reference.ID(base + len(batch) - 1),
+		SnapshotVersion: s.view.Load().Snapshot.Version,
+		References:      s.store.Len(),
+		ElapsedMS:       float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// Query resolves one reconciliation query against the published view,
+// recording latency and candidate-set size. An empty Type fans the query
+// out to every class and re-merges the results.
+func (s *Service) Query(q ReconQuery) ([]recon.Candidate, error) {
+	v := s.view.Load()
+	start := time.Now()
+	limit := q.Limit
+	if limit <= 0 {
+		limit = s.cfg.DefaultLimit
+	}
+	rq := recon.Query{Atomic: make(map[string][]string), Limit: limit}
+	for _, p := range q.Properties {
+		if vals := p.values(); len(vals) > 0 {
+			rq.Atomic[p.PID] = append(rq.Atomic[p.PID], vals...)
+		}
+	}
+
+	var classes []string
+	if q.Type != "" {
+		classes = []string{q.Type}
+	} else {
+		for _, c := range s.cfg.Schema.Classes() {
+			classes = append(classes, c.Name)
+		}
+	}
+
+	var all []recon.Candidate
+	totalRefs := 0
+	for _, class := range classes {
+		cq := rq
+		cq.Class = class
+		cq.Atomic = s.bindQueryText(class, q, rq.Atomic)
+		if cq.Atomic == nil {
+			if q.Type != "" {
+				s.met.recordQuery(time.Since(start), 0, true)
+				return nil, fmt.Errorf("unknown type %q", q.Type)
+			}
+			continue
+		}
+		cands, stats, err := v.Matcher.Match(cq)
+		if err != nil {
+			if q.Type != "" {
+				s.met.recordQuery(time.Since(start), 0, true)
+				return nil, err
+			}
+			// Fan-out: a property attribute foreign to this class just
+			// rules the class out.
+			continue
+		}
+		totalRefs += stats.CandidateRefs
+		all = append(all, cands...)
+	}
+	sortCandidates(all)
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	recon.MarkMatches(all, mergeThreshold(s.cfg.Recon))
+	s.met.recordQuery(time.Since(start), totalRefs, false)
+	return all, nil
+}
+
+// bindQueryText maps the free-text query string onto the class's
+// name-like attribute (name, then title, then the first atomic
+// attribute) and merges it with the property constraints. It returns nil
+// for an unknown class.
+func (s *Service) bindQueryText(class string, q ReconQuery, props map[string][]string) map[string][]string {
+	c, ok := s.cfg.Schema.Class(class)
+	if !ok {
+		return nil
+	}
+	atomic := make(map[string][]string, len(props)+1)
+	for k, v := range props {
+		atomic[k] = v
+	}
+	if q.Query != "" {
+		attr := ""
+		if _, ok := c.Attr(schema.AttrName); ok {
+			attr = schema.AttrName
+		} else if _, ok := c.Attr(schema.AttrTitle); ok {
+			attr = schema.AttrTitle
+		} else if aa := c.AtomicAttrs(); len(aa) > 0 {
+			attr = aa[0].Name
+		}
+		if attr != "" {
+			atomic[attr] = append(atomic[attr], q.Query)
+		}
+	}
+	return atomic
+}
+
+// sortCandidates re-sorts a merged candidate list the way Match orders a
+// single class's: score descending, canonical id ascending.
+func sortCandidates(cands []recon.Candidate) {
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Score != cands[j].Score {
+			return cands[i].Score > cands[j].Score
+		}
+		return cands[i].Entity.Canonical < cands[j].Entity.Canonical
+	})
+}
+
+// mergeThreshold mirrors the recon default.
+func mergeThreshold(cfg recon.Config) float64 {
+	if cfg.MergeThreshold != 0 {
+		return cfg.MergeThreshold
+	}
+	return 0.85
+}
+
+// Manifest builds the OpenRefine service manifest.
+func (s *Service) Manifest(baseURL string) Manifest {
+	m := Manifest{
+		Versions:        []string{"0.2"},
+		Name:            s.cfg.Name,
+		IdentifierSpace: s.cfg.IdentifierSpace,
+		SchemaSpace:     s.cfg.SchemaSpace,
+	}
+	for _, c := range s.cfg.Schema.Classes() {
+		m.DefaultTypes = append(m.DefaultTypes, TypeRef{ID: c.Name, Name: c.Name})
+	}
+	if baseURL != "" {
+		m.View = &ManifestView{URL: baseURL + "/entity/{{id}}"}
+	}
+	return m
+}
+
+// Metrics renders the service counters plus snapshot/store gauges.
+func (s *Service) Metrics() MetricsSnapshot {
+	out := s.met.snapshot()
+	if v := s.view.Load(); v != nil {
+		out.Snapshot = SnapshotInfo{
+			Version:    v.Snapshot.Version,
+			AgeSeconds: time.Since(v.Published).Seconds(),
+			References: v.Snapshot.RefCount(),
+			Entities:   len(v.Snapshot.Entities()),
+		}
+		out.StoreReferences = v.Snapshot.RefCount()
+	}
+	out.UptimeSeconds = time.Since(s.started).Seconds()
+	return out
+}

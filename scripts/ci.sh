@@ -24,7 +24,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/parallel ./internal/recon
+go test -race ./internal/parallel ./internal/recon ./internal/serve
 
 echo "== go test -race (delta/rescan equivalence) =="
 go test -race -run 'DeltaRescanEquivalence' ./internal/depgraph
@@ -43,10 +43,37 @@ go test -fuzz='^FuzzEngineOps$' -fuzztime 10s ./internal/depgraph
 
 echo "== invariant audit (reconcile -audit over PIM A-D and Cora) =="
 tmpdir=$(mktemp -d)
-trap 'rm -rf "$tmpdir"' EXIT
+server_pid=""
+trap '[ -n "$server_pid" ] && kill "$server_pid" 2>/dev/null; rm -rf "$tmpdir"' EXIT
 for d in A B C D cora; do
     go run ./cmd/pimgen -dataset "$d" -o "$tmpdir/$d.json"
     go run ./cmd/reconcile -in "$tmpdir/$d.json" -audit | grep '^audit:'
 done
+
+echo "== serve smoke (reconserve: ingest PIM A, one reconcile query) =="
+go build -o "$tmpdir/reconserve" ./cmd/reconserve
+base="http://127.0.0.1:18417"
+"$tmpdir/reconserve" -addr 127.0.0.1:18417 &
+server_pid=$!
+ready=""
+for _ in $(seq 1 50); do
+    if curl -fsS "$base/readyz" >/dev/null 2>&1; then ready=1; break; fi
+    sleep 0.2
+done
+[ -n "$ready" ] || { echo "reconserve never became ready" >&2; exit 1; }
+# grep without -q reads the producer to EOF, avoiding curl SIGPIPE under
+# pipefail.
+curl -fsS "$base/" | grep '"versions":\["0.2"\]' >/dev/null
+curl -fsS -X POST --data-binary @"$tmpdir/A.json" "$base/ingest" | grep '"added":' >/dev/null
+# Query a person name lifted from the dataset itself; the reconcile
+# response must produce a scored candidate list.
+name=$(awk -F'"' '/"name": \[/ { getline; print $2; exit }' "$tmpdir/A.json")
+[ -n "$name" ] || { echo "no person name found in dataset" >&2; exit 1; }
+curl -fsS "$base/reconcile" --data-urlencode "queries={\"q0\":{\"query\":\"$name\",\"type\":\"Person\"}}" \
+    | grep '"result":\[{' >/dev/null
+curl -fsS "$base/metrics" | grep '"queries":1' >/dev/null
+kill "$server_pid"
+wait "$server_pid" 2>/dev/null || true
+server_pid=""
 
 echo "CI gate passed."
