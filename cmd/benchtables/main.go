@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"refrecon/internal/experiments"
+	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
@@ -37,14 +38,15 @@ import (
 // benchBaseline is the JSON shape written by -bench: one record per
 // (dataset, worker count), plus enough context to re-run the measurement.
 type benchBaseline struct {
-	Scale      float64       `json:"scale"`
-	NumCPU     int           `json:"numCPU"`
-	GoMaxProcs int           `json:"gomaxprocs"`
-	GoVer      string        `json:"go"`
-	Runs       []benchRun    `json:"runs"`
-	Speedup    []benchGain   `json:"speedup"`
-	Propagate  []benchRescan `json:"propagateComparison"`
-	Query      []benchQuery  `json:"queryLatency"`
+	Scale      float64         `json:"scale"`
+	NumCPU     int             `json:"numCPU"`
+	GoMaxProcs int             `json:"gomaxprocs"`
+	GoVer      string          `json:"go"`
+	Runs       []benchRun      `json:"runs"`
+	Speedup    []benchGain     `json:"speedup"`
+	Propagate  []benchRescan   `json:"propagateComparison"`
+	Query      []benchQuery    `json:"queryLatency"`
+	Counters   []benchCounters `json:"counters,omitempty"`
 }
 
 type benchRun struct {
@@ -62,6 +64,44 @@ type benchRun struct {
 	// full Reconcile call — the allocs/op of the end-to-end operation.
 	ReconcileAllocs uint64 `json:"reconcileAllocs"`
 	DeltaHits       int    `json:"deltaHits"`
+	// Engine-shape counters from the same Reconcile run (free: they come
+	// out of the deterministic engine stats, no observer attached to the
+	// timed runs).
+	Rounds         int `json:"rounds"`
+	QueueHighWater int `json:"queueHighWater"`
+	RequeueReal    int `json:"requeueReal"`
+	RequeueStrong  int `json:"requeueStrong"`
+	RequeueWeak    int `json:"requeueWeak"`
+}
+
+// benchCounters is one untimed observability run per dataset: a Reconcile
+// with an obs.Counters set attached, reporting the counters the timed
+// runs cannot see (similarity-cache traffic, blocking-index shape).
+type benchCounters struct {
+	Dataset          string `json:"dataset"`
+	SimfnCacheHits   int64  `json:"simfnCacheHits"`
+	SimfnCacheMisses int64  `json:"simfnCacheMisses"`
+	BlockingKeys     int64  `json:"blockingKeys"`
+	MaxBucket        int64  `json:"maxBucket"`
+}
+
+// counterPhase reconciles the store once with counters attached. The run
+// is untimed — counter atomics on the scoring hot path would perturb the
+// timed measurements, so they get their own pass.
+func counterPhase(store *reference.Store, name string) benchCounters {
+	cfg := recon.DefaultConfig()
+	cfg.Obs = &obs.Observer{Counters: obs.NewCounters()}
+	if _, err := recon.New(schema.PIM(), cfg).Reconcile(store); err != nil {
+		log.Fatal(err)
+	}
+	c := cfg.Obs.Counters.Snapshot()
+	return benchCounters{
+		Dataset:          name,
+		SimfnCacheHits:   c.SimfnCacheHits,
+		SimfnCacheMisses: c.SimfnCacheMisses,
+		BlockingKeys:     c.BlockingKeys,
+		MaxBucket:        c.MaxBucket,
+	}
 }
 
 type benchGain struct {
@@ -237,6 +277,11 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 				ReconcileMS:     float64(total.Microseconds()) / 1e3,
 				ReconcileAllocs: m1.Mallocs - m0.Mallocs,
 				DeltaHits:       res.Stats.Engine.DeltaHits,
+				Rounds:          res.Stats.Engine.Rounds,
+				QueueHighWater:  res.Stats.Engine.QueueHighWater,
+				RequeueReal:     res.Stats.Engine.RequeueReal,
+				RequeueStrong:   res.Stats.Engine.RequeueStrong,
+				RequeueWeak:     res.Stats.Engine.RequeueWeak,
 			}
 			base.Runs = append(base.Runs, run)
 			if w == 1 {
@@ -249,7 +294,14 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 			fmt.Printf("%-5s workers=%-2d build %8.1fms  propagate %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes, %d allocs)\n",
 				name, w, run.BuildMS, run.PropagateMS, run.ReconcileMS,
 				run.CandidatePairs, run.GraphNodes, run.ReconcileAllocs)
+			fmt.Printf("%-5s counters:  %d rounds  queue high-water %d  requeues %d real / %d strong / %d weak\n",
+				name, run.Rounds, run.QueueHighWater,
+				run.RequeueReal, run.RequeueStrong, run.RequeueWeak)
 		}
+		cb := counterPhase(store, name)
+		base.Counters = append(base.Counters, cb)
+		fmt.Printf("%-5s simfn:     cache %d hits / %d misses  blocking %d keys (max bucket %d)\n",
+			name, cb.SimfnCacheHits, cb.SimfnCacheMisses, cb.BlockingKeys, cb.MaxBucket)
 		deltaT := propagatePhase(store, false)
 		rescanT := propagatePhase(store, true)
 		cmp := benchRescan{

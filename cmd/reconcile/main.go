@@ -6,9 +6,12 @@
 //
 //	reconcile -in dataset.json [-algo depgraph|indepdec] [-mode full|traditional|propagation|merge]
 //	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-workers N]
-//	          [-dump partitions.json]
+//	          [-dump partitions.json] [-trace trace.json] [-progress]
 //
 // The input is the JSON format written by cmd/pimgen (or dataset.WriteJSON).
+// With -trace, the run records phase/round/enrichment spans and writes
+// them as Chrome trace-event JSON (load the file in chrome://tracing or
+// Perfetto); -progress renders round-by-round progress to stderr.
 package main
 
 import (
@@ -23,6 +26,7 @@ import (
 	"refrecon/internal/dataset"
 	"refrecon/internal/indepdec"
 	"refrecon/internal/metrics"
+	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
@@ -42,6 +46,8 @@ func main() {
 	dump := flag.String("dump", "", "write partitions as JSON to this file")
 	explain := flag.String("explain", "", "explain a pair decision, e.g. -explain 12,45 (depgraph only)")
 	dot := flag.String("dot", "", "write the dependency graph in Graphviz DOT format to this file (depgraph only)")
+	tracePath := flag.String("trace", "", "write phase/round spans as Chrome trace-event JSON to this file (depgraph only)")
+	progress := flag.Bool("progress", false, "render round-by-round progress to stderr (depgraph only)")
 	flag.Parse()
 	if *in == "" {
 		flag.Usage()
@@ -97,10 +103,41 @@ func main() {
 		default:
 			log.Fatalf("unknown evidence level %q", *evidence)
 		}
+		var observer *obs.Observer
+		if *tracePath != "" || *progress {
+			observer = &obs.Observer{Counters: obs.NewCounters()}
+			if *tracePath != "" {
+				observer.Trace = obs.NewTracer()
+				observer.Profile = true
+			}
+			if *progress {
+				observer.Progress = obs.NewProgress(os.Stderr, 250*time.Millisecond)
+			}
+			cfg.Obs = observer
+		}
 		sess := recon.New(schema.PIM(), cfg).NewSession(ds.Store)
 		res, err := sess.Reconcile()
 		if err != nil {
 			log.Fatal(err)
+		}
+		if observer != nil {
+			c := observer.Counters.Snapshot()
+			fmt.Printf("obs: %d rounds, queue high-water %d, requeues %d real / %d strong / %d weak, simfn cache %d hits / %d misses\n",
+				c.Rounds, c.QueueHighWater, c.RequeueReal, c.RequeueStrong, c.RequeueWeak,
+				c.SimfnCacheHits, c.SimfnCacheMisses)
+		}
+		if *tracePath != "" {
+			tf, err := os.Create(*tracePath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := observer.Trace.WriteJSON(tf); err != nil {
+				log.Fatal(err)
+			}
+			if err := tf.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("trace written to %s (%d events)\n", *tracePath, len(observer.Trace.Events()))
 		}
 		partitions = res.Partitions
 		st := res.Stats
@@ -147,8 +184,8 @@ func main() {
 			fmt.Printf("dependency graph written to %s\n", *dot)
 		}
 	case "indepdec":
-		if *explain != "" || *dot != "" || *auditFlag {
-			log.Fatal("-explain, -dot, and -audit require -algo depgraph")
+		if *explain != "" || *dot != "" || *auditFlag || *tracePath != "" || *progress {
+			log.Fatal("-explain, -dot, -audit, -trace, and -progress require -algo depgraph")
 		}
 		res, err := indepdec.New(schema.PIM(), indepdec.DefaultConfig()).Reconcile(ds.Store)
 		if err != nil {

@@ -28,6 +28,7 @@ import (
 	"time"
 
 	"refrecon/internal/dataset"
+	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
@@ -50,6 +51,9 @@ func main() {
 	cfg.Constraints = *constraints
 	cfg.Workers = *workers
 	cfg.Audit = *auditFlag
+	// Engine counters are atomics, cheap enough to leave on in a serving
+	// process; /metrics and expvar expose them under "engine".
+	cfg.Obs = &obs.Observer{Counters: obs.NewCounters()}
 	switch *evidence {
 	case "attr":
 		cfg.Evidence = recon.EvidenceAttrWise

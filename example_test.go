@@ -94,6 +94,54 @@ func ExampleEvaluate() {
 	// P=1.0 R=1.0
 }
 
+// ExampleNewMatcher shows query-time reconciliation: reconcile once, export
+// an immutable snapshot, then answer ad-hoc queries against it without
+// re-running the algorithm.
+func ExampleNewMatcher() {
+	store := refrecon.NewStore()
+	add := func(name, email string) {
+		r := refrecon.NewReference(refrecon.ClassPerson)
+		if name != "" {
+			r.AddAtomic(refrecon.AttrName, name)
+		}
+		if email != "" {
+			r.AddAtomic(refrecon.AttrEmail, email)
+		}
+		store.Add(r)
+	}
+	add("Alice Liddell", "alice@wonderland.org")
+	add("Liddell, A.", "alice@wonderland.org")
+	add("Charles Dodgson", "dodgson@christchurch.ox.ac.uk")
+
+	cfg := refrecon.DefaultConfig()
+	sess := refrecon.New(refrecon.PIMSchema(), cfg).NewSession(store)
+	if _, err := sess.Reconcile(); err != nil {
+		log.Fatal(err)
+	}
+	snap, err := sess.Snapshot()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	m := refrecon.NewMatcher(refrecon.PIMSchema(), cfg, snap)
+	candidates, _, err := m.Match(refrecon.Query{
+		Class:  refrecon.ClassPerson,
+		Atomic: map[string][]string{refrecon.AttrName: {"A. Liddell"}},
+		Limit:  1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	best := candidates[0]
+	fmt.Println("entities:", len(snap.Entities()))
+	fmt.Println("best match spans references:", len(best.Entity.Members))
+	fmt.Println("confident:", best.Match)
+	// Output:
+	// entities: 2
+	// best match spans references: 2
+	// confident: true
+}
+
 // ExampleReconciler_NewSession shows incremental reconciliation with a
 // merge explanation.
 func ExampleReconciler_NewSession() {

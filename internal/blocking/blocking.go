@@ -45,6 +45,19 @@ func (x *Index) Keys() int { return len(x.buckets) }
 // skipped.
 func (x *Index) SkippedBuckets() int { return x.skipped }
 
+// MaxBucket returns the largest bucket's raw size (before deduplication),
+// skipped or not — the number observability reports to explain blocking
+// hot spots and cap-induced coverage loss.
+func (x *Index) MaxBucket() int {
+	max := 0
+	for _, ids := range x.buckets {
+		if len(ids) > max {
+			max = len(ids)
+		}
+	}
+	return max
+}
+
 // Pairs invokes fn once for every distinct unordered pair of references
 // sharing at least one non-skipped key, with a < b. Iteration order is
 // deterministic (keys sorted, ids sorted within buckets).

@@ -1,5 +1,12 @@
 package depgraph
 
+import (
+	"fmt"
+	"time"
+
+	"refrecon/internal/obs"
+)
+
 // Scorer computes a node's similarity from its incoming edges. Score must
 // be monotone in the incoming similarities (§3.2's termination condition):
 // raising a neighbor's similarity may only raise the result. The engine
@@ -39,6 +46,20 @@ type Options struct {
 	// MaxSteps caps the number of node evaluations as a safety net
 	// against non-monotone scorers. 0 means 1000 * initial node count.
 	MaxSteps int
+	// Interrupt, if set, is polled at propagation-round boundaries. A
+	// non-nil return stops the run before the fixed point: Stats.Interrupted
+	// is set and the graph is left self-consistent (the interrupted node is
+	// re-queued, maintained aggregates are exact) but not converged.
+	// Callers typically pass ctx.Err for cooperative cancellation.
+	Interrupt func() error
+	// Trace, if set, records one span per propagation round (nested inside
+	// the caller's phase span by time containment) and one per enrichment
+	// cascade that folds at least one node. Nil disables tracing at the
+	// cost of a pointer comparison per checkpoint.
+	Trace *obs.Tracer
+	// Progress, if set, receives one event per completed propagation
+	// round. Nil disables progress reporting.
+	Progress *obs.Progress
 }
 
 // Stats reports what a Run did.
@@ -48,6 +69,22 @@ type Stats struct {
 	Folds      int  // nodes removed by enrichment
 	Reactivate int  // re-activations pushed by propagation
 	Truncated  bool // true if MaxSteps was hit
+
+	// Rounds counts completed propagation rounds: a round is one sweep of
+	// the queue as it stood when the round opened, plus any strong-boolean
+	// activations that jumped into it (see nodeQueue). QueueHighWater is
+	// the deepest the queue got, sampled before each evaluation.
+	// RequeueReal / RequeueStrong / RequeueWeak split Reactivate by the
+	// dependency type that pushed the re-activation. Interrupted is set
+	// when Options.Interrupt stopped the run before the fixed point.
+	// All of these are deterministic: identical across worker counts and
+	// across delta/rescan scoring (the determinism tests compare them).
+	Rounds         int
+	QueueHighWater int
+	RequeueReal    int
+	RequeueStrong  int
+	RequeueWeak    int
+	Interrupted    bool
 
 	// Delta-scoring counters (zero when the scorer rescans neighborhoods
 	// instead of reading digests). DeltaHits counts scores served from a
@@ -96,13 +133,71 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 	}
 
 	if opt.Enrich {
-		st.Folds += g.reenrich()
+		var begin time.Time
+		if opt.Trace != nil {
+			begin = time.Now()
+		}
+		folds := g.reenrich()
+		st.Folds += folds
+		if opt.Trace != nil && folds > 0 {
+			opt.Trace.Complete("enrich", "reenrich", begin, map[string]any{"folds": folds})
+		}
+	}
+
+	// Round bookkeeping. The queue's round counter survives across
+	// incremental Runs (the session reuses the graph), so this run's
+	// rounds are counted relative to where the counter started. With
+	// tracing, progress, and interruption all disabled the only per-step
+	// additions to the pre-observability loop are two integer compares.
+	startRound := g.queue.round
+	round := startRound
+	checkpoints := opt.Trace != nil || opt.Progress != nil || opt.Interrupt != nil
+	var roundBegin time.Time
+	roundMark := st // stats as of the open round's start
+	closeRound := func(q int) {
+		if opt.Trace != nil {
+			opt.Trace.Complete("round", fmt.Sprintf("round %d", round-startRound), roundBegin, map[string]any{
+				"steps":  st.Steps - roundMark.Steps,
+				"merges": st.Merges - roundMark.Merges,
+				"folds":  st.Folds - roundMark.Folds,
+				"queue":  q,
+			})
+		}
+		if opt.Progress != nil {
+			opt.Progress.Emit(obs.Event{
+				Phase: "propagate", Round: round - startRound,
+				Steps: st.Steps, Merges: st.Merges, Folds: st.Folds, Queue: q,
+			})
+		}
+		roundMark = st
 	}
 
 	for {
+		if l := g.queue.len(); l > st.QueueHighWater {
+			st.QueueHighWater = l
+		}
 		n := g.queue.pop()
 		if n == nil {
 			break
+		}
+		if g.queue.round != round {
+			// Round boundary: the entry just popped opened a new round.
+			if checkpoints {
+				if round > startRound {
+					closeRound(g.queue.len() + 1)
+				}
+				if opt.Interrupt != nil {
+					if err := opt.Interrupt(); err != nil {
+						st.Interrupted = true
+						g.queue.pushFront(n) // unevaluated; keep the graph consistent
+						break
+					}
+				}
+				if opt.Trace != nil {
+					roundBegin = time.Now()
+				}
+			}
+			round = g.queue.round
 		}
 		if n.Status == NonMerge {
 			continue
@@ -140,6 +235,7 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			for _, e := range n.out {
 				if e.Dep == RealValued && g.activate(e.To) {
 					st.Reactivate++
+					st.RequeueReal++
 				}
 			}
 		}
@@ -159,6 +255,7 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 					}
 					if g.activateFront(e.To) {
 						st.Reactivate++
+						st.RequeueStrong++
 					}
 				}
 				for _, e := range n.out {
@@ -167,13 +264,26 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 					}
 					if g.activate(e.To) {
 						st.Reactivate++
+						st.RequeueWeak++
 					}
 				}
 			}
 			if opt.Enrich && n.Kind == RefPair {
-				st.Folds += g.enrich(n)
+				var begin time.Time
+				if opt.Trace != nil {
+					begin = time.Now()
+				}
+				folds := g.enrich(n)
+				st.Folds += folds
+				if opt.Trace != nil && folds > 0 {
+					opt.Trace.Complete("enrich", n.Key, begin, map[string]any{"folds": folds})
+				}
 			}
 		}
+	}
+	st.Rounds = g.queue.round - startRound
+	if checkpoints && round > startRound && !st.Interrupted {
+		closeRound(g.queue.len())
 	}
 	st.DeltaHits = int(g.delta.hits - d0.hits)
 	st.AggBuilds = int(g.delta.builds - d0.builds)

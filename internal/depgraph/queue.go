@@ -7,16 +7,26 @@ package depgraph
 // A node may be superseded while queued (enrichment removes nodes; a node
 // may be re-enqueued). Each enqueue stamps the node with a generation id;
 // stale queue entries whose stamp no longer matches are skipped on pop.
+//
+// Entries additionally carry a propagation-round number: a back-push
+// lands in the round after the one currently draining (it will only be
+// reached once everything ahead of it is done), while a front-push stays
+// in the current round (strong-boolean activations jump the queue, so
+// they are processed as part of the round that triggered them). round
+// advances monotonically as stamped entries are popped; the engine uses
+// the transitions as its trace/progress/cancellation checkpoints.
 type nodeQueue struct {
 	buf        []queueEntry
 	head, tail int // head: next pop; tail: next back-push slot
 	size       int
 	nextGen    uint64
+	round      int // round of the entry most recently popped
 }
 
 type queueEntry struct {
-	node *Node
-	gen  uint64
+	node  *Node
+	gen   uint64
+	round int
 }
 
 func newNodeQueue(capacity int) *nodeQueue {
@@ -49,32 +59,40 @@ func (q *nodeQueue) grow() {
 	q.tail = q.size
 }
 
-// pushBack enqueues n at the tail and marks it queued.
+// pushBack enqueues n at the tail, stamped for the next round, and marks
+// it queued.
 func (q *nodeQueue) pushBack(n *Node) {
 	q.grow()
 	gen := q.nextGen
 	q.nextGen++
 	n.queued = true
 	n.queueID = gen
-	q.buf[q.tail] = queueEntry{n, gen}
+	q.buf[q.tail] = queueEntry{n, gen, q.round + 1}
 	q.tail = (q.tail + 1) & (len(q.buf) - 1)
 	q.size++
 }
 
-// pushFront enqueues n at the head and marks it queued.
+// pushFront enqueues n at the head, stamped for the current round, and
+// marks it queued.
 func (q *nodeQueue) pushFront(n *Node) {
 	q.grow()
 	gen := q.nextGen
 	q.nextGen++
 	n.queued = true
 	n.queueID = gen
+	round := q.round
+	if round == 0 {
+		round = 1 // front-push before the first pop opens round 1
+	}
 	q.head = (q.head - 1) & (len(q.buf) - 1)
-	q.buf[q.head] = queueEntry{n, gen}
+	q.buf[q.head] = queueEntry{n, gen, round}
 	q.size++
 }
 
 // pop removes and returns the next live node, or nil when the queue is
-// drained. Stale entries (dead nodes, superseded generations) are skipped.
+// drained. Stale entries (dead nodes, superseded generations) are skipped
+// without advancing the round — only an entry that is actually evaluated
+// moves the round forward.
 func (q *nodeQueue) pop() *Node {
 	for q.size > 0 {
 		e := q.buf[q.head]
@@ -84,6 +102,9 @@ func (q *nodeQueue) pop() *Node {
 		n := e.node
 		if n.alive && n.queued && n.queueID == e.gen {
 			n.queued = false
+			if e.round > q.round {
+				q.round = e.round
+			}
 			return n
 		}
 	}

@@ -1,0 +1,124 @@
+package depgraph
+
+import (
+	"errors"
+	"testing"
+
+	"refrecon/internal/obs"
+)
+
+// chainGraph builds the alias-learning cascade of TestPropagationChain's
+// second graph: a1 merges on its title, the venue merges on real+strong
+// evidence, alias learning merges the venue-name pair, and a2 merges
+// through the alias — several reactivation waves, hence several rounds.
+func chainGraph() (*Graph, []*Node) {
+	g := New()
+	a1 := g.AddRefPair(0, 1, "Article")
+	ve := g.AddRefPair(2, 3, "Venue")
+	a2 := g.AddRefPair(4, 5, "Article")
+	ti := g.AddValuePair("title", "t1", "t1", 1.0)
+	ti.Status = Merged
+	g.AddEdge(ti, a1, RealValued, "title")
+	vn0 := g.AddValuePair("vnameReal", "v1", "v2", 0.6)
+	g.AddEdge(vn0, ve, RealValued, "vname")
+	g.AddEdge(a1, ve, StrongBoolean, "article")
+	alias := g.AddValuePair("vname", "sigmod", "acm", 0.2)
+	g.AddEdge(ve, alias, StrongBoolean, "venue")
+	t2 := g.AddValuePair("title", "t2", "t2'", 0.7)
+	g.AddEdge(t2, a2, RealValued, "title")
+	g.AddEdge(alias, a2, RealValued, "vname")
+	return g, []*Node{ve, a2, a1}
+}
+
+// TestRunRoundAccounting checks the round model: reactivations push work
+// into later rounds, Stats.Rounds counts them, one trace span and one
+// progress event record each, and the requeue-kind split sums to the
+// reactivation total.
+func TestRunRoundAccounting(t *testing.T) {
+	g, seeds := chainGraph()
+	tr := obs.NewTracer()
+	var progressRounds []int
+	st := g.Run(seeds, Options{
+		Scorer:         ScorerFunc(sumScorer),
+		MergeThreshold: thresholds(0.85),
+		Propagate:      true,
+		Trace:          tr,
+		Progress: &obs.Progress{Fn: func(e obs.Event) {
+			progressRounds = append(progressRounds, e.Round)
+		}},
+	})
+	if st.Rounds < 2 {
+		t.Fatalf("Rounds = %d, want >= 2 (cascade must requeue)", st.Rounds)
+	}
+	if st.Reactivate == 0 {
+		t.Fatal("no reactivations in the cascade")
+	}
+	if sum := st.RequeueReal + st.RequeueStrong + st.RequeueWeak; sum != st.Reactivate {
+		t.Errorf("requeue kinds sum to %d, Reactivate = %d", sum, st.Reactivate)
+	}
+	if st.QueueHighWater == 0 {
+		t.Error("QueueHighWater never sampled")
+	}
+	spans := 0
+	for _, e := range tr.Events() {
+		if e.Cat == "round" {
+			spans++
+		}
+	}
+	if spans != st.Rounds {
+		t.Errorf("%d round spans for %d rounds", spans, st.Rounds)
+	}
+	if len(progressRounds) != st.Rounds {
+		t.Fatalf("%d progress events for %d rounds", len(progressRounds), st.Rounds)
+	}
+	for i, r := range progressRounds {
+		if r != i+1 {
+			t.Fatalf("progress rounds = %v, want 1..%d", progressRounds, st.Rounds)
+		}
+	}
+}
+
+// TestRunInterrupt stops the cascade at the first round boundary and then
+// resumes it: the interrupted run must report Interrupted with fewer
+// rounds, and draining the surviving queue must reach exactly the state an
+// uninterrupted run produces — the boundary node goes back on the queue
+// rather than being dropped.
+func TestRunInterrupt(t *testing.T) {
+	full, fullSeeds := chainGraph()
+	want := full.Run(fullSeeds, opts(true, false))
+
+	g, seeds := chainGraph()
+	stop := errors.New("stop")
+	st := g.Run(seeds, Options{
+		Scorer:         ScorerFunc(sumScorer),
+		MergeThreshold: thresholds(0.85),
+		Propagate:      true,
+		Interrupt:      func() error { return stop },
+	})
+	if !st.Interrupted {
+		t.Fatal("run not marked Interrupted")
+	}
+	if st.Rounds >= want.Rounds {
+		t.Fatalf("interrupted run completed %d rounds, full run needs %d", st.Rounds, want.Rounds)
+	}
+
+	// Resume: no new seeds, the queue already holds the deferred work.
+	rest := g.Run(nil, opts(true, false))
+	if rest.Interrupted {
+		t.Fatal("resumed run interrupted with no Interrupt set")
+	}
+	if got := st.Merges + rest.Merges; got != want.Merges {
+		t.Errorf("interrupt+resume merged %d pairs, uninterrupted run merged %d", got, want.Merges)
+	}
+	status := func(gr *Graph) map[string]Status {
+		out := map[string]Status{}
+		gr.Nodes(func(n *Node) { out[n.Key] = n.Status })
+		return out
+	}
+	got, wantStatus := status(g), status(full)
+	for k, ws := range wantStatus {
+		if got[k] != ws {
+			t.Errorf("node %s status %v after resume, want %v", k, got[k], ws)
+		}
+	}
+}

@@ -1,0 +1,75 @@
+// Package obs is the engine's observability layer: structured span
+// tracing (exportable as Chrome trace-event JSON), cheap atomic counters,
+// periodic progress events, and pprof phase labels.
+//
+// The package is built around one rule: disabled observability must cost
+// a nil check and nothing else. Every entry point is safe on a nil
+// receiver — a nil *Tracer hands out inert Spans, a nil *Progress drops
+// events — so instrumented code either guards with a single pointer
+// comparison or calls straight through without branching. No interface
+// values are constructed on hot paths (an interface would allocate when a
+// concrete pointer escapes into it), and counters are plain atomics that
+// instrumented code touches only after its own nil gate, so the strsim
+// and pairscore loops stay at 0 allocs/op with observability off.
+package obs
+
+import (
+	"context"
+	"runtime/pprof"
+)
+
+// Observer bundles the observability sinks threaded through a
+// reconciliation run. A nil *Observer — or any nil field — disables that
+// facet at the cost of a pointer comparison.
+type Observer struct {
+	// Trace collects phase/round/fold spans (nil = off).
+	Trace *Tracer
+	// Counters receives engine and cache counters (nil = off).
+	Counters *Counters
+	// Progress receives periodic progress events (nil = off).
+	Progress *Progress
+	// Profile applies pprof labels ("refrecon.phase") to the goroutines of
+	// each phase, so CPU profiles attribute samples to build/propagate/
+	// closure rather than one undifferentiated stack mass.
+	Profile bool
+}
+
+// Tracer returns the observer's tracer, nil when disabled. Safe on a nil
+// receiver.
+func (o *Observer) Tracer() *Tracer {
+	if o == nil {
+		return nil
+	}
+	return o.Trace
+}
+
+// Counter returns the observer's counter set, nil when disabled. Safe on
+// a nil receiver.
+func (o *Observer) Counter() *Counters {
+	if o == nil {
+		return nil
+	}
+	return o.Counters
+}
+
+// Progressor returns the observer's progress sink, nil when disabled.
+// Safe on a nil receiver.
+func (o *Observer) Progressor() *Progress {
+	if o == nil {
+		return nil
+	}
+	return o.Progress
+}
+
+// Profiling reports whether pprof phase labels are requested. Safe on a
+// nil receiver.
+func (o *Observer) Profiling() bool { return o != nil && o.Profile }
+
+// Do runs f, labeling the calling goroutine — and every goroutine f
+// spawns, since pprof labels are inherited — with the phase name under
+// the "refrecon.phase" key for the duration of the call.
+func Do(phase string, f func()) {
+	pprof.Do(context.Background(), pprof.Labels("refrecon.phase", phase), func(context.Context) {
+		f()
+	})
+}

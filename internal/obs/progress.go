@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Event is one progress report. Phase-final events (Final) mark the end
+// of a phase; round events fire at propagation-round boundaries.
+type Event struct {
+	Phase   string        // "build", "propagate", "closure", ...
+	Round   int           // propagation round (0 outside propagation)
+	Steps   int           // node evaluations so far in the phase
+	Merges  int           // reference-pair merges so far
+	Folds   int           // enrichment folds so far
+	Queue   int           // current queue depth
+	Elapsed time.Duration // since the first event
+	Final   bool          // phase completed
+}
+
+// Progress delivers periodic progress events. The callback Fn receives
+// every event (tests and cancellation triggers rely on seeing each round);
+// the writer W is rate-limited to Interval so a 10k-round fixed point
+// doesn't flood a terminal. Safe on a nil receiver and for concurrent use.
+type Progress struct {
+	// Fn, if set, receives every event as it happens.
+	Fn func(Event)
+	// W, if set, receives a rendered line per event, rate-limited to one
+	// per Interval (final events always render).
+	W io.Writer
+	// Interval is the minimum spacing of rendered lines (default 250ms).
+	Interval time.Duration
+
+	mu    sync.Mutex
+	start time.Time
+	last  time.Time
+}
+
+// NewProgress returns a progress sink rendering to w every interval
+// (interval <= 0 selects the 250ms default). A nil w is valid: events
+// then reach only the callback.
+func NewProgress(w io.Writer, interval time.Duration) *Progress {
+	return &Progress{W: w, Interval: interval}
+}
+
+// Emit delivers one event. No-op on a nil receiver.
+func (p *Progress) Emit(e Event) {
+	if p == nil {
+		return
+	}
+	now := time.Now()
+	p.mu.Lock()
+	if p.start.IsZero() {
+		p.start = now
+	}
+	e.Elapsed = now.Sub(p.start)
+	interval := p.Interval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	render := p.W != nil && (e.Final || p.last.IsZero() || now.Sub(p.last) >= interval)
+	if render {
+		p.last = now
+	}
+	fn := p.Fn
+	p.mu.Unlock()
+
+	if render {
+		p.render(e)
+	}
+	if fn != nil {
+		fn(e)
+	}
+}
+
+func (p *Progress) render(e Event) {
+	done := ""
+	if e.Final {
+		done = " done"
+	}
+	if e.Phase == "propagate" {
+		fmt.Fprintf(p.W, "progress: %s round %d: %d steps, %d merges, %d folds, queue %d (%.1fs)%s\n",
+			e.Phase, e.Round, e.Steps, e.Merges, e.Folds, e.Queue, e.Elapsed.Seconds(), done)
+		return
+	}
+	fmt.Fprintf(p.W, "progress: %s (%.1fs)%s\n", e.Phase, e.Elapsed.Seconds(), done)
+}

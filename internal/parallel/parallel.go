@@ -12,7 +12,9 @@
 package parallel
 
 import (
+	"context"
 	"runtime"
+	"runtime/pprof"
 	"sync"
 	"sync/atomic"
 )
@@ -102,3 +104,18 @@ func For(workers, n int, fn func(i int)) {
 // workerPanic wraps a recovered panic value so atomic.Value always stores
 // one concrete type (atomic.Value requires consistent dynamic types).
 type workerPanic struct{ value any }
+
+// ForLabeled is For with pprof labels ("refrecon.phase" = phase) applied
+// for the duration of the fan-out. Goroutines inherit their creator's
+// label set, so the spawned workers carry the label too and CPU profiles
+// attribute their samples to the phase. An empty phase is exactly For —
+// no label, no context, no overhead.
+func ForLabeled(workers, n int, phase string, fn func(i int)) {
+	if phase == "" {
+		For(workers, n, fn)
+		return
+	}
+	pprof.Do(context.Background(), pprof.Labels("refrecon.phase", phase), func(context.Context) {
+		For(workers, n, fn)
+	})
+}

@@ -7,6 +7,7 @@ import (
 	"refrecon/internal/depgraph"
 	"refrecon/internal/emailaddr"
 	"refrecon/internal/names"
+	"refrecon/internal/obs"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
 	"refrecon/internal/simfn"
@@ -125,10 +126,14 @@ type builder struct {
 
 	candidatePairs int
 	skippedBuckets int
+	// fedPairs / fedSkipped are the watermarks of what feedCounters has
+	// already reported, so incremental batches report deltas, not totals.
+	fedPairs   int
+	fedSkipped int
 }
 
 func newBuilder(store *reference.Store, sch *schema.Schema, cfg Config) *builder {
-	return &builder{
+	b := &builder{
 		store:        store,
 		sch:          sch,
 		cfg:          cfg,
@@ -140,6 +145,33 @@ func newBuilder(store *reference.Store, sch *schema.Schema, cfg Config) *builder
 		parsedNames:  make(map[reference.ID][]names.Name),
 		parsedEmails: make(map[reference.ID][]emailaddr.Address),
 	}
+	if cfg.Obs != nil {
+		b.lib.SetCounters(cfg.Obs.Counters)
+	}
+	return b
+}
+
+// feedCounters reports the construction-phase counters — candidate pairs
+// emitted, cap-skipped buckets, blocking-index size, largest bucket —
+// into the observer's counter set. Safe with a nil set; incremental
+// sessions call it once per batch and it adds only the batch's delta.
+func (b *builder) feedCounters(c *obs.Counters) {
+	if c == nil {
+		return
+	}
+	c.BlockingCandidates.Add(int64(b.candidatePairs - b.fedPairs))
+	b.fedPairs = b.candidatePairs
+	c.SkippedBuckets.Add(int64(b.skippedBuckets - b.fedSkipped))
+	b.fedSkipped = b.skippedBuckets
+	keys, maxBucket := 0, 0
+	for _, idx := range b.indexes {
+		keys += idx.Keys()
+		if m := idx.MaxBucket(); m > maxBucket {
+			maxBucket = m
+		}
+	}
+	obs.UpdateMax(&c.BlockingKeys, int64(keys))
+	obs.UpdateMax(&c.MaxBucket, int64(maxBucket))
 }
 
 // build runs the two construction passes of §3.1 plus constraint seeding

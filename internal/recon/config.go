@@ -10,6 +10,7 @@
 package recon
 
 import (
+	"refrecon/internal/obs"
 	"refrecon/internal/simfn"
 )
 
@@ -126,6 +127,14 @@ type Config struct {
 	// production-scale runs and on in CI and while bisecting a suspected
 	// consistency bug.
 	Audit bool
+	// Obs attaches the observability layer (package obs): span tracing,
+	// counters, progress events, pprof phase labels. Nil — the default —
+	// disables every facet at the cost of pointer comparisons; no
+	// observability code allocates or touches atomics when Obs is nil, so
+	// the zero-alloc hot-path pins hold. Observation never changes
+	// results: runs with and without Obs produce identical partitions and
+	// (deterministic) stats.
+	Obs *obs.Observer
 }
 
 // DefaultConfig returns the full algorithm with the published parameters.

@@ -1,0 +1,48 @@
+package recon
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Sentinel errors of the reconciliation layer. Callers classify failures
+// with errors.Is; the root refrecon package re-exports these values and
+// internal/serve maps them to HTTP statuses.
+var (
+	// ErrCanceled marks a run stopped by context cancellation. The error
+	// returned by ReconcileContext / CommitContext wraps both ErrCanceled
+	// and the context's own ctx.Err(), so errors.Is matches either.
+	ErrCanceled = errors.New("recon: canceled")
+	// ErrSchemaViolation marks input that fails schema validation: an
+	// unknown class, a value on an undeclared attribute, or an association
+	// to a reference of the wrong class.
+	ErrSchemaViolation = errors.New("recon: schema violation")
+	// ErrBatchRejected marks an ingest batch refused before any reference
+	// was applied (the batch is all-or-nothing; the store is unchanged).
+	ErrBatchRejected = errors.New("recon: batch rejected")
+)
+
+// canceledError carries the phase a cancellation landed in. It unwraps to
+// both ErrCanceled and the underlying context error, so
+// errors.Is(err, context.Canceled) and errors.Is(err, ErrCanceled) both
+// hold.
+type canceledError struct {
+	phase string
+	cause error
+}
+
+func (e *canceledError) Error() string {
+	return fmt.Sprintf("recon: %s canceled: %v", e.phase, e.cause)
+}
+
+func (e *canceledError) Unwrap() []error { return []error{ErrCanceled, e.cause} }
+
+// canceled wraps a context error with the phase it interrupted.
+func canceled(phase string, cause error) error {
+	return &canceledError{phase: phase, cause: cause}
+}
+
+// invalidInput wraps a store-validation failure as a schema violation.
+func invalidInput(err error) error {
+	return fmt.Errorf("%w: %w", ErrSchemaViolation, err)
+}

@@ -1,12 +1,14 @@
 package recon
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"refrecon/internal/audit"
 	"refrecon/internal/depgraph"
+	"refrecon/internal/obs"
 	"refrecon/internal/reference"
 )
 
@@ -40,6 +42,14 @@ type Session struct {
 	// checks (monotone similarities, merged-never-demoted) also hold
 	// across batch boundaries.
 	aud *audit.Auditor
+	// poisoned is set when a commit was cancelled after it started
+	// mutating the session graph. A cancellation can land mid-propagation,
+	// leaving the graph short of its fixed point; rather than reason about
+	// resuming an order-dependent partial run, the next commit discards
+	// the incremental state and reconciles the whole store from scratch —
+	// the store itself is never touched by reconciliation, so nothing the
+	// caller added is lost.
+	poisoned bool
 }
 
 // NewSession returns an incremental reconciliation session over the store
@@ -58,7 +68,8 @@ func (rc *Reconciler) NewSession(store *reference.Store) *Session {
 func (s *Session) Store() *reference.Store { return s.store }
 
 // Reconcile incorporates the references added since the previous call and
-// returns the updated partitioning of the whole store.
+// returns the updated partitioning of the whole store. It is
+// CommitContext with a background context.
 //
 // A call with no new references is a cheap no-op that returns the previous
 // result: nothing is re-seeded, no phase runs, and the accumulated stats
@@ -66,8 +77,25 @@ func (s *Session) Store() *reference.Store { return s.store }
 // so a batch rejected by store.Validate is re-incorporated in full when
 // Reconcile is retried after the store is repaired.
 func (s *Session) Reconcile() (*Result, error) {
+	return s.CommitContext(context.Background())
+}
+
+// CommitContext is Reconcile with cooperative cancellation: ctx is
+// checked before each phase and at every propagation-round boundary. A
+// cancelled commit returns an error wrapping both ErrCanceled and
+// ctx.Err(); the session and its store stay usable — the next commit
+// detects the interrupted graph, discards the incremental state, and
+// reconciles the whole store from scratch, yielding the same partitions a
+// never-cancelled session would have produced.
+func (s *Session) CommitContext(ctx context.Context) (*Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceled("commit", err)
+	}
 	if err := s.store.Validate(s.rc.sch); err != nil {
-		return nil, fmt.Errorf("recon: invalid input: %w", err)
+		return nil, invalidInput(err)
+	}
+	if s.poisoned {
+		s.reset()
 	}
 	newRefs := s.store.All()[s.seen:]
 	if len(newRefs) == 0 && s.latest != nil {
@@ -77,21 +105,68 @@ func (s *Session) Reconcile() (*Result, error) {
 	if s.rc.cfg.Audit && s.aud == nil {
 		s.aud = s.rc.newAuditor()
 	}
+	o := s.rc.cfg.Obs
+	if c := o.Counter(); c != nil {
+		c.Batches.Add(1)
+	}
 
+	sp := o.Tracer().Begin("phase", "build")
 	start := time.Now()
-	seed := s.b.incorporate(newRefs)
+	var seed []*depgraph.Node
+	build := func() { seed = s.b.incorporate(newRefs) }
+	if o.Profiling() {
+		obs.Do("build", build)
+	} else {
+		build()
+	}
 	if s.g == nil {
 		s.g = s.b.g
 	}
 	s.stats.BuildTime += time.Since(start)
+	sp.EndArgs(map[string]any{
+		"batch": len(newRefs), "nodes": s.g.NodeCount(), "edges": s.g.EdgeCount(),
+	})
+	s.b.feedCounters(o.Counter())
+	o.Progressor().Emit(obs.Event{Phase: "build", Final: true})
 	if s.aud != nil {
 		if err := s.aud.CheckGraph("build", s.g, false).Err(); err != nil {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		// The graph already holds this batch's nodes; without a propagation
+		// pass its decisions are stale, so the next commit must rebuild.
+		return nil, s.cancelCommit("propagate", err)
+	}
+
+	eopts := s.rc.engineOptions()
+	eopts.Interrupt = ctx.Err
+	eopts.Trace = o.Tracer()
+	eopts.Progress = o.Progressor()
+
+	sp = o.Tracer().Begin("phase", "propagate")
 	start = time.Now()
-	engine := s.g.Run(seed, s.rc.engineOptions())
+	var engine depgraph.Stats
+	run := func() { engine = s.g.Run(seed, eopts) }
+	if o.Profiling() {
+		obs.Do("propagate", run)
+	} else {
+		run()
+	}
 	s.stats.PropagateTime += time.Since(start)
+	sp.EndArgs(map[string]any{
+		"steps": engine.Steps, "merges": engine.Merges,
+		"folds": engine.Folds, "rounds": engine.Rounds,
+	})
+	feedEngineCounters(o.Counter(), engine)
+	o.Progressor().Emit(obs.Event{
+		Phase: "propagate", Round: engine.Rounds,
+		Steps: engine.Steps, Merges: engine.Merges, Folds: engine.Folds,
+		Final: true,
+	})
+	if engine.Interrupted {
+		return nil, s.cancelCommit("propagate", ctx.Err())
+	}
 	if s.aud != nil {
 		if err := s.aud.CheckGraph("propagate", s.g, engine.Truncated).Err(); err != nil {
 			return nil, err
@@ -107,6 +182,13 @@ func (s *Session) Reconcile() (*Result, error) {
 	s.stats.Engine.Folds += engine.Folds
 	s.stats.Engine.Reactivate += engine.Reactivate
 	s.stats.Engine.Truncated = s.stats.Engine.Truncated || engine.Truncated
+	s.stats.Engine.Rounds += engine.Rounds
+	if engine.QueueHighWater > s.stats.Engine.QueueHighWater {
+		s.stats.Engine.QueueHighWater = engine.QueueHighWater
+	}
+	s.stats.Engine.RequeueReal += engine.RequeueReal
+	s.stats.Engine.RequeueStrong += engine.RequeueStrong
+	s.stats.Engine.RequeueWeak += engine.RequeueWeak
 	s.stats.Engine.DeltaHits += engine.DeltaHits
 	s.stats.Engine.AggBuilds += engine.AggBuilds
 	s.stats.Engine.AggRebuilds += engine.AggRebuilds
@@ -116,10 +198,19 @@ func (s *Session) Reconcile() (*Result, error) {
 			s.stats.NonMergeNodes++
 		}
 	})
+	if err := ctx.Err(); err != nil {
+		// Propagation converged but the closure never ran; s.latest is
+		// still the previous batch's result. Poisoning keeps the recovery
+		// story uniform: one rule, rebuild on the next commit.
+		return nil, s.cancelCommit("closure", err)
+	}
 
+	spc := o.Tracer().Begin("phase", "closure")
 	start = time.Now()
 	res := closure(s.store, s.g, s.rc.cfg.Constraints)
 	s.stats.ClosureTime += time.Since(start)
+	spc.End()
+	o.Progressor().Emit(obs.Event{Phase: "closure", Final: true})
 	if s.aud != nil {
 		if err := s.aud.CheckPartition("closure", s.store, s.g, res.Partitions, res.Assignment).Err(); err != nil {
 			return nil, err
@@ -129,6 +220,33 @@ func (s *Session) Reconcile() (*Result, error) {
 	res.Stats = s.stats
 	s.latest = res
 	return res, nil
+}
+
+// cancelCommit marks the session for a from-scratch rebuild and returns
+// the wrapped cancellation error.
+func (s *Session) cancelCommit(phase string, cause error) error {
+	s.poisoned = true
+	if c := s.rc.cfg.Obs.Counter(); c != nil {
+		c.Canceled.Add(1)
+	}
+	return canceled(phase, cause)
+}
+
+// reset discards the incremental state after a cancelled commit: a fresh
+// builder and graph, the seen-cursor rewound to zero. The following
+// commit incorporates the entire store as one batch, which is exactly a
+// one-shot Reconcile — deterministic and independent of where the
+// cancelled run stopped. The auditor is reset too: its cross-batch
+// invariants (monotone similarity, merges never demoted) are defined
+// against a graph that no longer exists.
+func (s *Session) reset() {
+	s.b = newBuilder(s.store, s.rc.sch, s.rc.cfg)
+	s.g = nil
+	s.seen = 0
+	s.stats = Stats{}
+	s.latest = nil
+	s.aud = nil
+	s.poisoned = false
 }
 
 // Latest returns the most recent result (nil before the first Reconcile).

@@ -101,9 +101,15 @@ func (b *builder) scoreVals(vals []valCompare) []float64 {
 
 // scoreItems fans a batch's value comparisons out over the worker pool.
 // Each item writes only its own sims slice, so the result is independent
-// of scheduling; Workers=1 runs inline on the calling goroutine.
+// of scheduling; Workers=1 runs inline on the calling goroutine. When the
+// observer requests profiling, workers run under a "build" pprof label so
+// CPU profiles attribute the scoring fan-out to the construction phase.
 func (b *builder) scoreItems(items []*pairItem) {
-	parallel.For(b.cfg.Workers, len(items), func(i int) {
+	phase := ""
+	if b.cfg.Obs.Profiling() {
+		phase = "build"
+	}
+	parallel.ForLabeled(b.cfg.Workers, len(items), phase, func(i int) {
 		it := items[i]
 		it.sims = make([]float64, len(it.vals))
 		for j, v := range it.vals {

@@ -81,6 +81,9 @@ func NewMatcher(sch *schema.Schema, cfg Config, snap *Snapshot) *Matcher {
 		lib:  simfn.NewLibrary(),
 		idx:  make(map[string]*blocking.Index),
 	}
+	if cfg.Obs != nil {
+		m.lib.SetCounters(cfg.Obs.Counters)
+	}
 	snap.EachRef(func(sr *SnapRef) {
 		for _, t := range sr.Atomic[schema.AttrTitle] {
 			m.lib.Titles.Add(t)

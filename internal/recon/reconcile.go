@@ -1,12 +1,14 @@
 package recon
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
 
 	"refrecon/internal/audit"
 	"refrecon/internal/depgraph"
+	"refrecon/internal/obs"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
 	"refrecon/internal/simfn"
@@ -86,7 +88,7 @@ func (r *Result) SameEntity(a, b reference.ID) bool {
 // benchmarks measure; Reconcile is the complete algorithm.
 func (rc *Reconciler) BuildGraph(store *reference.Store) (Stats, error) {
 	if err := store.Validate(rc.sch); err != nil {
-		return Stats{}, fmt.Errorf("recon: invalid input: %w", err)
+		return Stats{}, invalidInput(err)
 	}
 	start := time.Now()
 	b := newBuilder(store, rc.sch, rc.cfg)
@@ -145,12 +147,33 @@ type Prepared struct {
 // BuildRetained runs the construction phase and keeps the graph, ready for
 // a single Propagate call.
 func (rc *Reconciler) BuildRetained(store *reference.Store) (*Prepared, error) {
-	if err := store.Validate(rc.sch); err != nil {
-		return nil, fmt.Errorf("recon: invalid input: %w", err)
+	return rc.buildRetainedContext(context.Background(), store)
+}
+
+func (rc *Reconciler) buildRetainedContext(ctx context.Context, store *reference.Store) (*Prepared, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, canceled("build", err)
 	}
+	if err := store.Validate(rc.sch); err != nil {
+		return nil, invalidInput(err)
+	}
+	o := rc.cfg.Obs
+	sp := o.Tracer().Begin("phase", "build")
 	start := time.Now()
 	b := newBuilder(store, rc.sch, rc.cfg)
-	g, seed := b.build()
+	var g *depgraph.Graph
+	var seed []*depgraph.Node
+	build := func() { g, seed = b.build() }
+	if o.Profiling() {
+		obs.Do("build", build)
+	} else {
+		build()
+	}
+	sp.EndArgs(map[string]any{
+		"nodes": g.NodeCount(), "edges": g.EdgeCount(), "candidates": b.candidatePairs,
+	})
+	b.feedCounters(o.Counter())
+	o.Progressor().Emit(obs.Event{Phase: "build", Final: true})
 	return &Prepared{
 		rc: rc, store: store, g: g, seed: seed,
 		stats: Stats{
@@ -167,11 +190,16 @@ func (rc *Reconciler) BuildRetained(store *reference.Store) (*Prepared, error) {
 // prepared graph. Propagation mutates the graph, so a Prepared value is
 // single-use; a second call errors.
 func (p *Prepared) Propagate() (*Result, error) {
+	return p.propagateContext(context.Background())
+}
+
+func (p *Prepared) propagateContext(ctx context.Context) (*Result, error) {
 	if p.used {
 		return nil, fmt.Errorf("recon: Prepared.Propagate called twice (the graph is consumed)")
 	}
 	p.used = true
 	stats := p.stats
+	o := p.rc.cfg.Obs
 
 	aud := p.rc.newAuditor()
 	if aud != nil {
@@ -179,10 +207,40 @@ func (p *Prepared) Propagate() (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled("propagate", err)
+	}
 
+	eopts := p.rc.engineOptions()
+	eopts.Interrupt = ctx.Err
+	eopts.Trace = o.Tracer()
+	eopts.Progress = o.Progressor()
+
+	sp := o.Tracer().Begin("phase", "propagate")
 	start := time.Now()
-	stats.Engine = p.g.Run(p.seed, p.rc.engineOptions())
+	run := func() { stats.Engine = p.g.Run(p.seed, eopts) }
+	if o.Profiling() {
+		obs.Do("propagate", run)
+	} else {
+		run()
+	}
 	stats.PropagateTime = time.Since(start)
+	sp.EndArgs(map[string]any{
+		"steps": stats.Engine.Steps, "merges": stats.Engine.Merges,
+		"folds": stats.Engine.Folds, "rounds": stats.Engine.Rounds,
+	})
+	feedEngineCounters(o.Counter(), stats.Engine)
+	o.Progressor().Emit(obs.Event{
+		Phase: "propagate", Round: stats.Engine.Rounds,
+		Steps: stats.Engine.Steps, Merges: stats.Engine.Merges,
+		Folds: stats.Engine.Folds, Final: true,
+	})
+	if stats.Engine.Interrupted {
+		if c := o.Counter(); c != nil {
+			c.Canceled.Add(1)
+		}
+		return nil, canceled("propagate", ctx.Err())
+	}
 
 	p.g.Nodes(func(n *depgraph.Node) {
 		if n.Status == depgraph.NonMerge {
@@ -194,10 +252,19 @@ func (p *Prepared) Propagate() (*Result, error) {
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		if c := o.Counter(); c != nil {
+			c.Canceled.Add(1)
+		}
+		return nil, canceled("closure", err)
+	}
 
+	spc := o.Tracer().Begin("phase", "closure")
 	start = time.Now()
 	res := closure(p.store, p.g, p.rc.cfg.Constraints)
 	stats.ClosureTime = time.Since(start)
+	spc.End()
+	o.Progressor().Emit(obs.Event{Phase: "closure", Final: true})
 	if aud != nil {
 		if err := aud.CheckPartition("closure", p.store, p.g, res.Partitions, res.Assignment).Err(); err != nil {
 			return nil, err
@@ -210,11 +277,40 @@ func (p *Prepared) Propagate() (*Result, error) {
 
 // Reconcile partitions the store's references into entities.
 func (rc *Reconciler) Reconcile(store *reference.Store) (*Result, error) {
-	p, err := rc.BuildRetained(store)
+	return rc.ReconcileContext(context.Background(), store)
+}
+
+// ReconcileContext is Reconcile with cooperative cancellation: the run
+// checks ctx before each phase (build, propagate, closure) and at every
+// propagation-round boundary — the same checkpoints the tracer
+// instruments. A cancelled run returns an error wrapping both ErrCanceled
+// and ctx.Err(); the store is never mutated by reconciliation, so it
+// remains usable afterwards.
+func (rc *Reconciler) ReconcileContext(ctx context.Context, store *reference.Store) (*Result, error) {
+	p, err := rc.buildRetainedContext(ctx, store)
 	if err != nil {
 		return nil, err
 	}
-	return p.Propagate()
+	return p.propagateContext(ctx)
+}
+
+// feedEngineCounters adds one engine run's stats to the observer's
+// counter set. Safe with a nil set.
+func feedEngineCounters(c *obs.Counters, e depgraph.Stats) {
+	if c == nil {
+		return
+	}
+	c.Steps.Add(int64(e.Steps))
+	c.Merges.Add(int64(e.Merges))
+	c.Folds.Add(int64(e.Folds))
+	c.Rounds.Add(int64(e.Rounds))
+	c.RequeueReal.Add(int64(e.RequeueReal))
+	c.RequeueStrong.Add(int64(e.RequeueStrong))
+	c.RequeueWeak.Add(int64(e.RequeueWeak))
+	c.DeltaHits.Add(int64(e.DeltaHits))
+	c.AggBuilds.Add(int64(e.AggBuilds))
+	c.AggRebuilds.Add(int64(e.AggRebuilds))
+	obs.UpdateMax(&c.QueueHighWater, int64(e.QueueHighWater))
 }
 
 // closure computes the transitive closure over merged reference pairs,

@@ -7,11 +7,14 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"strconv"
 
+	"refrecon/internal/obs"
+	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 )
 
@@ -45,7 +48,39 @@ func (s *Service) Handler() http.Handler {
 		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ready"})
 	})
+	if tr := s.obs().Tracer(); tr != nil {
+		return traceRequests(tr, mux)
+	}
 	return mux
+}
+
+// traceRequests wraps a handler so every request records one span. Each
+// request gets its own trace lane (tid): concurrent requests would
+// otherwise appear nested by time containment on a shared lane.
+func traceRequests(tr *obs.Tracer, h http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		sp := tr.BeginTID("http", r.Method+" "+r.URL.Path, tr.NextTID())
+		h.ServeHTTP(w, r)
+		sp.End()
+	})
+}
+
+// statusFor maps a service error to an HTTP status through the exported
+// recon sentinels — errors.Is instead of string matching. A rejected
+// batch is the client's fault (400); schema violations outside a batch
+// rejection mean the stored data no longer validates (422); a cancelled
+// reconcile is a transient server-side condition (503).
+func statusFor(err error) int {
+	switch {
+	case errors.Is(err, recon.ErrBatchRejected):
+		return http.StatusBadRequest
+	case errors.Is(err, recon.ErrSchemaViolation):
+		return http.StatusUnprocessableEntity
+	case errors.Is(err, recon.ErrCanceled):
+		return http.StatusServiceUnavailable
+	default:
+		return http.StatusInternalServerError
+	}
 }
 
 func writeJSON(w http.ResponseWriter, code int, doc any) {
@@ -175,9 +210,9 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	resp, err := s.Ingest(batch)
+	resp, err := s.IngestContext(r.Context(), batch)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeErr(w, statusFor(err), "%v", err)
 		return
 	}
 	snapshotHeader(w, s.view.Load())

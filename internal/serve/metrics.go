@@ -8,6 +8,8 @@ package serve
 import (
 	"sync/atomic"
 	"time"
+
+	"refrecon/internal/obs"
 )
 
 // histogram is a lock-free fixed-bucket latency histogram. Buckets are
@@ -147,6 +149,9 @@ type MetricsSnapshot struct {
 	Snapshot        SnapshotInfo   `json:"snapshot"`
 	UptimeSeconds   float64        `json:"uptimeSeconds"`
 	StoreReferences int            `json:"storeReferences"`
+	// Engine carries the reconciliation-engine counters when the service
+	// was configured with an obs.Counters set (absent otherwise).
+	Engine *obs.CounterSnapshot `json:"engine,omitempty"`
 }
 
 // CandidateStats describes blocking candidate-set sizes per query.

@@ -9,12 +9,14 @@ package serve
 // snapshot copy, readers pay nothing.
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
@@ -167,19 +169,35 @@ func (s *Service) validateBatch(base int, batch []IngestRef) error {
 	return nil
 }
 
+// obs returns the observer threaded through the reconciler config (nil
+// when observability is off).
+func (s *Service) obs() *obs.Observer { return s.cfg.Recon.Obs }
+
 // Ingest validates and applies one batch, reconciles it incrementally,
-// and publishes a fresh view. It returns the applied id range and the
-// new snapshot version. Validation errors leave the service unchanged.
+// and publishes a fresh view. It is IngestContext with a background
+// context.
 func (s *Service) Ingest(batch []IngestRef) (IngestResponse, error) {
+	return s.IngestContext(context.Background(), batch)
+}
+
+// IngestContext validates and applies one batch, reconciles it
+// incrementally (honoring ctx at phase and propagation-round boundaries),
+// and publishes a fresh view. It returns the applied id range and the new
+// snapshot version. Validation errors — wrapping recon.ErrBatchRejected —
+// leave the service unchanged. A cancelled ingest (the error wraps
+// recon.ErrCanceled) keeps the batch's references in the store and leaves
+// the previous view published; the next ingest re-reconciles from scratch
+// and picks them up.
+func (s *Service) IngestContext(ctx context.Context, batch []IngestRef) (IngestResponse, error) {
 	if len(batch) == 0 {
-		return IngestResponse{}, fmt.Errorf("empty batch")
+		return IngestResponse{}, fmt.Errorf("%w: empty batch", recon.ErrBatchRejected)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	start := time.Now()
 	base := s.store.Len()
 	if err := s.validateBatch(base, batch); err != nil {
-		return IngestResponse{}, err
+		return IngestResponse{}, fmt.Errorf("%w: %w: %w", recon.ErrBatchRejected, recon.ErrSchemaViolation, err)
 	}
 	for _, ir := range batch {
 		r := reference.New(ir.Class)
@@ -197,7 +215,7 @@ func (s *Service) Ingest(batch []IngestRef) (IngestResponse, error) {
 		}
 		s.store.Add(r)
 	}
-	if _, err := s.sess.Reconcile(); err != nil {
+	if _, err := s.sess.CommitContext(ctx); err != nil {
 		return IngestResponse{}, fmt.Errorf("reconcile: %w", err)
 	}
 	if err := s.publish(); err != nil {
@@ -341,9 +359,16 @@ func (s *Service) Manifest(baseURL string) Manifest {
 	return m
 }
 
-// Metrics renders the service counters plus snapshot/store gauges.
+// Metrics renders the service counters plus snapshot/store gauges. When
+// the reconciler carries an obs.Counters set, its engine counters are
+// merged in under "engine" (and thus reach expvar through
+// cmd/reconserve's publisher).
 func (s *Service) Metrics() MetricsSnapshot {
 	out := s.met.snapshot()
+	if c := s.obs().Counter(); c != nil {
+		snap := c.Snapshot()
+		out.Engine = &snap
+	}
 	if v := s.view.Load(); v != nil {
 		out.Snapshot = SnapshotInfo{
 			Version:    v.Snapshot.Version,

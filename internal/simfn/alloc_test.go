@@ -1,0 +1,48 @@
+package simfn
+
+import (
+	"testing"
+
+	"refrecon/internal/obs"
+)
+
+// Compare's memoized path is the hottest call in graph construction: every
+// candidate pair re-scores its attribute values through the pair cache.
+// Observability must not tax it — with no counters attached the only added
+// cost is a nil pointer compare, and even with counters attached the hit
+// path is two atomic adds. These tests pin both variants at exactly zero
+// allocations so a stray interface conversion or map-key boxing can never
+// creep in behind the obs wiring.
+
+var allocSink float64
+
+func assertZeroAllocs(t *testing.T, name string, fn func()) {
+	t.Helper()
+	if allocs := testing.AllocsPerRun(200, fn); allocs != 0 {
+		t.Errorf("%s: %.1f allocs/op, want 0", name, allocs)
+	}
+}
+
+func TestCompareCacheHitZeroAllocs(t *testing.T) {
+	l := NewLibrary()
+	// Prime the cache; the measured loop then hits it every time.
+	allocSink += l.Compare(EvName, "Michael Stonebraker", "M. Stonebraker")
+	allocSink += l.Compare(EvTitle, "reference reconciliation", "refernce reconcilation")
+	assertZeroAllocs(t, "Compare/cache-hit", func() {
+		allocSink += l.Compare(EvName, "Michael Stonebraker", "M. Stonebraker")
+		allocSink += l.Compare(EvTitle, "reference reconciliation", "refernce reconcilation")
+	})
+}
+
+func TestCompareCacheHitZeroAllocsWithCounters(t *testing.T) {
+	l := NewLibrary()
+	c := obs.NewCounters()
+	l.SetCounters(c)
+	allocSink += l.Compare(EvName, "Michael Stonebraker", "M. Stonebraker")
+	assertZeroAllocs(t, "Compare/cache-hit+counters", func() {
+		allocSink += l.Compare(EvName, "Michael Stonebraker", "M. Stonebraker")
+	})
+	if c.SimfnCacheHits.Load() == 0 {
+		t.Fatal("counters attached but no cache hits recorded")
+	}
+}

@@ -21,6 +21,7 @@ import (
 
 	"refrecon/internal/emailaddr"
 	"refrecon/internal/names"
+	"refrecon/internal/obs"
 	"refrecon/internal/strsim"
 	"refrecon/internal/tokenizer"
 )
@@ -68,7 +69,17 @@ type Library struct {
 	statsGen uint64
 	pairs    *pairCache
 	parsed   *parseCache
+
+	// ctr, when non-nil, receives pair-cache hit/miss counts. The nil
+	// default keeps Compare free of atomic traffic — one pointer
+	// comparison per call — so the zero-alloc hot-path pins hold.
+	ctr *obs.Counters
 }
+
+// SetCounters attaches an observability counter set to the library's
+// pair cache (nil detaches). Counter updates are atomic, so attaching is
+// safe even when Compare runs on the parallel scoring pool.
+func (l *Library) SetCounters(c *obs.Counters) { l.ctr = c }
 
 // NewLibrary returns a Library with empty corpora.
 func NewLibrary() *Library {
@@ -207,7 +218,13 @@ func (l *Library) Compare(evidence, a, b string) float64 {
 	gen := l.generation()
 	k := pairKey{evidence, a, b}
 	if v, ok := l.pairs.get(gen, k); ok {
+		if l.ctr != nil {
+			l.ctr.SimfnCacheHits.Add(1)
+		}
 		return v
+	}
+	if l.ctr != nil {
+		l.ctr.SimfnCacheMisses.Add(1)
 	}
 	v := clamp01(l.compare(evidence, a, b))
 	l.pairs.put(gen, k, v)

@@ -83,6 +83,62 @@ type (
 	Explanation = recon.Explanation
 )
 
+// Query-time reconciliation types: an immutable Snapshot of a
+// reconciliation result plus a Matcher that scores ad-hoc queries against
+// it without re-running the algorithm — the same machinery behind the
+// HTTP reconciliation service (cmd/reconserve), usable as a library.
+//
+//	sess := r.NewSession(store)
+//	sess.Reconcile()
+//	snap, _ := sess.Snapshot()
+//	m := refrecon.NewMatcher(sch, cfg, snap)
+//	cands, _, _ := m.Match(refrecon.Query{Class: refrecon.ClassPerson,
+//	    Atomic: map[string][]string{refrecon.AttrName: {"J. Smith"}}})
+type (
+	// Snapshot is an immutable export of a reconciliation result:
+	// references, entity partitions, merged-pair evidence, and the
+	// similarity statistics queries score against. Obtain one from
+	// Session.Snapshot or Result.Snapshot.
+	Snapshot = recon.Snapshot
+	// SnapRef is one reference inside a Snapshot.
+	SnapRef = recon.SnapRef
+	// SnapEntity is one resolved entity inside a Snapshot: its member
+	// references, canonical id, and merged attribute values.
+	SnapEntity = recon.Entity
+	// Matcher answers reconciliation queries against a Snapshot using the
+	// same blocking and similarity functions as the batch algorithm.
+	Matcher = recon.Matcher
+	// Query is one reconciliation query: a class plus atomic attribute
+	// values describing the entity sought.
+	Query = recon.Query
+	// MatchResult is one scored candidate entity for a query.
+	MatchResult = recon.Candidate
+	// MatchStats describes the work behind one Match call.
+	MatchStats = recon.MatchStats
+)
+
+// NewMatcher builds a query matcher over a snapshot. cfg should be the
+// configuration the snapshot was reconciled under, so query scoring uses
+// the same thresholds and parameters.
+func NewMatcher(sch *Schema, cfg Config, snap *Snapshot) *Matcher {
+	return recon.NewMatcher(sch, cfg, snap)
+}
+
+// Sentinel errors, resolvable with errors.Is through every layer of the
+// library (and mapped to HTTP statuses by the reconciliation service).
+var (
+	// ErrCanceled marks a reconciliation stopped by context cancellation.
+	// Errors returned by Reconciler.ReconcileContext and
+	// Session.CommitContext wrap both ErrCanceled and the context's own
+	// ctx.Err(), so errors.Is matches either.
+	ErrCanceled = recon.ErrCanceled
+	// ErrSchemaViolation marks input that fails schema validation.
+	ErrSchemaViolation = recon.ErrSchemaViolation
+	// ErrBatchRejected marks an ingest batch refused before any reference
+	// was applied.
+	ErrBatchRejected = recon.ErrBatchRejected
+)
+
 // Modes.
 const (
 	ModeFull        = recon.ModeFull

@@ -50,6 +50,10 @@ for d in A B C D cora; do
     go run ./cmd/reconcile -in "$tmpdir/$d.json" -audit | grep '^audit:'
 done
 
+echo "== trace smoke (reconcile -trace over PIM A, validated by tracecheck) =="
+go run ./cmd/reconcile -in "$tmpdir/A.json" -trace "$tmpdir/trace.json" -progress | grep '^trace written'
+go run ./cmd/tracecheck "$tmpdir/trace.json"
+
 echo "== serve smoke (reconserve: ingest PIM A, one reconcile query) =="
 go build -o "$tmpdir/reconserve" ./cmd/reconserve
 base="http://127.0.0.1:18417"
