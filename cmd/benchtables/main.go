@@ -50,8 +50,14 @@ type benchBaseline struct {
 }
 
 type benchRun struct {
-	Dataset        string  `json:"dataset"`
-	Workers        int     `json:"workers"`
+	Dataset string `json:"dataset"`
+	Workers int    `json:"workers"`
+	// NumCPU / GoMaxProcs are recorded per run (not just in the file
+	// header) so that individual rows pasted into issues or diffed across
+	// baselines carry their own hardware context; a speedup row measured
+	// on a single-core host is noise, not signal.
+	NumCPU         int     `json:"numCPU"`
+	GoMaxProcs     int     `json:"gomaxprocs"`
 	References     int     `json:"references"`
 	CandidatePairs int     `json:"candidatePairs"`
 	GraphNodes     int     `json:"graphNodes"`
@@ -63,7 +69,13 @@ type benchRun struct {
 	// ReconcileAllocs is the heap allocation count (runtime mallocs) of one
 	// full Reconcile call — the allocs/op of the end-to-end operation.
 	ReconcileAllocs uint64 `json:"reconcileAllocs"`
-	DeltaHits       int    `json:"deltaHits"`
+	// ReconcileBytesAlloc is the cumulative bytes allocated (TotalAlloc
+	// delta) over the same call: the companion metric to ReconcileAllocs —
+	// slab/arena storage trades many small allocations for fewer larger
+	// ones, so the count can fall while bytes stay flat (or vice versa),
+	// and a regression in either is worth seeing.
+	ReconcileBytesAlloc uint64 `json:"reconcileBytesAlloc"`
+	DeltaHits           int    `json:"deltaHits"`
 	// Engine-shape counters from the same Reconcile run (free: they come
 	// out of the deterministic engine stats, no observer attached to the
 	// timed runs).
@@ -223,6 +235,9 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 	if n := runtime.NumCPU(); n != 1 && n != 2 && n != 4 {
 		counts = append(counts, n)
 	}
+	if runtime.NumCPU() == 1 {
+		fmt.Println("warning: single-core host (NumCPU=1); workers>1 rows time goroutine overhead, not parallel speedup — treat speedup figures as noise")
+	}
 	base := benchBaseline{
 		Scale:      scale,
 		NumCPU:     runtime.NumCPU(),
@@ -265,23 +280,26 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 			runtime.ReadMemStats(&m1)
 			total := res.Stats.BuildTime + res.Stats.PropagateTime + res.Stats.ClosureTime
 			run := benchRun{
-				Dataset:         name,
-				Workers:         w,
-				References:      store.Len(),
-				CandidatePairs:  st.CandidatePairs,
-				GraphNodes:      st.GraphNodes,
-				GraphEdges:      st.GraphEdges,
-				BuildMS:         float64(best.Microseconds()) / 1e3,
-				PropagateMS:     float64(res.Stats.PropagateTime.Microseconds()) / 1e3,
-				ClosureMS:       float64(res.Stats.ClosureTime.Microseconds()) / 1e3,
-				ReconcileMS:     float64(total.Microseconds()) / 1e3,
-				ReconcileAllocs: m1.Mallocs - m0.Mallocs,
-				DeltaHits:       res.Stats.Engine.DeltaHits,
-				Rounds:          res.Stats.Engine.Rounds,
-				QueueHighWater:  res.Stats.Engine.QueueHighWater,
-				RequeueReal:     res.Stats.Engine.RequeueReal,
-				RequeueStrong:   res.Stats.Engine.RequeueStrong,
-				RequeueWeak:     res.Stats.Engine.RequeueWeak,
+				Dataset:             name,
+				Workers:             w,
+				NumCPU:              runtime.NumCPU(),
+				GoMaxProcs:          runtime.GOMAXPROCS(0),
+				References:          store.Len(),
+				CandidatePairs:      st.CandidatePairs,
+				GraphNodes:          st.GraphNodes,
+				GraphEdges:          st.GraphEdges,
+				BuildMS:             float64(best.Microseconds()) / 1e3,
+				PropagateMS:         float64(res.Stats.PropagateTime.Microseconds()) / 1e3,
+				ClosureMS:           float64(res.Stats.ClosureTime.Microseconds()) / 1e3,
+				ReconcileMS:         float64(total.Microseconds()) / 1e3,
+				ReconcileAllocs:     m1.Mallocs - m0.Mallocs,
+				ReconcileBytesAlloc: m1.TotalAlloc - m0.TotalAlloc,
+				DeltaHits:           res.Stats.Engine.DeltaHits,
+				Rounds:              res.Stats.Engine.Rounds,
+				QueueHighWater:      res.Stats.Engine.QueueHighWater,
+				RequeueReal:         res.Stats.Engine.RequeueReal,
+				RequeueStrong:       res.Stats.Engine.RequeueStrong,
+				RequeueWeak:         res.Stats.Engine.RequeueWeak,
 			}
 			base.Runs = append(base.Runs, run)
 			if w == 1 {
@@ -291,9 +309,10 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 					Dataset: name, Workers: w, Build: s1 / run.BuildMS,
 				})
 			}
-			fmt.Printf("%-5s workers=%-2d build %8.1fms  propagate %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes, %d allocs)\n",
+			fmt.Printf("%-5s workers=%-2d build %8.1fms  propagate %8.1fms  reconcile %8.1fms  (%d pairs, %d nodes, %d allocs, %.1f MB)\n",
 				name, w, run.BuildMS, run.PropagateMS, run.ReconcileMS,
-				run.CandidatePairs, run.GraphNodes, run.ReconcileAllocs)
+				run.CandidatePairs, run.GraphNodes, run.ReconcileAllocs,
+				float64(run.ReconcileBytesAlloc)/(1<<20))
 			fmt.Printf("%-5s counters:  %d rounds  queue high-water %d  requeues %d real / %d strong / %d weak\n",
 				name, run.Rounds, run.QueueHighWater,
 				run.RequeueReal, run.RequeueStrong, run.RequeueWeak)

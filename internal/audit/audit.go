@@ -136,47 +136,47 @@ func (a *Auditor) CheckGraph(phase string, g *depgraph.Graph, truncated bool) *R
 	next := make(map[string]snapshot, len(a.prev))
 	inSum, outSum := 0, 0
 	g.Nodes(func(n *depgraph.Node) {
-		key := n.Key
+		key := n.Key()
 
 		r.check()
-		if math.IsNaN(n.Sim) || n.Sim < 0 || n.Sim > 1 {
-			r.violate("graph/sim-range", key, "similarity %v outside [0,1]", n.Sim)
+		if math.IsNaN(n.Sim()) || n.Sim() < 0 || n.Sim() > 1 {
+			r.violate("graph/sim-range", key, "similarity %v outside [0,1]", n.Sim())
 		}
 		r.check()
-		if n.Kind == depgraph.RefPair && (n.RefA < 0 || n.RefB <= n.RefA) {
-			r.violate("graph/refpair-order", key, "reference pair (%d,%d) not canonical", n.RefA, n.RefB)
+		if n.Kind() == depgraph.RefPair && (n.RefA() < 0 || n.RefB() <= n.RefA()) {
+			r.violate("graph/refpair-order", key, "reference pair (%d,%d) not canonical", n.RefA(), n.RefB())
 		}
 		r.check()
-		if n.Status == depgraph.NonMerge && n.Sim != 0 {
-			r.violate("graph/nonmerge-sim", key, "non-merge node has similarity %v", n.Sim)
+		if n.Status() == depgraph.NonMerge && n.Sim() != 0 {
+			r.violate("graph/nonmerge-sim", key, "non-merge node has similarity %v", n.Sim())
 		}
-		if a.MergeThreshold != nil && n.Status == depgraph.Merged {
+		if a.MergeThreshold != nil && n.Status() == depgraph.Merged {
 			r.check()
-			if thr := a.MergeThreshold(n); n.Sim < thr {
-				r.violate("graph/merged-below-threshold", key, "merged at similarity %v < threshold %v", n.Sim, thr)
+			if thr := a.MergeThreshold(n); n.Sim() < thr {
+				r.violate("graph/merged-below-threshold", key, "merged at similarity %v < threshold %v", n.Sim(), thr)
 			}
 		}
 
-		inSum += len(n.In())
-		outSum += len(n.Out())
+		inSum += n.InDegree()
+		outSum += n.OutDegree()
 		for _, e := range n.In() {
 			r.check()
 			if e.To != n {
-				r.violate("graph/edge-endpoint", key, "in-edge from %s targets %s", e.From.Key, e.To.Key)
+				r.violate("graph/edge-endpoint", key, "in-edge from %s targets %s", e.From.Key(), e.To.Key())
 			}
 			r.check()
 			if !e.From.Alive() {
-				r.violate("graph/edge-liveness", key, "in-edge from dead node %s", e.From.Key)
+				r.violate("graph/edge-liveness", key, "in-edge from dead node %s", e.From.Key())
 			}
 		}
 		for _, e := range n.Out() {
 			r.check()
 			if e.From != n {
-				r.violate("graph/edge-endpoint", key, "out-edge to %s claims source %s", e.To.Key, e.From.Key)
+				r.violate("graph/edge-endpoint", key, "out-edge to %s claims source %s", e.To.Key(), e.From.Key())
 			}
 			r.check()
 			if !e.To.Alive() {
-				r.violate("graph/edge-liveness", key, "out-edge to dead node %s", e.To.Key)
+				r.violate("graph/edge-liveness", key, "out-edge to dead node %s", e.To.Key())
 			}
 		}
 
@@ -187,22 +187,22 @@ func (a *Auditor) CheckGraph(phase string, g *depgraph.Graph, truncated bool) *R
 
 		if p, ok := a.prev[key]; ok {
 			r.check()
-			if n.Sim < p.sim && n.Status != depgraph.NonMerge {
-				r.violate("graph/sim-monotone", key, "similarity regressed %v -> %v", p.sim, n.Sim)
+			if n.Sim() < p.sim && n.Status() != depgraph.NonMerge {
+				r.violate("graph/sim-monotone", key, "similarity regressed %v -> %v", p.sim, n.Sim())
 			}
 			r.check()
-			if p.merged && n.Status != depgraph.Merged && n.Status != depgraph.NonMerge && !truncated {
-				r.violate("graph/merged-demoted", key, "previously merged node now %v", n.Status)
+			if p.merged && n.Status() != depgraph.Merged && n.Status() != depgraph.NonMerge && !truncated {
+				r.violate("graph/merged-demoted", key, "previously merged node now %v", n.Status())
 			}
 			r.check()
-			if p.nonMerge && n.Status != depgraph.NonMerge {
-				r.violate("graph/nonmerge-revoked", key, "previously non-merge node now %v", n.Status)
+			if p.nonMerge && n.Status() != depgraph.NonMerge {
+				r.violate("graph/nonmerge-revoked", key, "previously non-merge node now %v", n.Status())
 			}
 		}
 		next[key] = snapshot{
-			sim:      n.Sim,
-			merged:   n.Status == depgraph.Merged,
-			nonMerge: n.Status == depgraph.NonMerge,
+			sim:      n.Sim(),
+			merged:   n.Status() == depgraph.Merged,
+			nonMerge: n.Status() == depgraph.NonMerge,
 		}
 	})
 	r.check()
@@ -275,24 +275,24 @@ func (a *Auditor) CheckPartition(phase string, store *reference.Store, g *depgra
 	}
 
 	g.Nodes(func(n *depgraph.Node) {
-		if n.Kind != depgraph.RefPair {
+		if n.Kind() != depgraph.RefPair {
 			return
 		}
-		la, okA := assignment[n.RefA]
-		lb, okB := assignment[n.RefB]
-		switch n.Status {
+		la, okA := assignment[n.RefA()]
+		lb, okB := assignment[n.RefB()]
+		switch n.Status() {
 		case depgraph.NonMerge:
 			if a.Constraints {
 				r.check()
 				if okA && okB && la == lb {
-					r.violate("partition/constraint", n.Key, "non-merge references %d and %d share partition %d", n.RefA, n.RefB, la)
+					r.violate("partition/constraint", n.Key(), "non-merge references %d and %d share partition %d", n.RefA(), n.RefB(), la)
 				}
 			}
 		case depgraph.Merged:
 			if !a.Constraints {
 				r.check()
 				if !okA || !okB || la != lb {
-					r.violate("partition/merge-dropped", n.Key, "merged references %d and %d in partitions %d and %d", n.RefA, n.RefB, la, lb)
+					r.violate("partition/merge-dropped", n.Key(), "merged references %d and %d in partitions %d and %d", n.RefA(), n.RefB(), la, lb)
 				}
 			}
 		}

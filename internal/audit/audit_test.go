@@ -16,11 +16,11 @@ import (
 // which is what the aggregate-divergence tests need.
 func maxInScore(n *depgraph.Node) float64 {
 	d := n.Digest()
-	if n.Kind == depgraph.ValuePair {
+	if n.Kind() == depgraph.ValuePair {
 		if d.StrongMergedCount() > 0 {
 			return 1
 		}
-		return n.Sim
+		return n.Sim()
 	}
 	best := 0.0
 	d.EachRealEvidence(func(_ string, max float64) {
@@ -35,7 +35,7 @@ func testOptions() depgraph.Options {
 	return depgraph.Options{
 		Scorer: depgraph.ScorerFunc(maxInScore),
 		MergeThreshold: func(n *depgraph.Node) float64 {
-			if n.Kind == depgraph.ValuePair {
+			if n.Kind() == depgraph.ValuePair {
 				return 1
 			}
 			return 0.7
@@ -71,8 +71,8 @@ func buildGraph(t *testing.T) (*depgraph.Graph, []*depgraph.Node) {
 	g.MarkNonMerge(n45)
 
 	g.Run([]*depgraph.Node{n01, n23, n45}, testOptions())
-	if n01.Status != depgraph.Merged {
-		t.Fatalf("setup: expected (0,1) merged, got %v", n01.Status)
+	if n01.Status() != depgraph.Merged {
+		t.Fatalf("setup: expected (0,1) merged, got %v", n01.Status())
 	}
 	return g, []*depgraph.Node{n01, n23, n45}
 }
@@ -108,7 +108,7 @@ func TestSimRangeViolations(t *testing.T) {
 	for name, bad := range map[string]float64{"nan": math.NaN(), "above-one": 1.5, "negative": -0.25} {
 		t.Run(name, func(t *testing.T) {
 			g, nodes := buildGraph(t)
-			nodes[1].Sim = bad
+			nodes[1].SetSim(bad)
 			r := auditorFor().CheckGraph("corrupt", g, false)
 			wantViolation(t, r, "graph/sim-range")
 		})
@@ -124,7 +124,7 @@ func TestMergedBelowThreshold(t *testing.T) {
 
 func TestNonMergeSimViolation(t *testing.T) {
 	g, nodes := buildGraph(t)
-	nodes[2].Sim = 0.3 // non-merge nodes are frozen at 0
+	nodes[2].SetSim(0.3) // non-merge nodes are frozen at 0
 	r := auditorFor().CheckGraph("corrupt", g, false)
 	wantViolation(t, r, "graph/nonmerge-sim")
 }
@@ -135,7 +135,7 @@ func TestCrossPhaseMonotonicity(t *testing.T) {
 	if err := a.CheckGraph("propagate", g, false).Err(); err != nil {
 		t.Fatal(err)
 	}
-	nodes[0].Sim = 0.8 // regression from 0.95
+	nodes[0].SetSim(0.8) // regression from 0.95
 	r := a.CheckGraph("next", g, false)
 	wantViolation(t, r, "graph/sim-monotone")
 }
@@ -146,7 +146,7 @@ func TestMergedNeverDemoted(t *testing.T) {
 	if err := a.CheckGraph("propagate", g, false).Err(); err != nil {
 		t.Fatal(err)
 	}
-	nodes[0].Status = depgraph.Active
+	nodes[0].SetStatus(depgraph.Active)
 	r := a.CheckGraph("next", g, false)
 	wantViolation(t, r, "graph/merged-demoted")
 
@@ -154,7 +154,7 @@ func TestMergedNeverDemoted(t *testing.T) {
 	g2, nodes2 := buildGraph(t)
 	a2 := auditorFor()
 	a2.CheckGraph("propagate", g2, false)
-	nodes2[0].Status = depgraph.Active
+	nodes2[0].SetStatus(depgraph.Active)
 	if r := a2.CheckGraph("next", g2, true); !r.Ok() {
 		for _, v := range r.Violations {
 			if v.Check == "graph/merged-demoted" {
@@ -170,7 +170,7 @@ func TestNonMergeRevoked(t *testing.T) {
 	if err := a.CheckGraph("propagate", g, false).Err(); err != nil {
 		t.Fatal(err)
 	}
-	nodes[2].Status = depgraph.Inactive
+	nodes[2].SetStatus(depgraph.Inactive)
 	r := a.CheckGraph("next", g, false)
 	wantViolation(t, r, "graph/nonmerge-revoked")
 }
@@ -183,7 +183,7 @@ func TestAggregateDivergence(t *testing.T) {
 	if v == nil {
 		t.Fatal("value pair not found")
 	}
-	v.Sim = 0.99
+	v.SetSim(0.99)
 	r := auditorFor().CheckGraph("corrupt", g, false)
 	wantViolation(t, r, "graph/aggregate-divergence")
 }
@@ -269,7 +269,7 @@ func TestCheckSuperset(t *testing.T) {
 
 func TestReportErr(t *testing.T) {
 	g, nodes := buildGraph(t)
-	nodes[0].Sim = math.NaN()
+	nodes[0].SetSim(math.NaN())
 	err := auditorFor().CheckGraph("corrupt", g, false).Err()
 	if err == nil {
 		t.Fatal("expected error")

@@ -28,6 +28,10 @@ import "sort"
 // has an aggregate, the aggregate equals a fresh full scan of its in-edges.
 // Scorers may therefore read the digest instead of rescanning and produce
 // bit-identical similarities.
+//
+// Aggregates are slab-allocated by the graph, and each carries inline
+// storage for the handful of evidence kinds a typical node sees, so the
+// maintained digests add O(nodes / slab size) allocations, not O(nodes).
 
 // evKind is one evidence kind's slot in an aggregate.
 type evKind struct {
@@ -44,11 +48,14 @@ type evKind struct {
 	nonMerge int
 }
 
-// aggregate is the delta-maintained digest of one node's in-edges.
+// aggregate is the delta-maintained digest of one node's in-edges. kinds
+// starts out backed by the inline array; an aggregate must not be copied
+// once initialized.
 type aggregate struct {
 	kinds  []evKind // sorted by evidence for deterministic enumeration
 	strong int      // merged strong-boolean sources
 	weak   int      // merged weak-boolean sources
+	inline [4]evKind
 }
 
 // find returns the index of the kind slot, or the insertion point with
@@ -80,25 +87,25 @@ func (a *aggregate) slot(evidence string) *evKind {
 
 // addSource folds one in-edge's source into the aggregate (used when
 // building from scratch and when an edge is added to a maintained node).
-func (a *aggregate) addSource(e *Edge) {
-	src := e.From
-	switch e.Dep {
+func (g *Graph) addSource(a *aggregate, e int32) {
+	src := g.eFrom[e]
+	switch g.eDep[e] {
 	case RealValued:
-		k := a.slot(e.Evidence)
-		if src.Status == NonMerge {
+		k := a.slot(g.strs.str(g.eEv[e]))
+		if g.status[src] == NonMerge {
 			k.nonMerge++
 			return
 		}
-		if k.count == 0 || src.Sim > k.max {
-			k.max = src.Sim
+		if k.count == 0 || g.sim[src] > k.max {
+			k.max = g.sim[src]
 		}
 		k.count++
 	case StrongBoolean:
-		if src.Status == Merged {
+		if g.status[src] == Merged {
 			a.strong++
 		}
 	case WeakBoolean:
-		if src.Status == Merged {
+		if g.status[src] == Merged {
 			a.weak++
 		}
 	}
@@ -112,41 +119,49 @@ func (a *aggregate) bumpReal(evidence string, sim float64) {
 	}
 }
 
-// buildAggregate digests n's current in-edges with a full scan.
-func buildAggregate(n *Node) *aggregate {
-	a := &aggregate{}
-	for _, e := range n.in {
-		a.addSource(e)
+// buildInto digests id's current in-edges into a with a full scan.
+func (g *Graph) buildInto(a *aggregate, id int32) {
+	for _, e := range g.spanIDs(g.inSpan[id]) {
+		g.addSource(a, e)
 	}
+}
+
+// buildFresh digests id's in-edges into a transient aggregate (the
+// unmaintained Digest path and the CheckAggregate oracle).
+func (g *Graph) buildFresh(id int32) *aggregate {
+	a := new(aggregate)
+	a.kinds = a.inline[:0]
+	g.buildInto(a, id)
 	return a
 }
 
-// rebuildKind recomputes one evidence kind of t's aggregate from its
+// rebuildKind recomputes one evidence kind of to's aggregate from its
 // current in-edges — the invalidation path for folds and NonMerge
 // transitions, which are the only events that can lower a source's
 // contribution. Every other kind keeps its memoized state.
-func (g *Graph) rebuildKind(t *Node, evidence string) {
-	a := t.agg
+func (g *Graph) rebuildKind(to int32, ev int32) {
+	a := g.agg[to]
 	if a == nil {
 		return
 	}
 	g.delta.rebuilds++
 	var k evKind
-	k.evidence = evidence
-	for _, e := range t.in {
-		if e.Dep != RealValued || e.Evidence != evidence {
+	k.evidence = g.strs.str(ev)
+	for _, e := range g.spanIDs(g.inSpan[to]) {
+		if g.eDep[e] != RealValued || g.eEv[e] != ev {
 			continue
 		}
-		if e.From.Status == NonMerge {
+		src := g.eFrom[e]
+		if g.status[src] == NonMerge {
 			k.nonMerge++
 			continue
 		}
-		if k.count == 0 || e.From.Sim > k.max {
-			k.max = e.From.Sim
+		if k.count == 0 || g.sim[src] > k.max {
+			k.max = g.sim[src]
 		}
 		k.count++
 	}
-	i, ok := a.find(evidence)
+	i, ok := a.find(k.evidence)
 	switch {
 	case k.count == 0 && k.nonMerge == 0:
 		if ok { // kind vanished: drop the slot
@@ -161,26 +176,28 @@ func (g *Graph) rebuildKind(t *Node, evidence string) {
 	}
 }
 
-// aggOnAddEdge patches the target's aggregate after AddEdge inserted e.
-func (g *Graph) aggOnAddEdge(e *Edge) {
-	if e.To.agg != nil {
-		e.To.agg.addSource(e)
+// aggOnAddEdge patches the target's aggregate after addEdgeIDs inserted e.
+func (g *Graph) aggOnAddEdge(e int32) {
+	if a := g.agg[g.eTo[e]]; a != nil {
+		g.addSource(a, e)
 	}
 }
 
-// aggOnDropSource patches t's aggregate after the in-edge e (from src) was
-// removed by a fold. Boolean counts decrement directly; a real-valued
-// source holding the kind's maximum forces a rebuild of that kind only.
-func (g *Graph) aggOnDropSource(t *Node, e *Edge) {
-	a := t.agg
+// aggOnDropSource patches t's aggregate after the in-edge e (from a node
+// being removed) was dropped by a fold. Boolean counts decrement directly;
+// a real-valued source holding the kind's maximum forces a rebuild of that
+// kind only. Must run before the edge's columns are cleared.
+func (g *Graph) aggOnDropSource(t *Node, e int32) {
+	a := g.agg[t.id]
 	if a == nil {
 		return
 	}
-	src := e.From
-	switch e.Dep {
+	src := g.eFrom[e]
+	switch g.eDep[e] {
 	case RealValued:
-		if src.Status == NonMerge {
-			if i, ok := a.find(e.Evidence); ok {
+		evidence := g.strs.str(g.eEv[e])
+		if g.status[src] == NonMerge {
+			if i, ok := a.find(evidence); ok {
 				a.kinds[i].nonMerge--
 				if a.kinds[i].count == 0 && a.kinds[i].nonMerge == 0 {
 					a.kinds = append(a.kinds[:i], a.kinds[i+1:]...)
@@ -188,21 +205,21 @@ func (g *Graph) aggOnDropSource(t *Node, e *Edge) {
 			}
 			return
 		}
-		i, ok := a.find(e.Evidence)
+		i, ok := a.find(evidence)
 		if !ok {
 			return
 		}
-		if src.Sim >= a.kinds[i].max || a.kinds[i].count <= 1 {
-			g.rebuildKind(t, e.Evidence)
+		if g.sim[src] >= a.kinds[i].max || a.kinds[i].count <= 1 {
+			g.rebuildKind(t.id, g.eEv[e])
 			return
 		}
 		a.kinds[i].count--
 	case StrongBoolean:
-		if src.Status == Merged {
+		if g.status[src] == Merged {
 			a.strong--
 		}
 	case WeakBoolean:
-		if src.Status == Merged {
+		if g.status[src] == Merged {
 			a.weak--
 		}
 	}
@@ -211,12 +228,12 @@ func (g *Graph) aggOnDropSource(t *Node, e *Edge) {
 // aggOnMerged patches the boolean counts of n's dependents after n
 // transitioned to Merged. Must be invoked exactly once per transition.
 func (g *Graph) aggOnMerged(n *Node) {
-	for _, e := range n.out {
-		a := e.To.agg
+	for _, e := range g.spanIDs(g.outSpan[n.id]) {
+		a := g.agg[g.eTo[e]]
 		if a == nil {
 			continue
 		}
-		switch e.Dep {
+		switch g.eDep[e] {
 		case StrongBoolean:
 			a.strong++
 		case WeakBoolean:
@@ -229,12 +246,12 @@ func (g *Graph) aggOnMerged(n *Node) {
 // re-seeding demoted n from Merged back to Active (the inverse of
 // aggOnMerged; n's similarity is untouched, so real maxima are unaffected).
 func (g *Graph) aggOnDemoted(n *Node) {
-	for _, e := range n.out {
-		a := e.To.agg
+	for _, e := range g.spanIDs(g.outSpan[n.id]) {
+		a := g.agg[g.eTo[e]]
 		if a == nil {
 			continue
 		}
-		switch e.Dep {
+		switch g.eDep[e] {
 		case StrongBoolean:
 			a.strong--
 		case WeakBoolean:
@@ -248,14 +265,14 @@ func (g *Graph) aggOnDemoted(n *Node) {
 // non-merge tally via a per-kind rebuild, and boolean counts drop if n had
 // been Merged.
 func (g *Graph) aggOnNonMerge(n *Node, wasMerged bool) {
-	for _, e := range n.out {
-		a := e.To.agg
+	for _, e := range g.spanIDs(g.outSpan[n.id]) {
+		a := g.agg[g.eTo[e]]
 		if a == nil {
 			continue
 		}
-		switch e.Dep {
+		switch g.eDep[e] {
 		case RealValued:
-			g.rebuildKind(e.To, e.Evidence)
+			g.rebuildKind(g.eTo[e], g.eEv[e])
 		case StrongBoolean:
 			if wasMerged {
 				a.strong--
@@ -273,13 +290,16 @@ func (g *Graph) aggOnNonMerge(n *Node, wasMerged bool) {
 // scoring, fold inheritance, AddValuePair on an existing node — go through
 // here so aggregates can never go stale.
 func (g *Graph) raiseSim(n *Node, sim float64) {
-	if sim <= n.Sim {
+	id := n.id
+	if sim <= g.sim[id] {
 		return
 	}
-	n.Sim = sim
-	for _, e := range n.out {
-		if e.Dep == RealValued && e.To.agg != nil {
-			e.To.agg.bumpReal(e.Evidence, sim)
+	g.sim[id] = sim
+	for _, e := range g.spanIDs(g.outSpan[id]) {
+		if g.eDep[e] == RealValued {
+			if a := g.agg[g.eTo[e]]; a != nil {
+				a.bumpReal(g.strs.str(g.eEv[e]), sim)
+			}
 		}
 	}
 }
@@ -356,16 +376,19 @@ func (d EvidenceDigest) WeakMergedCount() int {
 // maintained mode it is built fresh on every call and always correct, even
 // if the caller mutated node state directly.
 func (n *Node) Digest() EvidenceDigest {
-	if n.g != nil && n.g.maintain && n.alive {
-		if n.agg == nil {
-			n.agg = buildAggregate(n)
-			n.g.delta.builds++
+	g := n.g
+	if g.maintain && g.alive[n.id] {
+		if g.agg[n.id] == nil {
+			a := g.newAggregate()
+			g.buildInto(a, n.id)
+			g.agg[n.id] = a
+			g.delta.builds++
 		} else {
-			n.g.delta.hits++
+			g.delta.hits++
 		}
-		return EvidenceDigest{n.agg}
+		return EvidenceDigest{g.agg[n.id]}
 	}
-	return EvidenceDigest{buildAggregate(n)}
+	return EvidenceDigest{g.buildFresh(n.id)}
 }
 
 // CheckAggregate compares n's maintained aggregate against a fresh scan of
@@ -374,23 +397,25 @@ func (n *Node) Digest() EvidenceDigest {
 // delta-maintenance invariant. It returns "" when consistent (or when no
 // aggregate is maintained).
 func (n *Node) CheckAggregate() string {
-	if n.agg == nil {
+	g := n.g
+	ma := g.agg[n.id]
+	if ma == nil {
 		return ""
 	}
-	fresh := buildAggregate(n)
-	if fresh.strong != n.agg.strong || fresh.weak != n.agg.weak {
+	fresh := g.buildFresh(n.id)
+	if fresh.strong != ma.strong || fresh.weak != ma.weak {
 		return "boolean counts diverged"
 	}
-	if len(fresh.kinds) != len(n.agg.kinds) {
+	if len(fresh.kinds) != len(ma.kinds) {
 		return "kind sets diverged"
 	}
-	if !sort.SliceIsSorted(n.agg.kinds, func(i, j int) bool {
-		return n.agg.kinds[i].evidence < n.agg.kinds[j].evidence
+	if !sort.SliceIsSorted(ma.kinds, func(i, j int) bool {
+		return ma.kinds[i].evidence < ma.kinds[j].evidence
 	}) {
 		return "kinds not sorted"
 	}
 	for i := range fresh.kinds {
-		f, m := fresh.kinds[i], n.agg.kinds[i]
+		f, m := fresh.kinds[i], ma.kinds[i]
 		if f.evidence != m.evidence || f.count != m.count || f.nonMerge != m.nonMerge {
 			return "kind " + f.evidence + " counts diverged"
 		}

@@ -20,7 +20,7 @@ func (g *Graph) WriteDOT(w io.Writer, filter func(*Node) bool) error {
 			nodes = append(nodes, n)
 		}
 	})
-	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key() < nodes[j].Key() })
 	included := make(map[*Node]bool, len(nodes))
 	for _, n := range nodes {
 		included[n] = true
@@ -32,11 +32,11 @@ func (g *Graph) WriteDOT(w io.Writer, filter func(*Node) bool) error {
 	fmt.Fprintln(w, "  rankdir=LR;")
 	for _, n := range nodes {
 		shape := "ellipse"
-		if n.Kind == RefPair {
+		if n.Kind() == RefPair {
 			shape = "box"
 		}
 		color := "black"
-		switch n.Status {
+		switch n.Status() {
 		case Merged:
 			color = "green4"
 		case NonMerge:
@@ -45,8 +45,8 @@ func (g *Graph) WriteDOT(w io.Writer, filter func(*Node) bool) error {
 			color = "blue3"
 		}
 		fmt.Fprintf(w, "  %s [shape=%s color=%s label=%s];\n",
-			dotID(n.Key), shape, color,
-			dotString(fmt.Sprintf("%s\n%.2f %s", n.Key, n.Sim, n.Status)))
+			dotID(n.Key()), shape, color,
+			dotString(fmt.Sprintf("%s\n%.2f %s", n.Key(), n.Sim(), n.Status())))
 	}
 	var lines []string
 	for _, n := range nodes {
@@ -62,7 +62,7 @@ func (g *Graph) WriteDOT(w io.Writer, filter func(*Node) bool) error {
 				style = "dashed"
 			}
 			lines = append(lines, fmt.Sprintf("  %s -> %s [style=%s label=%s];",
-				dotID(n.Key), dotID(e.To.Key), style, dotString(e.Evidence)))
+				dotID(n.Key()), dotID(e.To.Key()), style, dotString(e.Evidence)))
 		}
 	}
 	sort.Strings(lines)

@@ -11,7 +11,7 @@ func TestWriteDOT(t *testing.T) {
 	v := g.AddValuePair("name", "x", "y", 0.7)
 	g.AddEdge(v, a, RealValued, "name")
 	b := g.AddRefPair(2, 3, "Article")
-	b.Status = Merged
+	b.SetStatus(Merged)
 	g.AddEdge(b, a, StrongBoolean, "article")
 	c := g.AddRefPair(4, 5, "Person")
 	g.MarkNonMerge(c)
@@ -45,7 +45,7 @@ func TestWriteDOTFilter(t *testing.T) {
 	b := g.AddRefPair(2, 3, "Venue")
 	g.AddEdge(a, b, RealValued, "x")
 	var sb strings.Builder
-	err := g.WriteDOT(&sb, func(n *Node) bool { return n.Class == "Person" })
+	err := g.WriteDOT(&sb, func(n *Node) bool { return n.Class() == "Person" })
 	if err != nil {
 		t.Fatal(err)
 	}

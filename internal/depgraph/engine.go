@@ -120,14 +120,14 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 	d0 := g.delta
 
 	for _, n := range seed {
-		if n.alive && n.Status != NonMerge {
-			if n.Status == Merged {
+		if g.alive[n.id] && g.status[n.id] != NonMerge {
+			if g.status[n.id] == Merged {
 				// Re-seeding demotes a previously merged node to Active; its
 				// boolean contribution disappears until it re-merges, and
 				// maintained dependents must see that immediately.
 				g.aggOnDemoted(n)
 			}
-			n.Status = Active
+			g.status[n.id] = Active
 			g.queue.pushBack(n)
 		}
 	}
@@ -199,7 +199,8 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			}
 			round = g.queue.round
 		}
-		if n.Status == NonMerge {
+		id := n.id
+		if g.status[id] == NonMerge {
 			continue
 		}
 		if st.Steps >= maxSteps {
@@ -208,39 +209,39 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 		}
 		st.Steps++
 
-		wasMerged := n.Status == Merged
-		old := n.Sim
+		wasMerged := g.status[id] == Merged
+		old := g.sim[id]
 		s := opt.Scorer.Score(n)
 		if s > 1 {
 			s = 1
 		}
-		if s > n.Sim {
+		if s > g.sim[id] {
 			// raiseSim also bumps the per-kind running maxima of maintained
 			// dependents, the delta patch that replaces their rescans.
 			g.raiseSim(n, s)
 		}
-		increased := n.Sim > old+eps
+		increased := g.sim[id] > old+eps
 
-		if n.Sim >= opt.MergeThreshold(n) {
-			n.Status = Merged
-		} else if n.Status != Merged {
-			n.Status = Inactive
+		if g.sim[id] >= opt.MergeThreshold(n) {
+			g.status[id] = Merged
+		} else if g.status[id] != Merged {
+			g.status[id] = Inactive
 		}
-		newlyMerged := n.Status == Merged && !wasMerged
+		newlyMerged := g.status[id] == Merged && !wasMerged
 		if newlyMerged {
 			g.aggOnMerged(n)
 		}
 
 		if opt.Propagate && increased {
-			for _, e := range n.out {
-				if e.Dep == RealValued && g.activate(e.To) {
+			for _, e := range g.spanIDs(g.outSpan[id]) {
+				if g.eDep[e] == RealValued && g.activate(g.handles[g.eTo[e]]) {
 					st.Reactivate++
 					st.RequeueReal++
 				}
 			}
 		}
 		if newlyMerged {
-			if n.Kind == RefPair {
+			if g.kind[id] == RefPair {
 				st.Merges++
 				if opt.OnMerge != nil {
 					opt.OnMerge(n)
@@ -249,26 +250,26 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 			if opt.Propagate {
 				// Strong-boolean neighbors jump the queue; weak-boolean
 				// neighbors go to the back (§3.2).
-				for _, e := range n.out {
-					if e.Dep != StrongBoolean {
+				for _, e := range g.spanIDs(g.outSpan[id]) {
+					if g.eDep[e] != StrongBoolean {
 						continue
 					}
-					if g.activateFront(e.To) {
+					if g.activateFront(g.handles[g.eTo[e]]) {
 						st.Reactivate++
 						st.RequeueStrong++
 					}
 				}
-				for _, e := range n.out {
-					if e.Dep != WeakBoolean {
+				for _, e := range g.spanIDs(g.outSpan[id]) {
+					if g.eDep[e] != WeakBoolean {
 						continue
 					}
-					if g.activate(e.To) {
+					if g.activate(g.handles[g.eTo[e]]) {
 						st.Reactivate++
 						st.RequeueWeak++
 					}
 				}
 			}
-			if opt.Enrich && n.Kind == RefPair {
+			if opt.Enrich && g.kind[id] == RefPair {
 				var begin time.Time
 				if opt.Trace != nil {
 					begin = time.Now()
@@ -276,7 +277,7 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 				folds := g.enrich(n)
 				st.Folds += folds
 				if opt.Trace != nil && folds > 0 {
-					opt.Trace.Complete("enrich", n.Key, begin, map[string]any{"folds": folds})
+					opt.Trace.Complete("enrich", n.Key(), begin, map[string]any{"folds": folds})
 				}
 			}
 		}
@@ -300,8 +301,8 @@ func (g *Graph) activate(m *Node) bool {
 	if !g.eligible(m) {
 		return false
 	}
-	if m.Status == Inactive {
-		m.Status = Active
+	if g.status[m.id] == Inactive {
+		g.status[m.id] = Active
 	}
 	g.queue.pushBack(m)
 	return true
@@ -312,15 +313,16 @@ func (g *Graph) activateFront(m *Node) bool {
 	if !g.eligible(m) {
 		return false
 	}
-	if m.Status == Inactive {
-		m.Status = Active
+	if g.status[m.id] == Inactive {
+		g.status[m.id] = Active
 	}
 	g.queue.pushFront(m)
 	return true
 }
 
 func (g *Graph) eligible(m *Node) bool {
-	return m.alive && !m.queued && m.Status != NonMerge && m.Sim < 1
+	id := m.id
+	return g.alive[id] && !g.queued[id] && g.status[id] != NonMerge && g.sim[id] < 1
 }
 
 // reenrich re-applies reference enrichment for pairs that merged in a
@@ -338,13 +340,13 @@ func (g *Graph) reenrich() int {
 	for {
 		var merged []*Node
 		g.Nodes(func(n *Node) {
-			if n.Kind == RefPair && n.Status == Merged {
+			if g.kind[n.id] == RefPair && g.status[n.id] == Merged {
 				merged = append(merged, n)
 			}
 		})
 		folds := 0
 		for _, n := range merged {
-			if n.alive {
+			if g.alive[n.id] {
 				folds += g.enrich(n)
 			}
 		}
@@ -361,11 +363,11 @@ func (g *Graph) reenrich() int {
 // gained incoming neighbors are re-queued at the back. Returns the number
 // of folded (removed) nodes.
 func (g *Graph) enrich(n *Node) int {
-	r1, r2 := n.RefA, n.RefB
+	r1, r2 := g.refA[n.id], g.refB[n.id]
 	folds := 0
 	// Copy the index slice: fold mutates g.refNodes via removeNode.
 	for _, l := range g.RefPairNodesOf(r2) {
-		if l == n || !l.alive {
+		if l == n || !g.alive[l.id] {
 			continue
 		}
 		r3 := l.Other(r2)
@@ -382,37 +384,39 @@ func (g *Graph) enrich(n *Node) int {
 	return folds
 }
 
-// fold moves l's dependencies onto m and removes l.
+// fold moves l's dependencies onto m and removes l. The span aliases below
+// stay valid while addEdgeIDs grows the arena: relocation writes only to
+// fresh tail regions, and l itself gains no edges during the fold.
 func (g *Graph) fold(l, m *Node) {
 	gainedIncoming := false
-	for _, e := range l.in {
-		if g.AddEdge(e.From, m, e.Dep, e.Evidence) != nil {
+	for _, e := range g.spanIDs(g.inSpan[l.id]) {
+		if g.addEdgeIDs(g.eFrom[e], m.id, g.eDep[e], g.eEv[e]) {
 			gainedIncoming = true
 		}
 	}
-	for _, e := range l.out {
-		if g.AddEdge(m, e.To, e.Dep, e.Evidence) != nil {
-			// e.To gained a new incoming neighbor: reconsider it.
-			g.activate(e.To)
+	for _, e := range g.spanIDs(g.outSpan[l.id]) {
+		if g.addEdgeIDs(m.id, g.eTo[e], g.eDep[e], g.eEv[e]) {
+			// The target gained a new incoming neighbor: reconsider it.
+			g.activate(g.handles[g.eTo[e]])
 		}
 	}
 	switch {
-	case l.Status == NonMerge:
+	case g.status[l.id] == NonMerge:
 		// r2 and r3 are constrained distinct; r1 ~ r2, so r1 and r3 are
 		// too.
 		g.MarkNonMerge(m)
-	case m.Status != NonMerge && l.Sim > m.Sim:
+	case g.status[m.id] != NonMerge && g.sim[l.id] > g.sim[m.id]:
 		// Inherit the similarity but not the status: re-queueing m lets
 		// the normal pop path mark it merged and fire its neighbors.
-		g.raiseSim(m, l.Sim)
+		g.raiseSim(m, g.sim[l.id])
 		gainedIncoming = true
 	}
 	g.removeNode(l)
 	// Bypass the sim<1 eligibility check: even a node whose inherited
 	// similarity is already 1 must be evaluated once more so its merged
 	// status and downstream activations take effect.
-	if gainedIncoming && !m.queued && m.Status != NonMerge && m.Status != Merged {
-		m.Status = Active
+	if gainedIncoming && !g.queued[m.id] && g.status[m.id] != NonMerge && g.status[m.id] != Merged {
+		g.status[m.id] = Active
 		g.queue.pushBack(m)
 	}
 }

@@ -13,10 +13,10 @@ import (
 //
 // clamped by the engine.
 func sumScorer(n *Node) float64 {
-	if n.Kind == ValuePair {
-		s := n.Sim
-		for _, e := range n.in {
-			if e.Dep == StrongBoolean && e.From.Status == Merged && s < 1 {
+	if n.Kind() == ValuePair {
+		s := n.Sim()
+		for _, e := range n.In() {
+			if e.Dep == StrongBoolean && e.From.Status() == Merged && s < 1 {
 				s = 1
 			}
 		}
@@ -24,18 +24,18 @@ func sumScorer(n *Node) float64 {
 	}
 	real := 0.0
 	boost := 0.0
-	for _, e := range n.in {
+	for _, e := range n.In() {
 		switch e.Dep {
 		case RealValued:
-			if e.From.Sim > real {
-				real = e.From.Sim
+			if e.From.Sim() > real {
+				real = e.From.Sim()
 			}
 		case StrongBoolean:
-			if e.From.Status == Merged {
+			if e.From.Status() == Merged {
 				boost += 0.3
 			}
 		case WeakBoolean:
-			if e.From.Status == Merged {
+			if e.From.Status() == Merged {
 				boost += 0.1
 			}
 		}
@@ -45,7 +45,7 @@ func sumScorer(n *Node) float64 {
 
 func thresholds(refT float64) func(*Node) float64 {
 	return func(n *Node) float64 {
-		if n.Kind == ValuePair {
+		if n.Kind() == ValuePair {
 			return 1
 		}
 		return refT
@@ -65,13 +65,13 @@ func TestRunSimplePass(t *testing.T) {
 	g := New()
 	m := g.AddRefPair(0, 1, "Person")
 	v := g.AddValuePair("name", "x", "x", 1.0)
-	v.Status = Merged
+	v.SetStatus(Merged)
 	g.AddEdge(v, m, RealValued, "name")
 	st := g.Run([]*Node{m}, opts(false, false))
 	if st.Steps != 1 {
 		t.Errorf("Steps = %d, want 1", st.Steps)
 	}
-	if m.Status != Merged || m.Sim != 1 {
+	if m.Status() != Merged || m.Sim() != 1 {
 		t.Errorf("node not merged: %v", m)
 	}
 	if st.Merges != 1 {
@@ -85,7 +85,7 @@ func TestRunBelowThreshold(t *testing.T) {
 	v := g.AddValuePair("name", "x", "y", 0.5)
 	g.AddEdge(v, m, RealValued, "name")
 	st := g.Run([]*Node{m}, opts(true, true))
-	if m.Status != Inactive || m.Sim != 0.5 {
+	if m.Status() != Inactive || m.Sim() != 0.5 {
 		t.Errorf("node = %v", m)
 	}
 	if st.Merges != 0 {
@@ -104,7 +104,7 @@ func TestPropagationChain(t *testing.T) {
 	article2 := g.AddRefPair(4, 5, "Article")
 
 	title := g.AddValuePair("title", "t1", "t1", 1.0)
-	title.Status = Merged
+	title.SetStatus(Merged)
 	g.AddEdge(title, article1, RealValued, "title")
 
 	// Venue depends (strong-boolean) on article1 being merged.
@@ -118,11 +118,11 @@ func TestPropagationChain(t *testing.T) {
 	g.AddEdge(vname, article2, RealValued, "vname")
 
 	st := g.Run([]*Node{venue, article2, article1}, opts(true, false))
-	if article1.Status != Merged {
+	if article1.Status() != Merged {
 		t.Fatal("article1 should merge from its title")
 	}
 	// Venue: 0.3 boost from strong-boolean — below 0.85, so not merged.
-	if venue.Status == Merged {
+	if venue.Status() == Merged {
 		t.Fatal("venue should not merge from one strong-boolean alone")
 	}
 	// Raise the stakes: give the venue real-valued name evidence too.
@@ -131,7 +131,7 @@ func TestPropagationChain(t *testing.T) {
 	ve := g2.AddRefPair(2, 3, "Venue")
 	a2 := g2.AddRefPair(4, 5, "Article")
 	ti := g2.AddValuePair("title", "t1", "t1", 1.0)
-	ti.Status = Merged
+	ti.SetStatus(Merged)
 	g2.AddEdge(ti, a1, RealValued, "title")
 	vn0 := g2.AddValuePair("vnameReal", "v1", "v2", 0.6)
 	g2.AddEdge(vn0, ve, RealValued, "vname")
@@ -143,16 +143,16 @@ func TestPropagationChain(t *testing.T) {
 	g2.AddEdge(alias, a2, RealValued, "vname")
 
 	st = g2.Run([]*Node{ve, a2, a1}, opts(true, false))
-	if a1.Status != Merged {
+	if a1.Status() != Merged {
 		t.Fatal("a1 should merge")
 	}
-	if ve.Status != Merged { // 0.6 + 0.3 = 0.9 >= 0.85
+	if ve.Status() != Merged { // 0.6 + 0.3 = 0.9 >= 0.85
 		t.Fatal("venue should merge with real + strong-boolean evidence")
 	}
-	if alias.Sim != 1 || alias.Status != Merged {
+	if alias.Sim() != 1 || alias.Status() != Merged {
 		t.Fatalf("alias value node should become merged, got %v", alias)
 	}
-	if a2.Status != Merged { // max(0.7, 1.0) = 1 via alias
+	if a2.Status() != Merged { // max(0.7, 1.0) = 1 via alias
 		t.Fatalf("a2 should merge through alias learning, got %v", a2)
 	}
 	if st.Reactivate == 0 {
@@ -167,7 +167,7 @@ func TestNoPropagationMode(t *testing.T) {
 	person := g.AddRefPair(0, 1, "Person")
 	article := g.AddRefPair(2, 3, "Article")
 	ti := g.AddValuePair("title", "t", "t", 1.0)
-	ti.Status = Merged
+	ti.SetStatus(Merged)
 	g.AddEdge(ti, article, RealValued, "title")
 	// Person depends on the article pair merging.
 	g.AddEdge(article, person, StrongBoolean, "article")
@@ -177,7 +177,7 @@ func TestNoPropagationMode(t *testing.T) {
 	// Person is seeded BEFORE article (rank order): without propagation
 	// the article's merge comes too late to help the person.
 	g.Run([]*Node{person, article}, opts(false, false))
-	if person.Status == Merged {
+	if person.Status() == Merged {
 		t.Error("person should not merge without propagation")
 	}
 
@@ -187,13 +187,13 @@ func TestNoPropagationMode(t *testing.T) {
 	person2 := g2.AddRefPair(0, 1, "Person")
 	article2 := g2.AddRefPair(2, 3, "Article")
 	ti2 := g2.AddValuePair("title", "t", "t", 1.0)
-	ti2.Status = Merged
+	ti2.SetStatus(Merged)
 	g2.AddEdge(ti2, article2, RealValued, "title")
 	g2.AddEdge(article2, person2, StrongBoolean, "article")
 	nm2 := g2.AddValuePair("name", "wong e", "eugene wong", 0.6)
 	g2.AddEdge(nm2, person2, RealValued, "name")
 	g2.Run([]*Node{person2, article2}, opts(true, false))
-	if person2.Status != Merged {
+	if person2.Status() != Merged {
 		t.Error("person should merge with propagation")
 	}
 }
@@ -210,7 +210,7 @@ func TestEnrichmentFold(t *testing.T) {
 
 	// (p8,p9) share an email key: sim 1.
 	emailKey := g.AddValuePair("email", "s@mit", "s@mit", 1.0)
-	emailKey.Status = Merged
+	emailKey.SetStatus(Merged)
 	g.AddEdge(emailKey, merger, RealValued, "email")
 
 	// m6 has evidence 0.5 (name-vs-email); m8 has evidence 0.5
@@ -222,15 +222,15 @@ func TestEnrichmentFold(t *testing.T) {
 
 	st := g.Run([]*Node{m6, m8, merger}, Options{
 		Scorer: ScorerFunc(func(n *Node) float64 {
-			if n.Kind == ValuePair {
-				return n.Sim
+			if n.Kind() == ValuePair {
+				return n.Sim()
 			}
 			// Sum of distinct real-valued evidence (so folding m8's
 			// evidence into m6 pushes it over threshold).
 			s := 0.0
-			for _, e := range n.in {
+			for _, e := range n.In() {
 				if e.Dep == RealValued {
-					s += e.From.Sim
+					s += e.From.Sim()
 				}
 			}
 			return s
@@ -239,7 +239,7 @@ func TestEnrichmentFold(t *testing.T) {
 		Propagate:      true,
 		Enrich:         true,
 	})
-	if merger.Status != Merged {
+	if merger.Status() != Merged {
 		t.Fatal("(p8,p9) should merge on the email key")
 	}
 	if m8.Alive() {
@@ -248,8 +248,8 @@ func TestEnrichmentFold(t *testing.T) {
 	if st.Folds != 1 {
 		t.Errorf("Folds = %d, want 1", st.Folds)
 	}
-	if m6.Status != Merged {
-		t.Errorf("m6 should merge after enrichment: sim=%f", m6.Sim)
+	if m6.Status() != Merged {
+		t.Errorf("m6 should merge after enrichment: sim=%f", m6.Sim())
 	}
 	if len(m6.In()) != 2 {
 		t.Errorf("m6 should have inherited n9: in=%d", len(m6.In()))
@@ -265,7 +265,7 @@ func TestEnrichmentWithoutPropagation(t *testing.T) {
 	m8 := g.AddRefPair(p5, p9, "Person")
 	merger := g.AddRefPair(p8, p9, "Person")
 	emailKey := g.AddValuePair("email", "s@mit", "s@mit", 1.0)
-	emailKey.Status = Merged
+	emailKey.SetStatus(Merged)
 	g.AddEdge(emailKey, merger, RealValued, "email")
 	n8 := g.AddValuePair("x", "a", "b", 0.5)
 	g.AddEdge(n8, m6, RealValued, "x")
@@ -274,13 +274,13 @@ func TestEnrichmentWithoutPropagation(t *testing.T) {
 
 	g.Run([]*Node{m6, m8, merger}, Options{
 		Scorer: ScorerFunc(func(n *Node) float64 {
-			if n.Kind == ValuePair {
-				return n.Sim
+			if n.Kind() == ValuePair {
+				return n.Sim()
 			}
 			s := 0.0
-			for _, e := range n.in {
+			for _, e := range n.In() {
 				if e.Dep == RealValued {
-					s += e.From.Sim
+					s += e.From.Sim()
 				}
 			}
 			return s
@@ -292,7 +292,7 @@ func TestEnrichmentWithoutPropagation(t *testing.T) {
 	if m8.Alive() {
 		t.Fatal("fold should happen in MERGE mode")
 	}
-	if m6.Status != Merged {
+	if m6.Status() != Merged {
 		t.Errorf("m6 should merge via enrichment reactivation: %v", m6)
 	}
 }
@@ -301,11 +301,11 @@ func TestNonMergeNeverScored(t *testing.T) {
 	g := New()
 	m := g.AddRefPair(0, 1, "Person")
 	v := g.AddValuePair("email", "k", "k", 1.0)
-	v.Status = Merged
+	v.SetStatus(Merged)
 	g.AddEdge(v, m, RealValued, "email")
 	g.MarkNonMerge(m)
 	st := g.Run([]*Node{m}, opts(true, true))
-	if m.Status != NonMerge || m.Sim != 0 {
+	if m.Status() != NonMerge || m.Sim() != 0 {
 		t.Errorf("non-merge node mutated: %v", m)
 	}
 	if st.Steps != 0 {
@@ -322,7 +322,7 @@ func TestFoldPropagatesNonMerge(t *testing.T) {
 	merger := g.AddRefPair(1, 2, "Person")
 	g.MarkNonMerge(l)
 	key := g.AddValuePair("email", "k", "k", 1.0)
-	key.Status = Merged
+	key.SetStatus(Merged)
 	g.AddEdge(key, merger, RealValued, "email")
 	// Give l an edge so it is not isolated.
 	v := g.AddValuePair("name", "a", "b", 0.3)
@@ -330,13 +330,13 @@ func TestFoldPropagatesNonMerge(t *testing.T) {
 	g.AddEdge(v, m, RealValued, "name")
 
 	g.Run([]*Node{m, merger}, opts(true, true))
-	if merger.Status != Merged {
+	if merger.Status() != Merged {
 		t.Fatal("merger should merge")
 	}
 	if l.Alive() {
 		t.Fatal("l should be folded")
 	}
-	if m.Status != NonMerge {
+	if m.Status() != NonMerge {
 		t.Errorf("non-merge must propagate through folds: %v", m)
 	}
 }
@@ -355,15 +355,15 @@ func TestCyclicDependencyTerminates(t *testing.T) {
 	g.AddEdge(vb, b, RealValued, "name")
 
 	scorer := ScorerFunc(func(n *Node) float64 {
-		if n.Kind == ValuePair {
-			return n.Sim
+		if n.Kind() == ValuePair {
+			return n.Sim()
 		}
 		base, bonus := 0.0, 0.0
-		for _, e := range n.in {
-			if e.From.Kind == ValuePair {
-				base = e.From.Sim
+		for _, e := range n.In() {
+			if e.From.Kind() == ValuePair {
+				base = e.From.Sim()
 			} else {
-				bonus = 0.4 * e.From.Sim
+				bonus = 0.4 * e.From.Sim()
 			}
 		}
 		return base + bonus
@@ -379,7 +379,7 @@ func TestCyclicDependencyTerminates(t *testing.T) {
 	}
 	// Fixed point of s = 0.5 + 0.4 s is 5/6 ≈ 0.833; with eps 0.001 the
 	// loop should settle close to it and below the 0.85 threshold.
-	if a.Sim < 0.8 || a.Sim > 0.85 || a.Status == Merged {
+	if a.Sim() < 0.8 || a.Sim() > 0.85 || a.Status() == Merged {
 		t.Errorf("a = %v", a)
 	}
 }
@@ -400,15 +400,15 @@ func TestMutualWeakMergeTerminates(t *testing.T) {
 	g.AddEdge(vb, b, RealValued, "name")
 
 	scorer := ScorerFunc(func(n *Node) float64 {
-		if n.Kind == ValuePair {
-			return n.Sim
+		if n.Kind() == ValuePair {
+			return n.Sim()
 		}
 		s := 0.0
-		for _, e := range n.in {
+		for _, e := range n.In() {
 			switch {
 			case e.Dep == RealValued:
-				s += e.From.Sim
-			case e.Dep == WeakBoolean && e.From.Status == Merged:
+				s += e.From.Sim()
+			case e.Dep == WeakBoolean && e.From.Status() == Merged:
 				s += 0.05
 			}
 		}
@@ -424,7 +424,7 @@ func TestMutualWeakMergeTerminates(t *testing.T) {
 	if st.Truncated {
 		t.Fatalf("mutual weak merge did not terminate: %+v", st)
 	}
-	if a.Status != Merged || b.Status != Merged {
+	if a.Status() != Merged || b.Status() != Merged {
 		t.Errorf("both should merge: %v %v", a, b)
 	}
 	if st.Merges != 2 {
@@ -447,7 +447,7 @@ func TestMaxStepsTruncates(t *testing.T) {
 			if i >= 0.8 {
 				i = 0
 			}
-			return n.Sim + 1e-9
+			return n.Sim() + 1e-9
 		}),
 		MergeThreshold: thresholds(2), // unreachable
 		Propagate:      true,
@@ -484,10 +484,10 @@ func TestReenrichFoldsLateDuplicates(t *testing.T) {
 	// Run 1: (r1, r2) merges on a key value.
 	merged := g.AddRefPair(r1, r2, "Venue")
 	key := g.AddValuePair("name", "sigmod", "sigmod", 1.0)
-	key.Status = Merged
+	key.SetStatus(Merged)
 	g.AddEdge(key, merged, RealValued, "name")
 	g.Run([]*Node{merged}, opts(true, true))
-	if merged.Status != Merged {
+	if merged.Status() != Merged {
 		t.Fatal("(r1,r2) should merge in run 1")
 	}
 
@@ -502,10 +502,10 @@ func TestReenrichFoldsLateDuplicates(t *testing.T) {
 	v2 := g.AddValuePair("year", "x", "y", 0.5)
 	g.AddEdge(v2, dup, RealValued, "year")
 	s1 := g.AddValuePair("shared", "art1", "art1", 1.0)
-	s1.Status = Merged
+	s1.SetStatus(Merged)
 	g.AddEdge(s1, keep, StrongBoolean, "article")
 	s2 := g.AddValuePair("shared", "art2", "art2", 1.0)
-	s2.Status = Merged
+	s2.SetStatus(Merged)
 	g.AddEdge(s2, dup, StrongBoolean, "article")
 
 	st := g.Run([]*Node{keep, dup}, opts(true, true))
@@ -517,7 +517,7 @@ func TestReenrichFoldsLateDuplicates(t *testing.T) {
 	}
 	// 0.5 real + 2 strong-boolean merged sources x 0.3 = 1.1, clamped; the
 	// scattered alternative leaves both nodes at 0.8 < 0.85.
-	if keep.Status != Merged {
-		t.Errorf("(r1,r3) should merge on the pooled evidence: sim=%f status=%v", keep.Sim, keep.Status)
+	if keep.Status() != Merged {
+		t.Errorf("(r1,r3) should merge on the pooled evidence: sim=%f status=%v", keep.Sim(), keep.Status())
 	}
 }

@@ -44,35 +44,35 @@ func eqScoreTemplate(sum float64, count, strong, weak int) float64 {
 // incoming edges on every call, accumulating evidence kinds in sorted
 // order so float rounding matches the digest path exactly.
 func eqRescanScore(n *Node) float64 {
-	if n.Kind == ValuePair {
-		for _, e := range n.in {
-			if e.Dep == StrongBoolean && e.From.Status == Merged {
+	if n.Kind() == ValuePair {
+		for _, e := range n.In() {
+			if e.Dep == StrongBoolean && e.From.Status() == Merged {
 				return 1
 			}
 		}
-		return n.Sim
+		return n.Sim()
 	}
 	maxBy := make(map[string]float64)
 	var kinds []string
 	strong, weak := 0, 0
-	for _, e := range n.in {
+	for _, e := range n.In() {
 		switch e.Dep {
 		case RealValued:
-			if e.From.Status == NonMerge {
+			if e.From.Status() == NonMerge {
 				continue
 			}
 			if cur, ok := maxBy[e.Evidence]; !ok {
-				maxBy[e.Evidence] = e.From.Sim
+				maxBy[e.Evidence] = e.From.Sim()
 				kinds = append(kinds, e.Evidence)
-			} else if e.From.Sim > cur {
-				maxBy[e.Evidence] = e.From.Sim
+			} else if e.From.Sim() > cur {
+				maxBy[e.Evidence] = e.From.Sim()
 			}
 		case StrongBoolean:
-			if e.From.Status == Merged {
+			if e.From.Status() == Merged {
 				strong++
 			}
 		case WeakBoolean:
-			if e.From.Status == Merged {
+			if e.From.Status() == Merged {
 				weak++
 			}
 		}
@@ -88,11 +88,11 @@ func eqRescanScore(n *Node) float64 {
 // eqDigestScore reads the delta-maintained digest instead of rescanning.
 func eqDigestScore(n *Node) float64 {
 	d := n.Digest()
-	if n.Kind == ValuePair {
+	if n.Kind() == ValuePair {
 		if d.StrongMergedCount() > 0 {
 			return 1
 		}
-		return n.Sim
+		return n.Sim()
 	}
 	sum, count := 0.0, 0
 	d.EachRealEvidence(func(_ string, max float64) {
@@ -106,7 +106,7 @@ func eqOptions(scorer func(*Node) float64) Options {
 	return Options{
 		Scorer: ScorerFunc(scorer),
 		MergeThreshold: func(n *Node) float64 {
-			if n.Kind == ValuePair {
+			if n.Kind() == ValuePair {
 				return 1
 			}
 			return 0.7
@@ -167,7 +167,7 @@ func eqSnapshot(g *Graph) string {
 	var lines []string
 	g.Nodes(func(n *Node) {
 		lines = append(lines, fmt.Sprintf("%s|%d|%d|%016x",
-			n.Key, n.Kind, n.Status, math.Float64bits(n.Sim)))
+			n.Key(), n.Kind(), n.Status(), math.Float64bits(n.Sim())))
 	})
 	sort.Strings(lines)
 	return strings.Join(lines, "\n")
@@ -184,7 +184,7 @@ func eqCheckAggregates(t *testing.T, g *Graph, seed int64, phase string) {
 	t.Helper()
 	g.Nodes(func(n *Node) {
 		if msg := n.CheckAggregate(); msg != "" {
-			t.Fatalf("seed %d %s: node %s aggregate inconsistent: %s", seed, phase, n.Key, msg)
+			t.Fatalf("seed %d %s: node %s aggregate inconsistent: %s", seed, phase, n.Key(), msg)
 		}
 	})
 }

@@ -45,6 +45,23 @@ func FuzzEngineOps(f *testing.F) {
 		0, 3, 4, 1, 1, 6, 255, 3, 0, 5,
 	})
 	f.Add([]byte{0, 9, 8, 0, 8, 7, 2, 0, 1, 3, 180, 4, 0, 0, 2, 1, 2, 2, 3, 1, 5, 0, 10, 9, 5})
+	// One pair accumulating seven value-evidence in-edges: the in-span
+	// outgrows the minimum capacity and relocates into the arena overflow
+	// region, with a duplicate edge re-added across the boundary and more
+	// evidence appended after a run barrier.
+	f.Add([]byte{
+		0, 0, 1,
+		1, 0, 0, 1, 100, 0,
+		1, 0, 0, 2, 110, 0,
+		1, 0, 0, 3, 120, 0,
+		1, 0, 0, 4, 130, 0,
+		1, 0, 0, 5, 140, 0,
+		1, 0, 0, 6, 150, 0,
+		1, 0, 0, 3, 120, 0,
+		5,
+		1, 0, 0, 7, 160, 0,
+		5,
+	})
 	f.Fuzz(func(t *testing.T, program []byte) {
 		if len(program) > 512 {
 			t.Skip() // longer programs only repeat the same op mix
@@ -141,8 +158,8 @@ func FuzzEngineOps(f *testing.F) {
 				if !pairsD[p].Alive() || !valsD[v].Alive() {
 					continue
 				}
-				gD.AddEdge(pairsD[p], valsD[v], StrongBoolean, valsD[v].Class)
-				gR.AddEdge(pairsR[p], valsR[v], StrongBoolean, valsR[v].Class)
+				gD.AddEdge(pairsD[p], valsD[v], StrongBoolean, valsD[v].Class())
+				gR.AddEdge(pairsR[p], valsR[v], StrongBoolean, valsR[v].Class())
 			case 4: // negative constraint
 				if len(pairsD) == 0 {
 					continue

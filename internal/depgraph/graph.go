@@ -9,12 +9,50 @@ import (
 // Graph is the dependency graph plus the machinery to run similarity
 // propagation over it. Construct with New, add nodes and edges, then call
 // Run. Graph is not safe for concurrent use.
+//
+// Storage is columnar (see storage.go): node fields live in flat parallel
+// slices indexed by dense int32 ids, adjacency is spans of edge ids into a
+// shared arena, and the hot-path indexes key on packed reference pairs and
+// interned strings rather than the canonical key strings, which are
+// materialized lazily at the API boundary.
 type Graph struct {
-	nodes []*Node
-	byKey map[string]*Node
+	// Node columns, indexed by node id.
+	kind    []Kind
+	status  []Status
+	sim     []float64
+	refA    []reference.ID
+	refB    []reference.ID
+	classID []int32 // interned class (RefPair) / evidence type (ValuePair)
+	valX    []int32 // interned element keys of a ValuePair, string-ordered
+	valY    []int32
+	key     []string // lazily built canonical keys ("" until requested)
+	alive   []bool
+	queued  []bool
+	qgen    []uint64
+	agg     []*aggregate
+	inSpan  []span
+	outSpan []span
+
+	handles  []*Node // the stable public handle per node id
+	nodeSlab []Node
+	aggSlab  []aggregate
+
+	// Edge columns, indexed by edge id, plus the shared adjacency arena.
+	eFrom, eTo []int32
+	eDep       []DepType
+	eEv        []int32 // interned evidence
+	adj        []int32
+
+	deadEdges  int // removed edges still occupying columns
+	adjGarbage int // arena slots abandoned by span relocation
+
+	strs    interner
+	byPair  map[uint64]int32
+	byVal   map[valueIdent]int32
+	edgeSet map[edgeIdent]struct{}
 	// refNodes indexes, for every reference, the RefPair nodes that
 	// mention it; enrichment walks this index.
-	refNodes map[reference.ID][]*Node
+	refNodes map[reference.ID][]int32
 	queue    *nodeQueue
 
 	liveNodes int
@@ -33,8 +71,11 @@ type Graph struct {
 // New returns an empty graph.
 func New() *Graph {
 	return &Graph{
-		byKey:    make(map[string]*Node),
-		refNodes: make(map[reference.ID][]*Node),
+		strs:     newInterner(),
+		byPair:   make(map[uint64]int32),
+		byVal:    make(map[valueIdent]int32),
+		edgeSet:  make(map[edgeIdent]struct{}),
+		refNodes: make(map[reference.ID][]int32),
 		queue:    newNodeQueue(64),
 	}
 }
@@ -45,18 +86,88 @@ func (g *Graph) NodeCount() int { return g.liveNodes }
 // EdgeCount returns the number of live directed edges.
 func (g *Graph) EdgeCount() int { return g.edgeCount }
 
-// Lookup returns the live node for key, or nil.
+// Lookup returns the live node for a canonical key string, or nil. The
+// integer indexes are authoritative; this parses the key back into them
+// (reference-pair keys have exactly one '|', value-pair keys at least
+// two), so it serves the API boundary without a string-keyed index.
 func (g *Graph) Lookup(key string) *Node {
-	n := g.byKey[key]
-	if n != nil && !n.alive {
+	if a, b, ok := parseRefPairKey(key); ok {
+		if id, ok := g.byPair[packPair(a, b)]; ok {
+			return g.handles[id]
+		}
 		return nil
 	}
-	return n
+	// Value key: the stored form is evidence|x|y with x <= y. Try every
+	// split into three parts; only the authoring split can resolve to
+	// interned ids that are present in the index together.
+	for i := 0; i < len(key); i++ {
+		if key[i] != '|' {
+			continue
+		}
+		ev, ok := g.strs.lookup(key[:i])
+		if !ok {
+			continue
+		}
+		for j := i + 1; j < len(key); j++ {
+			if key[j] != '|' {
+				continue
+			}
+			x, ok := g.strs.lookup(key[i+1 : j])
+			if !ok {
+				continue
+			}
+			y, ok := g.strs.lookup(key[j+1:])
+			if !ok {
+				continue
+			}
+			if id, ok := g.byVal[valueIdent{ev: ev, x: x, y: y}]; ok {
+				return g.handles[id]
+			}
+		}
+	}
+	return nil
+}
+
+// parseRefPairKey inverts RefPairKey: "r<digits>|r<digits>". The packed
+// index stores only canonical (a < b) pairs, so a non-canonical string
+// misses, exactly as it missed the old string-keyed map.
+func parseRefPairKey(key string) (a, b reference.ID, ok bool) {
+	rest := key
+	a, rest, ok = parseRefID(rest)
+	if !ok || len(rest) == 0 || rest[0] != '|' {
+		return 0, 0, false
+	}
+	b, rest, ok = parseRefID(rest[1:])
+	if !ok || len(rest) != 0 {
+		return 0, 0, false
+	}
+	return a, b, true
+}
+
+func parseRefID(s string) (reference.ID, string, bool) {
+	if len(s) == 0 || s[0] != 'r' {
+		return 0, s, false
+	}
+	i, v := 1, 0
+	for ; i < len(s) && s[i] >= '0' && s[i] <= '9'; i++ {
+		v = v*10 + int(s[i]-'0')
+	}
+	if i == 1 {
+		return 0, s, false
+	}
+	return reference.ID(v), s[i:], true
 }
 
 // LookupRefPair returns the live node for the reference pair, or nil.
+// This is the hot-path lookup: it touches only the packed-integer index.
 func (g *Graph) LookupRefPair(a, b reference.ID) *Node {
-	return g.Lookup(RefPairKey(a, b))
+	if b < a {
+		a, b = b, a
+	}
+	if id, ok := g.byPair[packPair(a, b)]; ok {
+		return g.handles[id]
+	}
+	return nil
 }
 
 // AddRefPair inserts (or returns the existing) node for a pair of
@@ -68,18 +179,18 @@ func (g *Graph) AddRefPair(a, b reference.ID, class string) *Node {
 	if b < a {
 		a, b = b, a
 	}
-	key := RefPairKey(a, b)
-	if n := g.Lookup(key); n != nil {
-		return n
+	pk := packPair(a, b)
+	if id, ok := g.byPair[pk]; ok {
+		return g.handles[id]
 	}
-	n := &Node{
-		Key: key, Kind: RefPair, RefA: a, RefB: b, Class: class,
-		alive: true, edgeSet: make(map[edgeKey]bool),
-	}
-	g.insert(n)
-	g.refNodes[a] = append(g.refNodes[a], n)
-	g.refNodes[b] = append(g.refNodes[b], n)
-	return n
+	id := g.newNode(RefPair)
+	g.refA[id], g.refB[id] = a, b
+	g.classID[id] = g.strs.intern(class)
+	g.byPair[pk] = id
+	g.liveNodes++
+	g.refNodes[a] = append(g.refNodes[a], id)
+	g.refNodes[b] = append(g.refNodes[b], id)
+	return g.handles[id]
 }
 
 // AddValuePair inserts (or returns the existing) node for a pair of
@@ -87,52 +198,66 @@ func (g *Graph) AddRefPair(a, b reference.ID, class string) *Node {
 // similarity. elemX and elemY are the canonical element keys of the two
 // values.
 func (g *Graph) AddValuePair(evidence, elemX, elemY string, sim float64) *Node {
-	key := ValuePairKey(evidence, elemX, elemY)
-	if n := g.Lookup(key); n != nil {
-		if sim > n.Sim && n.Status != NonMerge {
-			g.raiseSim(n, sim)
+	if elemY < elemX {
+		elemX, elemY = elemY, elemX
+	}
+	if evID, ok := g.strs.lookup(evidence); ok {
+		if x, ok := g.strs.lookup(elemX); ok {
+			if y, ok := g.strs.lookup(elemY); ok {
+				if id, ok := g.byVal[valueIdent{ev: evID, x: x, y: y}]; ok {
+					n := g.handles[id]
+					if sim > g.sim[id] && g.status[id] != NonMerge {
+						g.raiseSim(n, sim)
+					}
+					return n
+				}
+			}
 		}
-		return n
 	}
-	n := &Node{
-		Key: key, Kind: ValuePair, RefA: -1, RefB: -1, Class: evidence,
-		Sim: sim, alive: true, edgeSet: make(map[edgeKey]bool),
-	}
-	g.insert(n)
-	return n
-}
-
-func (g *Graph) insert(n *Node) {
-	n.g = g
-	g.nodes = append(g.nodes, n)
-	g.byKey[n.Key] = n
+	id := g.newNode(ValuePair)
+	g.classID[id] = g.strs.intern(evidence)
+	g.valX[id] = g.strs.intern(elemX)
+	g.valY[id] = g.strs.intern(elemY)
+	g.sim[id] = sim
+	g.byVal[valueIdent{ev: g.classID[id], x: g.valX[id], y: g.valY[id]}] = id
 	g.liveNodes++
+	return g.handles[id]
 }
 
 // AddEdge inserts a directed dependency from -> to, deduplicating on
-// (endpoint, type, evidence). Self-edges are rejected.
-func (g *Graph) AddEdge(from, to *Node, dep DepType, evidence string) *Edge {
+// (endpoints, type, evidence). Self-edges are rejected. It reports whether
+// a new edge was inserted.
+func (g *Graph) AddEdge(from, to *Node, dep DepType, evidence string) bool {
+	return g.addEdgeIDs(from.id, to.id, dep, g.strs.intern(evidence))
+}
+
+// addEdgeIDs is AddEdge over raw ids with pre-interned evidence (the fold
+// path re-wires edges without round-tripping through strings).
+func (g *Graph) addEdgeIDs(from, to int32, dep DepType, ev int32) bool {
 	if from == to {
-		return nil
+		return false
 	}
-	k := edgeKey{otherKey: to.Key, outgoing: true, dep: dep, evidence: evidence}
-	if from.edgeSet[k] {
-		return nil
+	ident := edgeIdent{from: from, to: to, ev: ev, dep: dep}
+	if _, dup := g.edgeSet[ident]; dup {
+		return false
 	}
-	e := &Edge{From: from, To: to, Dep: dep, Evidence: evidence}
-	from.edgeSet[k] = true
-	to.edgeSet[edgeKey{otherKey: from.Key, outgoing: false, dep: dep, evidence: evidence}] = true
-	from.out = append(from.out, e)
-	to.in = append(to.in, e)
+	g.edgeSet[ident] = struct{}{}
+	e := int32(len(g.eFrom))
+	g.eFrom = append(g.eFrom, from)
+	g.eTo = append(g.eTo, to)
+	g.eDep = append(g.eDep, dep)
+	g.eEv = append(g.eEv, ev)
+	g.spanAppend(&g.outSpan[from], e)
+	g.spanAppend(&g.inSpan[to], e)
 	g.edgeCount++
 	g.aggOnAddEdge(e)
-	return e
+	return true
 }
 
 // RemoveIfIsolated removes a node that has no edges (construction step
 // 1(2) of §3.1). It reports whether the node was removed.
 func (g *Graph) RemoveIfIsolated(n *Node) bool {
-	if len(n.in) == 0 && len(n.out) == 0 {
+	if g.inSpan[n.id].n == 0 && g.outSpan[n.id].n == 0 {
 		g.removeNode(n)
 		return true
 	}
@@ -140,57 +265,58 @@ func (g *Graph) RemoveIfIsolated(n *Node) bool {
 }
 
 // removeNode unlinks n from every neighbor and drops it from the indexes.
+// Its own index entries (packed-pair / value / edge identities) are
+// deleted eagerly; the column rows and arena slots it abandons are
+// reclaimed by the next compaction.
 func (g *Graph) removeNode(n *Node) {
-	if !n.alive {
+	id := n.id
+	if !g.alive[id] {
 		return
 	}
-	for _, e := range n.in {
-		e.From.dropEdge(e, true)
+	for _, e := range g.spanIDs(g.inSpan[id]) {
+		g.spanDrop(&g.outSpan[g.eFrom[e]], e)
+		g.killEdge(e)
 		g.edgeCount--
 	}
-	for _, e := range n.out {
-		e.To.dropEdge(e, false)
-		g.aggOnDropSource(e.To, e)
+	for _, e := range g.spanIDs(g.outSpan[id]) {
+		to := g.eTo[e]
+		g.spanDrop(&g.inSpan[to], e)
+		g.aggOnDropSource(g.handles[to], e)
+		g.killEdge(e)
 		g.edgeCount--
 	}
-	n.in, n.out = nil, nil
-	n.edgeSet = nil
-	n.agg = nil
-	n.alive = false
-	delete(g.byKey, n.Key)
+	g.adjGarbage += int(g.inSpan[id].cap) + int(g.outSpan[id].cap)
+	g.inSpan[id] = span{}
+	g.outSpan[id] = span{}
+	g.agg[id] = nil
+	g.alive[id] = false
+	if g.kind[id] == RefPair {
+		delete(g.byPair, packPair(g.refA[id], g.refB[id]))
+	} else {
+		delete(g.byVal, valueIdent{ev: g.classID[id], x: g.valX[id], y: g.valY[id]})
+	}
 	g.liveNodes--
 	g.queue.remove(n)
+	g.maybeCompact()
 }
 
-// dropEdge removes e from the node's adjacency on the given side
-// (outgoing=true removes from out).
-func (n *Node) dropEdge(e *Edge, outgoing bool) {
-	var s *[]*Edge
-	var other *Node
-	if outgoing {
-		s, other = &n.out, e.To
-	} else {
-		s, other = &n.in, e.From
-	}
-	for i, x := range *s {
-		if x == e {
-			(*s)[i] = (*s)[len(*s)-1]
-			*s = (*s)[:len(*s)-1]
-			break
-		}
-	}
-	delete(n.edgeSet, edgeKey{otherKey: other.Key, outgoing: outgoing, dep: e.Dep, evidence: e.Evidence})
+// killEdge marks an edge's columns dead and drops its dedup identity.
+func (g *Graph) killEdge(e int32) {
+	delete(g.edgeSet, edgeIdent{from: g.eFrom[e], to: g.eTo[e], ev: g.eEv[e], dep: g.eDep[e]})
+	g.eFrom[e] = -1
+	g.deadEdges++
 }
 
 // MarkNonMerge marks the node as constrained-distinct. A non-merge node is
 // frozen at similarity 0 and never enters the queue.
 func (g *Graph) MarkNonMerge(n *Node) {
-	if n.Status == NonMerge {
+	id := n.id
+	if g.status[id] == NonMerge {
 		return
 	}
-	wasMerged := n.Status == Merged
-	n.Status = NonMerge
-	n.Sim = 0
+	wasMerged := g.status[id] == Merged
+	g.status[id] = NonMerge
+	g.sim[id] = 0
 	g.queue.remove(n)
 	g.aggOnNonMerge(n, wasMerged)
 }
@@ -201,18 +327,19 @@ func (g *Graph) MarkNonMerge(n *Node) {
 // must go through here rather than writing Status directly, or maintained
 // digests would go stale.
 func (g *Graph) MarkMerged(n *Node) {
-	if n.Status == Merged || n.Status == NonMerge {
+	id := n.id
+	if g.status[id] == Merged || g.status[id] == NonMerge {
 		return
 	}
-	n.Status = Merged
+	g.status[id] = Merged
 	g.aggOnMerged(n)
 }
 
 // Nodes invokes fn for every live node, in insertion order.
 func (g *Graph) Nodes(fn func(*Node)) {
-	for _, n := range g.nodes {
-		if n.alive {
-			fn(n)
+	for id := range g.alive {
+		if g.alive[id] {
+			fn(g.handles[id])
 		}
 	}
 }
@@ -221,10 +348,10 @@ func (g *Graph) Nodes(fn func(*Node)) {
 // must not retain the slice across graph mutations.
 func (g *Graph) RefPairNodesOf(r reference.ID) []*Node {
 	all := g.refNodes[r]
-	out := all[:0:0]
-	for _, n := range all {
-		if n.alive {
-			out = append(out, n)
+	var out []*Node
+	for _, id := range all {
+		if g.alive[id] {
+			out = append(out, g.handles[id])
 		}
 	}
 	return out

@@ -18,6 +18,26 @@
 // when a node becomes "merged". Reference enrichment (§3.3) and non-merge
 // constraint handling (§3.4) are implemented as graph operations here; the
 // reconciliation-specific policy lives in package recon.
+//
+// # Storage layout
+//
+// Node and edge state lives in columnar arrays on the Graph, indexed by
+// dense int32 ids: one flat slice per field (kind, status, sim, refs,
+// class, flags, aggregate) instead of one heap object per node, and one
+// slice per edge field (endpoints, dependency type, interned evidence)
+// instead of one heap object per edge. Adjacency is a CSR-style layout:
+// per-node spans of edge ids into a shared arena, appended in place while
+// capacity lasts and relocated to the arena tail (the overflow region)
+// when it runs out; a compaction pass periodically rewrites the arena
+// contiguously and drops dead edges. Strings leave the hot path: pair
+// lookups key on packed (refA, refB) integers, value-pair lookups on
+// interned element ids, and the canonical Key strings are materialized
+// lazily for the API boundary (audit, DOT export, explanations).
+//
+// The public surface keeps pointer semantics: *Node is a thin, stable
+// handle (graph pointer + id) allocated from slabs, so pointer equality
+// still identifies a node, and Edge is a value struct materialized during
+// iteration.
 package depgraph
 
 import (
@@ -102,77 +122,118 @@ func (d DepType) String() string {
 // Edge is a directed, typed dependency. Evidence labels the kind of
 // evidence the source contributes to the target's similarity function
 // (e.g. "name", "email", "name-email", "coauthor"); the Scorer interprets
-// it.
+// it. Edge is a value materialized from the graph's columnar edge storage
+// during iteration; the From/To handles are the nodes' stable pointers.
 type Edge struct {
 	From, To *Node
 	Dep      DepType
 	Evidence string
 }
 
-// Node is one similarity decision.
+// Node is a stable handle to one similarity decision. Handles are
+// allocated from slabs by the graph — every node has exactly one, so
+// pointer equality identifies nodes — and stay valid after the node is
+// removed (Alive reports false). Field state lives in the graph's columns
+// and is reached through the accessor methods.
 type Node struct {
-	// Key uniquely identifies the element pair (the paper's uniqueness
-	// requirement).
-	Key string
-	// Kind says whether this is a reference pair or a value pair.
-	Kind Kind
-	// RefA, RefB are set for RefPair nodes (RefA < RefB).
-	RefA, RefB reference.ID
-	// Class is the references' class for RefPair nodes; for ValuePair
-	// nodes it is the evidence type of the value comparison.
-	Class string
-	// Sim is the current similarity score in [0, 1].
-	Sim float64
-	// Status is the propagation state.
-	Status Status
-
-	in      []*Edge
-	out     []*Edge
-	edgeSet map[edgeKey]bool
-
-	// g backlinks to the owning graph so Digest can consult maintenance
-	// mode; agg is the delta-maintained evidence aggregate (nil until the
-	// node is first scored in maintained mode). See aggregate.go.
-	g   *Graph
-	agg *aggregate
-
-	alive   bool
-	queued  bool
-	queueID uint64 // generation marker used by the queue to skip stale entries
+	g  *Graph
+	id int32
 }
 
-type edgeKey struct {
-	otherKey string
-	outgoing bool
-	dep      DepType
-	evidence string
+// Key returns the canonical element-pair key (the paper's uniqueness
+// requirement). Keys are materialized lazily: the hot path keys nodes on
+// packed integers, and the string form is built on first request.
+func (n *Node) Key() string {
+	g := n.g
+	if g.key[n.id] == "" {
+		g.key[n.id] = g.buildKey(n.id)
+	}
+	return g.key[n.id]
 }
 
-// In returns the incoming edges. The slice must not be mutated.
-func (n *Node) In() []*Edge { return n.in }
+// Kind says whether this is a reference pair or a value pair.
+func (n *Node) Kind() Kind { return n.g.kind[n.id] }
 
-// Out returns the outgoing edges. The slice must not be mutated.
-func (n *Node) Out() []*Edge { return n.out }
+// RefA returns the smaller reference id of a RefPair node (-1 for value
+// pairs).
+func (n *Node) RefA() reference.ID { return n.g.refA[n.id] }
+
+// RefB returns the larger reference id of a RefPair node (-1 for value
+// pairs).
+func (n *Node) RefB() reference.ID { return n.g.refB[n.id] }
+
+// Class is the references' class for RefPair nodes; for ValuePair nodes it
+// is the evidence type of the value comparison.
+func (n *Node) Class() string { return n.g.strs.str(n.g.classID[n.id]) }
+
+// Sim is the current similarity score in [0, 1].
+func (n *Node) Sim() float64 { return n.g.sim[n.id] }
+
+// Status is the propagation state.
+func (n *Node) Status() Status { return n.g.status[n.id] }
+
+// SetSim writes the similarity directly. Safe during construction and in
+// tests; once the graph is in maintained mode (from the first Run on),
+// similarity increases must go through the graph's internal raiseSim hook
+// instead, which this bypasses.
+func (n *Node) SetSim(v float64) { n.g.sim[n.id] = v }
+
+// SetStatus writes the propagation state directly. Safe during
+// construction and in tests; in maintained mode use MarkMerged /
+// MarkNonMerge so dependents' evidence digests stay exact.
+func (n *Node) SetStatus(s Status) { n.g.status[n.id] = s }
+
+// In returns the incoming edges, materialized into a fresh slice. Prefer
+// EachIn on hot paths.
+func (n *Node) In() []Edge { return n.g.edgeSlice(n.g.inSpan[n.id]) }
+
+// Out returns the outgoing edges, materialized into a fresh slice. Prefer
+// EachOut on hot paths.
+func (n *Node) Out() []Edge { return n.g.edgeSlice(n.g.outSpan[n.id]) }
+
+// EachIn invokes fn for every incoming edge, in adjacency order, without
+// materializing a slice.
+func (n *Node) EachIn(fn func(Edge)) {
+	g := n.g
+	for _, e := range g.spanIDs(g.inSpan[n.id]) {
+		fn(g.edgeAt(e))
+	}
+}
+
+// EachOut invokes fn for every outgoing edge, in adjacency order, without
+// materializing a slice.
+func (n *Node) EachOut(fn func(Edge)) {
+	g := n.g
+	for _, e := range g.spanIDs(g.outSpan[n.id]) {
+		fn(g.edgeAt(e))
+	}
+}
+
+// InDegree returns the number of incoming edges.
+func (n *Node) InDegree() int { return int(n.g.inSpan[n.id].n) }
+
+// OutDegree returns the number of outgoing edges.
+func (n *Node) OutDegree() int { return int(n.g.outSpan[n.id].n) }
 
 // Alive reports whether the node is still part of the graph (enrichment
 // removes nodes).
-func (n *Node) Alive() bool { return n.alive }
+func (n *Node) Alive() bool { return n.g.alive[n.id] }
 
 // Other returns the mate of r in a RefPair node. It panics if r is not one
 // of the node's references.
 func (n *Node) Other(r reference.ID) reference.ID {
 	switch r {
-	case n.RefA:
-		return n.RefB
-	case n.RefB:
-		return n.RefA
+	case n.g.refA[n.id]:
+		return n.g.refB[n.id]
+	case n.g.refB[n.id]:
+		return n.g.refA[n.id]
 	}
-	panic(fmt.Sprintf("depgraph: reference %d not in node %s", r, n.Key))
+	panic(fmt.Sprintf("depgraph: reference %d not in node %s", r, n.Key()))
 }
 
 // String renders a compact description for debugging.
 func (n *Node) String() string {
-	return fmt.Sprintf("%s(%s sim=%.3f %s)", n.Kind, n.Key, n.Sim, n.Status)
+	return fmt.Sprintf("%s(%s sim=%.3f %s)", n.Kind(), n.Key(), n.Sim(), n.Status())
 }
 
 // RefPairKey builds the canonical key for a reference pair.
@@ -190,4 +251,9 @@ func ValuePairKey(evidence, x, y string) string {
 		x, y = y, x
 	}
 	return evidence + "|" + x + "|" + y
+}
+
+// packPair packs a canonical (a < b) reference pair into one map key.
+func packPair(a, b reference.ID) uint64 {
+	return uint64(uint32(a))<<32 | uint64(uint32(b))
 }

@@ -54,19 +54,19 @@ func TestRandomOperationsInvariants(t *testing.T) {
 		// Run with a randomized monotone scorer and enrichment on.
 		g.Run(pairs, Options{
 			Scorer: ScorerFunc(func(n *Node) float64 {
-				if n.Kind == ValuePair {
-					return n.Sim
+				if n.Kind() == ValuePair {
+					return n.Sim()
 				}
-				best := n.Sim
-				for _, e := range n.in {
-					if e.Dep == RealValued && e.From.Sim > best {
-						best = e.From.Sim
+				best := n.Sim()
+				for _, e := range n.In() {
+					if e.Dep == RealValued && e.From.Sim() > best {
+						best = e.From.Sim()
 					}
 				}
 				return best
 			}),
 			MergeThreshold: func(n *Node) float64 {
-				if n.Kind == ValuePair {
+				if n.Kind() == ValuePair {
 					return 1
 				}
 				return 0.7
@@ -86,17 +86,17 @@ func checkInvariants(t *testing.T, g *Graph, seed int64) {
 	nodeCount, edgeCount := 0, 0
 	g.Nodes(func(n *Node) {
 		nodeCount++
-		if seenKeys[n.Key] {
-			t.Fatalf("seed %d: duplicate live node for key %s", seed, n.Key)
+		if seenKeys[n.Key()] {
+			t.Fatalf("seed %d: duplicate live node for key %s", seed, n.Key())
 		}
-		seenKeys[n.Key] = true
-		if g.Lookup(n.Key) != n {
-			t.Fatalf("seed %d: index does not resolve %s to its node", seed, n.Key)
+		seenKeys[n.Key()] = true
+		if g.Lookup(n.Key()) != n {
+			t.Fatalf("seed %d: index does not resolve %s to its node", seed, n.Key())
 		}
 		for _, e := range n.Out() {
 			edgeCount++
 			if !e.To.Alive() {
-				t.Fatalf("seed %d: edge from %s to dead node %s", seed, n.Key, e.To.Key)
+				t.Fatalf("seed %d: edge from %s to dead node %s", seed, n.Key(), e.To.Key())
 			}
 			found := false
 			for _, in := range e.To.In() {
@@ -106,16 +106,16 @@ func checkInvariants(t *testing.T, g *Graph, seed int64) {
 				}
 			}
 			if !found {
-				t.Fatalf("seed %d: asymmetric adjacency %s -> %s", seed, n.Key, e.To.Key)
+				t.Fatalf("seed %d: asymmetric adjacency %s -> %s", seed, n.Key(), e.To.Key())
 			}
 		}
 		for _, e := range n.In() {
 			if !e.From.Alive() {
-				t.Fatalf("seed %d: edge into %s from dead node %s", seed, n.Key, e.From.Key)
+				t.Fatalf("seed %d: edge into %s from dead node %s", seed, n.Key(), e.From.Key())
 			}
 		}
-		if n.Sim < 0 || n.Sim > 1 {
-			t.Fatalf("seed %d: node %s sim out of range: %f", seed, n.Key, n.Sim)
+		if n.Sim() < 0 || n.Sim() > 1 {
+			t.Fatalf("seed %d: node %s sim out of range: %f", seed, n.Key(), n.Sim())
 		}
 	})
 	if nodeCount != g.NodeCount() {

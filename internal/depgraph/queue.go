@@ -7,6 +7,7 @@ package depgraph
 // A node may be superseded while queued (enrichment removes nodes; a node
 // may be re-enqueued). Each enqueue stamps the node with a generation id;
 // stale queue entries whose stamp no longer matches are skipped on pop.
+// The queued flag and generation stamp live in the graph's node columns.
 //
 // Entries additionally carry a propagation-round number: a back-push
 // lands in the round after the one currently draining (it will only be
@@ -65,8 +66,8 @@ func (q *nodeQueue) pushBack(n *Node) {
 	q.grow()
 	gen := q.nextGen
 	q.nextGen++
-	n.queued = true
-	n.queueID = gen
+	n.g.queued[n.id] = true
+	n.g.qgen[n.id] = gen
 	q.buf[q.tail] = queueEntry{n, gen, q.round + 1}
 	q.tail = (q.tail + 1) & (len(q.buf) - 1)
 	q.size++
@@ -78,8 +79,8 @@ func (q *nodeQueue) pushFront(n *Node) {
 	q.grow()
 	gen := q.nextGen
 	q.nextGen++
-	n.queued = true
-	n.queueID = gen
+	n.g.queued[n.id] = true
+	n.g.qgen[n.id] = gen
 	round := q.round
 	if round == 0 {
 		round = 1 // front-push before the first pop opens round 1
@@ -100,8 +101,9 @@ func (q *nodeQueue) pop() *Node {
 		q.head = (q.head + 1) & (len(q.buf) - 1)
 		q.size--
 		n := e.node
-		if n.alive && n.queued && n.queueID == e.gen {
-			n.queued = false
+		g := n.g
+		if g.alive[n.id] && g.queued[n.id] && g.qgen[n.id] == e.gen {
+			g.queued[n.id] = false
 			if e.round > q.round {
 				q.round = e.round
 			}
@@ -112,4 +114,4 @@ func (q *nodeQueue) pop() *Node {
 }
 
 // remove marks any queued entry for n stale.
-func (q *nodeQueue) remove(n *Node) { n.queued = false }
+func (q *nodeQueue) remove(n *Node) { n.g.queued[n.id] = false }

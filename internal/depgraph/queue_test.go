@@ -1,14 +1,31 @@
 package depgraph
 
-import "testing"
+import (
+	"testing"
 
-func qnode(key string) *Node {
-	return &Node{Key: key, alive: true}
+	"refrecon/internal/reference"
+)
+
+// qtest mints queueable nodes from a real graph: the queued flag and
+// generation stamp live in the graph's node columns, so bare Node literals
+// can no longer stand in.
+type qtest struct {
+	g    *Graph
+	next reference.ID
+}
+
+func newQtest() *qtest { return &qtest{g: New()} }
+
+func (qt *qtest) node() *Node {
+	a := qt.next
+	qt.next += 2
+	return qt.g.AddRefPair(a, a+1, "Person")
 }
 
 func TestQueueFIFO(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(4)
-	a, b, c := qnode("a"), qnode("b"), qnode("c")
+	a, b, c := qt.node(), qt.node(), qt.node()
 	q.pushBack(a)
 	q.pushBack(b)
 	q.pushBack(c)
@@ -26,8 +43,9 @@ func TestQueueFIFO(t *testing.T) {
 }
 
 func TestQueueFront(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(4)
-	a, b, c := qnode("a"), qnode("b"), qnode("c")
+	a, b, c := qt.node(), qt.node(), qt.node()
 	q.pushBack(a)
 	q.pushFront(b)
 	q.pushFront(c)
@@ -39,10 +57,11 @@ func TestQueueFront(t *testing.T) {
 }
 
 func TestQueueGrowth(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(2)
 	nodes := make([]*Node, 100)
 	for i := range nodes {
-		nodes[i] = qnode(string(rune('A' + i%26)))
+		nodes[i] = qt.node()
 		if i%3 == 0 {
 			q.pushFront(nodes[i])
 		} else {
@@ -59,8 +78,9 @@ func TestQueueGrowth(t *testing.T) {
 }
 
 func TestQueueStaleEntries(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(4)
-	a, b := qnode("a"), qnode("b")
+	a, b := qt.node(), qt.node()
 	q.pushBack(a)
 	q.pushBack(b)
 	q.remove(a) // a's entry is now stale
@@ -70,8 +90,9 @@ func TestQueueStaleEntries(t *testing.T) {
 }
 
 func TestQueueReEnqueueSupersedes(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(4)
-	a, b := qnode("a"), qnode("b")
+	a, b := qt.node(), qt.node()
 	q.pushBack(a)
 	q.pushBack(b)
 	q.pushFront(a) // supersedes the earlier entry
@@ -87,11 +108,14 @@ func TestQueueReEnqueueSupersedes(t *testing.T) {
 }
 
 func TestQueueDeadNodeSkipped(t *testing.T) {
+	qt := newQtest()
 	q := newNodeQueue(4)
-	a, b := qnode("a"), qnode("b")
+	a, b := qt.node(), qt.node()
 	q.pushBack(a)
 	q.pushBack(b)
-	a.alive = false
+	// Kill a behind the queue's back (removeNode would also clear the
+	// queued flag; the aliveness check alone must suffice).
+	qt.g.alive[a.id] = false
 	if got := q.pop(); got != b {
 		t.Errorf("pop = %v, want b (a is dead)", got)
 	}

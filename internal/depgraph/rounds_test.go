@@ -17,7 +17,7 @@ func chainGraph() (*Graph, []*Node) {
 	ve := g.AddRefPair(2, 3, "Venue")
 	a2 := g.AddRefPair(4, 5, "Article")
 	ti := g.AddValuePair("title", "t1", "t1", 1.0)
-	ti.Status = Merged
+	ti.SetStatus(Merged)
 	g.AddEdge(ti, a1, RealValued, "title")
 	vn0 := g.AddValuePair("vnameReal", "v1", "v2", 0.6)
 	g.AddEdge(vn0, ve, RealValued, "vname")
@@ -112,7 +112,7 @@ func TestRunInterrupt(t *testing.T) {
 	}
 	status := func(gr *Graph) map[string]Status {
 		out := map[string]Status{}
-		gr.Nodes(func(n *Node) { out[n.Key] = n.Status })
+		gr.Nodes(func(n *Node) { out[n.Key()] = n.Status() })
 		return out
 	}
 	got, wantStatus := status(g), status(full)

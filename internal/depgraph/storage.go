@@ -1,0 +1,286 @@
+package depgraph
+
+// This file holds the columnar storage primitives behind Graph: the string
+// interner, the node handle slab, the span-based adjacency arena, the edge
+// columns, and the compaction pass that reclaims storage freed by
+// enrichment folds and node removals.
+//
+// Node state is one slice per field, indexed by a dense int32 id assigned
+// at insertion and never reused or renumbered. Edges are four parallel
+// columns (from, to, dep, interned evidence) indexed by edge id; adjacency
+// is a per-node span of edge ids into one shared arena. Spans are created
+// empty and grow by relocation to the arena tail with doubling capacity —
+// construction appends are contiguous in practice (a node's edges arrive
+// together), and the tail doubles as the overflow region for
+// enrichment-time and incremental-session additions. Compaction rewrites
+// the arena contiguously, drops dead edge columns (renumbering edge ids,
+// which never escape the package), and prunes dead entries from the
+// per-reference index; node ids are stable forever, so handles and queue
+// entries survive compaction untouched.
+
+// interner maps strings to dense int32 ids and back. Id 0 is reserved for
+// the empty string so the zero value of an interned column is meaningful.
+type interner struct {
+	ids  map[string]int32
+	strs []string
+}
+
+func newInterner() interner {
+	return interner{ids: map[string]int32{"": 0}, strs: []string{""}}
+}
+
+// intern returns the id for s, assigning one if needed.
+func (t *interner) intern(s string) int32 {
+	if id, ok := t.ids[s]; ok {
+		return id
+	}
+	id := int32(len(t.strs))
+	t.strs = append(t.strs, s)
+	t.ids[s] = id
+	return id
+}
+
+// lookup returns the id for s without assigning one.
+func (t *interner) lookup(s string) (int32, bool) {
+	id, ok := t.ids[s]
+	return id, ok
+}
+
+// str returns the canonical string for id.
+func (t *interner) str(id int32) string { return t.strs[id] }
+
+// span is one node's adjacency region in the arena: n edge ids stored at
+// [off, off+n), with room to grow in place up to cap.
+type span struct {
+	off, n, cap int32
+}
+
+// edgeIdent is the dedup identity of an edge: endpoints, type, and
+// interned evidence. It mirrors the old per-node edge-set keys (only the
+// outgoing-side entry was ever consulted) collapsed into one global map,
+// whose entries are deleted eagerly when edges die.
+type edgeIdent struct {
+	from, to, ev int32
+	dep          DepType
+}
+
+// valueIdent is the dedup identity of a ValuePair node: interned evidence
+// type plus the two interned element keys in canonical (string) order.
+type valueIdent struct {
+	ev, x, y int32
+}
+
+const (
+	nodeSlabSize = 512
+	aggSlabSize  = 256
+	spanMinCap   = 4
+)
+
+// newHandle carves one stable *Node from the handle slab.
+func (g *Graph) newHandle(id int32) *Node {
+	if len(g.nodeSlab) == 0 {
+		g.nodeSlab = make([]Node, nodeSlabSize)
+	}
+	h := &g.nodeSlab[0]
+	g.nodeSlab = g.nodeSlab[1:]
+	h.g, h.id = g, id
+	return h
+}
+
+// newAggregate carves one aggregate from the slab, with its kinds slice
+// backed by the inline array (no further allocation for typical nodes).
+func (g *Graph) newAggregate() *aggregate {
+	if len(g.aggSlab) == 0 {
+		g.aggSlab = make([]aggregate, aggSlabSize)
+	}
+	a := &g.aggSlab[0]
+	g.aggSlab = g.aggSlab[1:]
+	a.kinds = a.inline[:0]
+	return a
+}
+
+// newNode appends one row to every node column and returns its id.
+func (g *Graph) newNode(kind Kind) int32 {
+	id := int32(len(g.kind))
+	g.kind = append(g.kind, kind)
+	g.status = append(g.status, Inactive)
+	g.sim = append(g.sim, 0)
+	g.refA = append(g.refA, -1)
+	g.refB = append(g.refB, -1)
+	g.classID = append(g.classID, 0)
+	g.valX = append(g.valX, -1)
+	g.valY = append(g.valY, -1)
+	g.key = append(g.key, "")
+	g.alive = append(g.alive, true)
+	g.queued = append(g.queued, false)
+	g.qgen = append(g.qgen, 0)
+	g.agg = append(g.agg, nil)
+	g.inSpan = append(g.inSpan, span{})
+	g.outSpan = append(g.outSpan, span{})
+	g.handles = append(g.handles, g.newHandle(id))
+	return id
+}
+
+// buildKey materializes the canonical string key for a node.
+func (g *Graph) buildKey(id int32) string {
+	if g.kind[id] == RefPair {
+		return RefPairKey(g.refA[id], g.refB[id])
+	}
+	return g.strs.str(g.classID[id]) + "|" + g.strs.str(g.valX[id]) + "|" + g.strs.str(g.valY[id])
+}
+
+// spanIDs returns the live edge ids of a span, aliasing the arena. The
+// alias stays readable across arena growth and other spans' relocations
+// (regions are disjoint and relocation never rewrites old regions), but
+// not across an append to this same span or a compaction.
+func (g *Graph) spanIDs(s span) []int32 {
+	return g.adj[s.off : s.off+s.n : s.off+s.n]
+}
+
+// edgeAt materializes the Edge value for an edge id.
+func (g *Graph) edgeAt(e int32) Edge {
+	return Edge{
+		From:     g.handles[g.eFrom[e]],
+		To:       g.handles[g.eTo[e]],
+		Dep:      g.eDep[e],
+		Evidence: g.strs.str(g.eEv[e]),
+	}
+}
+
+// edgeSlice materializes a span into a fresh []Edge.
+func (g *Graph) edgeSlice(s span) []Edge {
+	if s.n == 0 {
+		return nil
+	}
+	out := make([]Edge, s.n)
+	for i, e := range g.spanIDs(s) {
+		out[i] = g.edgeAt(e)
+	}
+	return out
+}
+
+// adjReserve extends the arena by n slots and returns their offset.
+func (g *Graph) adjReserve(n int32) int32 {
+	off := int32(len(g.adj))
+	if need := int(off) + int(n); need <= cap(g.adj) {
+		g.adj = g.adj[:need]
+	} else {
+		g.adj = append(g.adj, make([]int32, n)...)
+	}
+	return off
+}
+
+// spanAppend adds an edge id to a span, in place while capacity lasts and
+// by relocation to the arena tail (capacity doubled) when it runs out.
+func (g *Graph) spanAppend(s *span, e int32) {
+	if s.n < s.cap {
+		g.adj[s.off+s.n] = e
+		s.n++
+		return
+	}
+	newCap := s.cap * 2
+	if newCap < spanMinCap {
+		newCap = spanMinCap
+	}
+	off := g.adjReserve(newCap)
+	copy(g.adj[off:off+s.n], g.adj[s.off:s.off+s.n])
+	g.adj[off+s.n] = e
+	g.adjGarbage += int(s.cap)
+	s.off, s.cap = off, newCap
+	s.n++
+}
+
+// spanDrop removes edge id e from a span by swap-with-last — the same
+// permutation the pointer layout's dropEdge produced, which the
+// equivalence fingerprints depend on.
+func (g *Graph) spanDrop(s *span, e int32) {
+	ids := g.adj[s.off : s.off+s.n]
+	for i, x := range ids {
+		if x == e {
+			ids[i] = ids[len(ids)-1]
+			s.n--
+			return
+		}
+	}
+}
+
+// maybeCompact runs the compaction pass once enough edge storage is dead.
+// The trigger reads only graph-op-sequence state (never scores or
+// timings), so equivalence twins compact at identical points; and since
+// compaction preserves node ids and per-node adjacency order, even a
+// divergent trigger would be invisible to the public surface.
+func (g *Graph) maybeCompact() {
+	if (g.deadEdges >= 1024 && g.deadEdges >= g.edgeCount) ||
+		(g.adjGarbage >= 4096 && g.adjGarbage*2 >= len(g.adj)) {
+		g.compact()
+	}
+}
+
+// compact rewrites the edge columns without dead edges, renumbers edge ids
+// (they never escape the package), rewrites every live span contiguously
+// into a fresh arena sized exactly to the live degree sums, and prunes
+// dead node ids from the per-reference index. Per-node adjacency order is
+// preserved; node ids and handles are untouched.
+func (g *Graph) compact() {
+	remap := make([]int32, len(g.eFrom))
+	nFrom := make([]int32, 0, g.edgeCount)
+	nTo := make([]int32, 0, g.edgeCount)
+	nDep := make([]DepType, 0, g.edgeCount)
+	nEv := make([]int32, 0, g.edgeCount)
+	// Assign new edge ids in (node id, out-adjacency) order: a
+	// deterministic function of graph state.
+	for id := range g.outSpan {
+		if !g.alive[id] {
+			continue
+		}
+		for _, e := range g.spanIDs(g.outSpan[id]) {
+			remap[e] = int32(len(nFrom))
+			nFrom = append(nFrom, g.eFrom[e])
+			nTo = append(nTo, g.eTo[e])
+			nDep = append(nDep, g.eDep[e])
+			nEv = append(nEv, g.eEv[e])
+		}
+	}
+	total := 0
+	for id := range g.outSpan {
+		if g.alive[id] {
+			total += int(g.outSpan[id].n) + int(g.inSpan[id].n)
+		}
+	}
+	nAdj := make([]int32, 0, total)
+	rewrite := func(s *span) {
+		off := int32(len(nAdj))
+		for _, e := range g.spanIDs(*s) {
+			nAdj = append(nAdj, remap[e])
+		}
+		*s = span{off: off, n: s.n, cap: s.n}
+	}
+	for id := range g.outSpan {
+		if !g.alive[id] {
+			g.outSpan[id] = span{}
+			g.inSpan[id] = span{}
+			continue
+		}
+		rewrite(&g.outSpan[id])
+		rewrite(&g.inSpan[id])
+	}
+	g.eFrom, g.eTo, g.eDep, g.eEv = nFrom, nTo, nDep, nEv
+	g.adj = nAdj
+	g.deadEdges = 0
+	g.adjGarbage = 0
+	// Reclaim the per-reference index entries of removed nodes (the old
+	// layout retained them forever).
+	for r, ids := range g.refNodes {
+		live := ids[:0]
+		for _, id := range ids {
+			if g.alive[id] {
+				live = append(live, id)
+			}
+		}
+		if len(live) == 0 {
+			delete(g.refNodes, r)
+		} else {
+			g.refNodes[r] = live
+		}
+	}
+}

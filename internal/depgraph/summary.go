@@ -14,12 +14,12 @@ type Summary struct {
 func (g *Graph) Summarize() Summary {
 	var s Summary
 	g.Nodes(func(n *Node) {
-		if n.Kind == RefPair {
+		if n.Kind() == RefPair {
 			s.RefPairs++
 		} else {
 			s.ValuePairs++
 		}
-		switch n.Status {
+		switch n.Status() {
 		case Merged:
 			s.Merged++
 		case NonMerge:
@@ -39,10 +39,10 @@ func (g *Graph) Summarize() Summary {
 				s.WeakEdges++
 			}
 		}
-		if d := len(n.In()); d > s.MaxInDegree {
+		if d := n.InDegree(); d > s.MaxInDegree {
 			s.MaxInDegree = d
 		}
-		if d := len(n.Out()); d > s.MaxOutDegree {
+		if d := n.OutDegree(); d > s.MaxOutDegree {
 			s.MaxOutDegree = d
 		}
 	})
@@ -60,14 +60,14 @@ func (g *Graph) CheckFixedPoint(scorer Scorer, eps float64) []*Node {
 	}
 	var bad []*Node
 	g.Nodes(func(n *Node) {
-		if n.Status == NonMerge {
+		if n.Status() == NonMerge {
 			return
 		}
 		s := scorer.Score(n)
 		if s > 1 {
 			s = 1
 		}
-		if s > n.Sim+eps {
+		if s > n.Sim()+eps {
 			bad = append(bad, n)
 		}
 	})

@@ -11,7 +11,7 @@ func TestSummarize(t *testing.T) {
 	g.AddEdge(v, b, RealValued, "name")
 	g.AddEdge(a, b, WeakBoolean, "contact")
 	g.AddEdge(b, a, StrongBoolean, "article")
-	a.Status = Merged
+	a.SetStatus(Merged)
 	g.MarkNonMerge(b)
 
 	s := g.Summarize()
@@ -33,17 +33,17 @@ func TestCheckFixedPoint(t *testing.T) {
 	g := New()
 	a := g.AddRefPair(0, 1, "Person")
 	v := g.AddValuePair("name", "x", "x", 1.0)
-	v.Status = Merged
+	v.SetStatus(Merged)
 	g.AddEdge(v, a, RealValued, "name")
 
 	scorer := ScorerFunc(func(n *Node) float64 {
-		if n.Kind == ValuePair {
-			return n.Sim
+		if n.Kind() == ValuePair {
+			return n.Sim()
 		}
 		best := 0.0
-		for _, e := range n.in {
-			if e.From.Sim > best {
-				best = e.From.Sim
+		for _, e := range n.In() {
+			if e.From.Sim() > best {
+				best = e.From.Sim()
 			}
 		}
 		return best

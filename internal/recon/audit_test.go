@@ -376,8 +376,8 @@ func TestAuditCatchesCorruption(t *testing.T) {
 	sess, store, _ := sessionFixture(t)
 	corrupted := false
 	sess.g.Nodes(func(n *depgraph.Node) {
-		if !corrupted && n.Kind == depgraph.RefPair && n.Status == depgraph.Merged {
-			n.Sim = 1.5
+		if !corrupted && n.Kind() == depgraph.RefPair && n.Status() == depgraph.Merged {
+			n.SetSim(1.5)
 			corrupted = true
 		}
 	})

@@ -91,6 +91,22 @@ func elemPrefix(attr string) string {
 	}
 }
 
+// elemKey returns the namespaced, normalized element key of one raw
+// attribute value, memoized per (attribute, raw value).
+func (b *builder) elemKey(attr, raw string) string {
+	m := b.elems[attr]
+	if m == nil {
+		m = make(map[string]string)
+		b.elems[attr] = m
+	}
+	if e, ok := m[raw]; ok {
+		return e
+	}
+	e := elemPrefix(attr) + tokenizer.Normalize(raw)
+	m[raw] = e
+	return e
+}
+
 // builder constructs the dependency graph for one dataset. It supports
 // incremental operation: incorporate may be called repeatedly with batches
 // of new references (the paper's §7 future-work direction), each call
@@ -116,13 +132,21 @@ type builder struct {
 	// that pruned them. Within one batch the tombstone is final; an
 	// association-induced request from a later batch may rebuild the pair
 	// (see ensureRefPair).
-	removed map[string]int
+	removed map[uint64]int
 	// batch is the 1-based ordinal of the incorporate call in progress.
 	batch int
 
 	// caches of parsed attribute values, keyed by reference id.
 	parsedNames  map[reference.ID][]names.Name
 	parsedEmails map[reference.ID][]emailaddr.Address
+	// cmpTables caches comparisonsFor per class (fixed for the builder's
+	// lifetime); elems caches the prefixed, normalized element key of each
+	// raw attribute value (attr -> raw -> element key) — values repeat
+	// across candidate pairs, so normalization runs once per distinct
+	// value instead of once per pair. simScratch backs scoreVals.
+	cmpTables  map[string][]attrCompare
+	elems      map[string]map[string]string
+	simScratch []float64
 
 	candidatePairs int
 	skippedBuckets int
@@ -141,9 +165,11 @@ func newBuilder(store *reference.Store, sch *schema.Schema, cfg Config) *builder
 		g:            depgraph.New(),
 		indexes:      make(map[string]*blocking.Index),
 		seeds:        make(map[int][]*depgraph.Node),
-		removed:      make(map[string]int),
+		removed:      make(map[uint64]int),
 		parsedNames:  make(map[reference.ID][]names.Name),
 		parsedEmails: make(map[reference.ID][]emailaddr.Address),
+		cmpTables:    make(map[string][]attrCompare),
+		elems:        make(map[string]map[string]string),
 	}
 	if cfg.Obs != nil {
 		b.lib.SetCounters(cfg.Obs.Counters)
@@ -226,6 +252,17 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 	// parallel scoring over the worker pool, and serial wiring of nodes
 	// and edges (the graph is single-writer). See pairscore.go.
 	var items []*pairItem
+	// Work items are carved from slab chunks: one allocation per 512
+	// candidate pairs instead of one each. Pointers into a chunk stay
+	// valid because a full chunk is retired, never regrown.
+	var itemSlab []pairItem
+	newItem := func(r1, r2 *reference.Reference, vals []valCompare) *pairItem {
+		if len(itemSlab) == cap(itemSlab) {
+			itemSlab = make([]pairItem, 0, 512)
+		}
+		itemSlab = append(itemSlab, pairItem{r1: r1, r2: r2, vals: vals})
+		return &itemSlab[len(itemSlab)-1]
+	}
 	for _, class := range b.sch.Classes() {
 		ids := newByClass[class.Name]
 		idx := b.indexes[class.Name]
@@ -238,11 +275,10 @@ func (b *builder) incorporate(newRefs []*reference.Reference) []*depgraph.Node {
 			if r1.ID == r2.ID || r1.Class != r2.Class {
 				return
 			}
-			key := depgraph.RefPairKey(r1.ID, r2.ID)
-			if b.g.Lookup(key) != nil || b.removed[key] != 0 {
+			if b.g.LookupRefPair(r1.ID, r2.ID) != nil || b.removed[pairIndex(r1.ID, r2.ID)] != 0 {
 				return
 			}
-			items = append(items, &pairItem{r1: r1, r2: r2, vals: b.enumerateVals(r1, r2)})
+			items = append(items, newItem(r1, r2, b.enumerateVals(r1, r2)))
 		})
 		b.skippedBuckets += idx.SkippedBuckets()
 	}
@@ -286,7 +322,7 @@ func (b *builder) seedOrder() []*depgraph.Node {
 // matters for hypothetical duplicate entries.
 func seedSort(sch *schema.Schema, nodes []*depgraph.Node) []*depgraph.Node {
 	rankOf := func(n *depgraph.Node) int {
-		if c, ok := sch.Class(n.Class); ok {
+		if c, ok := sch.Class(n.Class()); ok {
 			return c.Rank
 		}
 		return 0
@@ -296,10 +332,10 @@ func seedSort(sch *schema.Schema, nodes []*depgraph.Node) []*depgraph.Node {
 		if ri != rj {
 			return ri < rj
 		}
-		if nodes[i].RefA != nodes[j].RefA {
-			return nodes[i].RefA < nodes[j].RefA
+		if nodes[i].RefA() != nodes[j].RefA() {
+			return nodes[i].RefA() < nodes[j].RefA()
 		}
-		return nodes[i].RefB < nodes[j].RefB
+		return nodes[i].RefB() < nodes[j].RefB()
 	})
 	return nodes
 }
@@ -314,8 +350,8 @@ func (b *builder) ensureRefPair(r1, r2 *reference.Reference, induced bool) *depg
 	if r1.ID == r2.ID || r1.Class != r2.Class {
 		return nil
 	}
-	key := depgraph.RefPairKey(r1.ID, r2.ID)
-	if n := b.g.Lookup(key); n != nil {
+	key := pairIndex(r1.ID, r2.ID)
+	if n := b.g.LookupRefPair(r1.ID, r2.ID); n != nil {
 		return n
 	}
 	if prunedIn, ok := b.removed[key]; ok {
@@ -342,8 +378,7 @@ func (b *builder) ensureRefPair(r1, r2 *reference.Reference, induced bool) *depg
 // present, not removed); duplicates are still tolerated and return the
 // existing node.
 func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []valCompare, sims []float64) *depgraph.Node {
-	key := depgraph.RefPairKey(r1.ID, r2.ID)
-	if n := b.g.Lookup(key); n != nil {
+	if n := b.g.LookupRefPair(r1.ID, r2.ID); n != nil {
 		return n
 	}
 	m := b.g.AddRefPair(r1.ID, r2.ID, r1.Class)
@@ -359,10 +394,10 @@ func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []v
 		if sim < thr {
 			continue
 		}
-		elemX := elemPrefix(v.cmp.attrA) + tokenizer.Normalize(v.v1)
-		elemY := elemPrefix(v.cmp.attrB) + tokenizer.Normalize(v.v2)
+		elemX := b.elemKey(v.cmp.attrA, v.v1)
+		elemY := b.elemKey(v.cmp.attrB, v.v2)
 		n := b.g.AddValuePair(v.cmp.evidence, elemX, elemY, sim)
-		if n.Sim >= b.cfg.AttrMergeThreshold {
+		if n.Sim() >= b.cfg.AttrMergeThreshold {
 			// MarkMerged (not a direct Status write) so that incremental
 			// batches keep the maintained evidence digests exact.
 			b.g.MarkMerged(n)
@@ -393,7 +428,7 @@ func (b *builder) wireScored(r1, r2 *reference.Reference, induced bool, vals []v
 		b.g.MarkNonMerge(m)
 	} else if !hasEvidence && !relax {
 		b.g.RemoveIfIsolated(m)
-		b.removed[key] = b.batch
+		b.removed[pairIndex(r1.ID, r2.ID)] = b.batch
 		return nil
 	}
 	rank := 0
@@ -435,11 +470,11 @@ func refIDString(id reference.ID) string {
 // and venues merge (strong-boolean, Figure 2).
 func (b *builder) buildArticleAssociations(fresh []*depgraph.Node) {
 	for _, m := range fresh {
-		if m.Class != schema.ClassArticle || !m.Alive() {
+		if m.Class() != schema.ClassArticle || !m.Alive() {
 			continue
 		}
-		r1 := b.store.Get(m.RefA)
-		r2 := b.store.Get(m.RefB)
+		r1 := b.store.Get(m.RefA())
+		r2 := b.store.Get(m.RefB())
 		b.wireAssociation(m, r1.Assoc(schema.AttrAuthoredBy), r2.Assoc(schema.AttrAuthoredBy), simfn.EvAuthors, b.cfg.Evidence >= EvidenceArticle)
 		b.wireAssociation(m, r1.Assoc(schema.AttrPublishedIn), r2.Assoc(schema.AttrPublishedIn), simfn.EvVenue, true)
 	}
@@ -500,15 +535,15 @@ func (b *builder) buildContactAssociations(fresh []*depgraph.Node) {
 	// incremental batches it is what connects new contact decisions to
 	// pre-existing pairs.
 	for _, n := range fresh {
-		if n.Class != schema.ClassPerson || !n.Alive() {
+		if n.Class() != schema.ClassPerson || !n.Alive() {
 			continue
 		}
-		if popularity[n.RefA] > popCap || popularity[n.RefB] > popCap {
+		if popularity[n.RefA()] > popCap || popularity[n.RefB()] > popCap {
 			continue
 		}
-		for _, r1 := range listers[n.RefA] {
-			for _, r2 := range listers[n.RefB] {
-				if r1 == r2 || r1 == n.RefA || r1 == n.RefB || r2 == n.RefA || r2 == n.RefB {
+		for _, r1 := range listers[n.RefA()] {
+			for _, r2 := range listers[n.RefB()] {
+				if r1 == r2 || r1 == n.RefA() || r1 == n.RefB() || r2 == n.RefA() || r2 == n.RefB() {
 					continue
 				}
 				if m := b.g.LookupRefPair(r1, r2); m != nil && m != n {
@@ -519,14 +554,14 @@ func (b *builder) buildContactAssociations(fresh []*depgraph.Node) {
 	}
 
 	for _, m := range fresh {
-		if m.Class != schema.ClassPerson || !m.Alive() {
+		if m.Class() != schema.ClassPerson || !m.Alive() {
 			continue
 		}
 		// The paper pools co-authors and email contacts into one contact
 		// list (Figure 2(b) relates p5's *co-author* to p8's *email
 		// contact*), so the cross product runs over the union.
-		c1s := contactsOf(b.store.Get(m.RefA))
-		c2s := contactsOf(b.store.Get(m.RefB))
+		c1s := contactsOf(b.store.Get(m.RefA()))
+		c2s := contactsOf(b.store.Get(m.RefB()))
 		for _, c1 := range c1s {
 			if popularity[c1] > popCap {
 				continue
@@ -539,7 +574,7 @@ func (b *builder) buildContactAssociations(fresh []*depgraph.Node) {
 					b.g.AddEdge(b.sharedValueNode(c1), m, depgraph.WeakBoolean, simfn.EvContact)
 					continue
 				}
-				if c1 == m.RefA || c1 == m.RefB || c2 == m.RefA || c2 == m.RefB {
+				if c1 == m.RefA() || c1 == m.RefB() || c2 == m.RefA() || c2 == m.RefB() {
 					continue
 				}
 				if n := b.g.LookupRefPair(c1, c2); n != nil && n != m {
@@ -584,15 +619,15 @@ func (b *builder) buildGenericAssociations(fresh []*depgraph.Node) {
 		schema.ClassPerson: true, schema.ClassArticle: true, schema.ClassVenue: true,
 	}
 	for _, m := range fresh {
-		if builtin[m.Class] || !m.Alive() {
+		if builtin[m.Class()] || !m.Alive() {
 			continue
 		}
-		class, ok := b.sch.Class(m.Class)
+		class, ok := b.sch.Class(m.Class())
 		if !ok || len(class.AssocAttrs()) == 0 {
 			continue
 		}
-		r1 := b.store.Get(m.RefA)
-		r2 := b.store.Get(m.RefB)
+		r1 := b.store.Get(m.RefA())
+		r2 := b.store.Get(m.RefB())
 		for _, attr := range class.AssocAttrs() {
 			ev := "ga:" + attr.Name
 			for _, a1 := range r1.Assoc(attr.Name) {

@@ -124,8 +124,8 @@ func TestPersonConstraintSameServer(t *testing.T) {
 	if n == nil {
 		t.Fatal("pair should exist (same names)")
 	}
-	if n.Status != depgraph.NonMerge {
-		t.Errorf("constraint 3 (one account per server) should mark non-merge, got %v", n.Status)
+	if n.Status() != depgraph.NonMerge {
+		t.Errorf("constraint 3 (one account per server) should mark non-merge, got %v", n.Status())
 	}
 }
 
@@ -139,7 +139,7 @@ func TestPersonConstraintSharedEmailOverrides(t *testing.T) {
 	if n == nil {
 		t.Fatal("pair should exist")
 	}
-	if n.Status == depgraph.NonMerge {
+	if n.Status() == depgraph.NonMerge {
 		t.Error("shared email key must override the name constraint")
 	}
 }
@@ -153,8 +153,8 @@ func TestPersonConstraintIncompatibleNames(t *testing.T) {
 	if n == nil {
 		t.Fatal("pair should exist (same surname)")
 	}
-	if n.Status != depgraph.NonMerge {
-		t.Errorf("constraint 2 should mark non-merge, got %v", n.Status)
+	if n.Status() != depgraph.NonMerge {
+		t.Errorf("constraint 2 should mark non-merge, got %v", n.Status())
 	}
 }
 
@@ -175,11 +175,11 @@ func TestVenueConstraintIncompatibleYears(t *testing.T) {
 
 	b := newBuilder(s, schema.PIM(), DefaultConfig())
 	far := b.ensureRefPair(v1, v2, false)
-	if far == nil || far.Status != depgraph.NonMerge {
+	if far == nil || far.Status() != depgraph.NonMerge {
 		t.Errorf("editions 8 years apart must be non-merge: %v", far)
 	}
 	near := b.ensureRefPair(v1, v3, false)
-	if near == nil || near.Status == depgraph.NonMerge {
+	if near == nil || near.Status() == depgraph.NonMerge {
 		t.Errorf("adjacent years tolerate citation noise: %v", near)
 	}
 }
@@ -217,8 +217,8 @@ func TestCoAuthorConstraintAddsNodes(t *testing.T) {
 	if n == nil {
 		t.Fatal("co-author pair node should exist (constraints add nodes)")
 	}
-	if n.Status != depgraph.NonMerge {
-		t.Errorf("authors of one paper are distinct: %v", n.Status)
+	if n.Status() != depgraph.NonMerge {
+		t.Errorf("authors of one paper are distinct: %v", n.Status())
 	}
 }
 
@@ -241,10 +241,10 @@ func TestSeedOrderClassRank(t *testing.T) {
 	_, seed := b.build()
 	sawArticle := false
 	for _, n := range seed {
-		if n.Class == schema.ClassArticle {
+		if n.Class() == schema.ClassArticle {
 			sawArticle = true
 		}
-		if sawArticle && n.Class != schema.ClassArticle {
+		if sawArticle && n.Class() != schema.ClassArticle {
 			t.Fatal("article pair seeded before a lower-rank pair")
 		}
 	}

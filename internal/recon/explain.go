@@ -105,9 +105,9 @@ func (s *Session) Explain(a, b reference.ID) (Explanation, error) {
 		cur := queue[0]
 		queue = queue[1:]
 		nodes := s.g.RefPairNodesOf(cur)
-		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key < nodes[j].Key })
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i].Key() < nodes[j].Key() })
 		for _, n := range nodes {
-			if n.Status != depgraph.Merged {
+			if n.Status() != depgraph.Merged {
 				continue
 			}
 			next := n.Other(cur)
@@ -139,24 +139,24 @@ func (s *Session) Explain(a, b reference.ID) (Explanation, error) {
 }
 
 func describeNode(n *depgraph.Node) PairDecision {
-	d := PairDecision{A: n.RefA, B: n.RefB, Sim: n.Sim, Status: n.Status.String()}
+	d := PairDecision{A: n.RefA(), B: n.RefB(), Sim: n.Sim(), Status: n.Status().String()}
 	for _, e := range n.In() {
 		src := e.From
 		item := EvidenceItem{
 			Type: e.Evidence,
 			Dep:  e.Dep.String(),
-			Sim:  src.Sim,
+			Sim:  src.Sim(),
 		}
-		if src.Kind == depgraph.ValuePair {
-			item.Source = src.Key
+		if src.Kind() == depgraph.ValuePair {
+			item.Source = src.Key()
 		} else {
-			item.Source = fmt.Sprintf("pair(%d,%d) %s", src.RefA, src.RefB, src.Status)
+			item.Source = fmt.Sprintf("pair(%d,%d) %s", src.RefA(), src.RefB(), src.Status())
 		}
 		switch e.Dep {
 		case depgraph.RealValued:
-			item.Counted = src.Status != depgraph.NonMerge
+			item.Counted = src.Status() != depgraph.NonMerge
 		default:
-			item.Counted = src.Status == depgraph.Merged
+			item.Counted = src.Status() == depgraph.Merged
 		}
 		d.Evidence = append(d.Evidence, item)
 	}

@@ -194,7 +194,7 @@ func (s *Session) CommitContext(ctx context.Context) (*Result, error) {
 	s.stats.Engine.AggRebuilds += engine.AggRebuilds
 	s.stats.NonMergeNodes = 0
 	s.g.Nodes(func(n *depgraph.Node) {
-		if n.Status == depgraph.NonMerge {
+		if n.Status() == depgraph.NonMerge {
 			s.stats.NonMergeNodes++
 		}
 	})

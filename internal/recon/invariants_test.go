@@ -183,7 +183,7 @@ func TestFullModeReachesFixedPoint(t *testing.T) {
 	graph.Run(seed, depgraph.Options{
 		Scorer: scorer,
 		MergeThreshold: func(n *depgraph.Node) float64 {
-			if n.Kind == depgraph.ValuePair {
+			if n.Kind() == depgraph.ValuePair {
 				return cfg.AttrMergeThreshold
 			}
 			return cfg.MergeThreshold
@@ -216,7 +216,7 @@ func TestEvidenceLevelGating(t *testing.T) {
 		b := newBuilder(g.Store, schema.PIM(), cfg)
 		graph, _ := b.build()
 		graph.Nodes(func(n *depgraph.Node) {
-			if n.Kind == depgraph.ValuePair && n.Class == "nameEmail" {
+			if n.Kind() == depgraph.ValuePair && n.Class() == "nameEmail" {
 				cross++
 			}
 			for _, e := range n.Out() {

@@ -46,8 +46,16 @@ type pairItem struct {
 
 // comparisonsFor resolves the comparable attribute pairs for a class,
 // falling back to the generic same-attribute table for custom schemas.
+// The table is a pure function of (class, evidence level), both fixed for
+// the builder's lifetime, so it is computed once per class and the cached
+// slice is shared read-only by every candidate pair.
 func (b *builder) comparisonsFor(class string) []attrCompare {
-	return comparisons(b.sch, class, b.cfg.Evidence)
+	if cmp, ok := b.cmpTables[class]; ok {
+		return cmp
+	}
+	cmp := comparisons(b.sch, class, b.cfg.Evidence)
+	b.cmpTables[class] = cmp
+	return cmp
 }
 
 // comparisons is the schema-aware comparison table shared by graph
@@ -63,10 +71,19 @@ func comparisons(sch *schema.Schema, class string, level EvidenceLevel) []attrCo
 }
 
 // enumerateVals lists the value comparisons of a candidate pair in the
-// deterministic order the wiring phase evaluates them.
+// deterministic order the wiring phase evaluates them. The combination
+// count is known up front, so the list is allocated exactly once.
 func (b *builder) enumerateVals(r1, r2 *reference.Reference) []valCompare {
-	var vals []valCompare
-	for _, cmp := range b.comparisonsFor(r1.Class) {
+	cmps := b.comparisonsFor(r1.Class)
+	n := 0
+	for _, cmp := range cmps {
+		n += len(r1.Atomic(cmp.attrA)) * len(r2.Atomic(cmp.attrB))
+	}
+	if n == 0 {
+		return nil
+	}
+	vals := make([]valCompare, 0, n)
+	for _, cmp := range cmps {
 		for _, v1 := range r1.Atomic(cmp.attrA) {
 			for _, v2 := range r2.Atomic(cmp.attrB) {
 				vals = append(vals, valCompare{cmp, v1, v2})
@@ -87,12 +104,17 @@ func (b *builder) compareVal(v valCompare) float64 {
 }
 
 // scoreVals scores a value-comparison list serially (the induced-pair and
-// incremental paths).
+// incremental paths). The result lives in a builder-owned scratch buffer:
+// it is consumed within the caller's wiring pass and never retained, so
+// one buffer serves every induced pair.
 func (b *builder) scoreVals(vals []valCompare) []float64 {
 	if len(vals) == 0 {
 		return nil
 	}
-	sims := make([]float64, len(vals))
+	if cap(b.simScratch) < len(vals) {
+		b.simScratch = make([]float64, len(vals)*2)
+	}
+	sims := b.simScratch[:len(vals)]
 	for i, v := range vals {
 		sims[i] = b.compareVal(v)
 	}
@@ -109,9 +131,22 @@ func (b *builder) scoreItems(items []*pairItem) {
 	if b.cfg.Obs.Profiling() {
 		phase = "build"
 	}
+	// Carve every item's sims out of one arena up front (serially), so the
+	// parallel phase allocates nothing: each worker only writes through its
+	// item's pre-sliced, capacity-clamped window.
+	total := 0
+	for _, it := range items {
+		total += len(it.vals)
+	}
+	arena := make([]float64, total)
+	off := 0
+	for _, it := range items {
+		n := len(it.vals)
+		it.sims = arena[off : off+n : off+n]
+		off += n
+	}
 	parallel.ForLabeled(b.cfg.Workers, len(items), phase, func(i int) {
 		it := items[i]
-		it.sims = make([]float64, len(it.vals))
 		for j, v := range it.vals {
 			it.sims[j] = b.compareVal(v)
 		}

@@ -110,7 +110,7 @@ func (rc *Reconciler) engineOptions() depgraph.Options {
 	return depgraph.Options{
 		Scorer: &simfn.Scorer{Params: rc.cfg.Params, Rescan: rc.cfg.RescanScoring},
 		MergeThreshold: func(n *depgraph.Node) float64 {
-			if n.Kind == depgraph.ValuePair {
+			if n.Kind() == depgraph.ValuePair {
 				return rc.cfg.AttrMergeThreshold
 			}
 			return rc.cfg.MergeThreshold
@@ -243,7 +243,7 @@ func (p *Prepared) propagateContext(ctx context.Context) (*Result, error) {
 	}
 
 	p.g.Nodes(func(n *depgraph.Node) {
-		if n.Status == depgraph.NonMerge {
+		if n.Status() == depgraph.NonMerge {
 			stats.NonMergeNodes++
 		}
 	})
@@ -325,8 +325,8 @@ func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Resul
 	uf := unionfind.New(store.Len())
 	if !constrained {
 		g.Nodes(func(n *depgraph.Node) {
-			if n.Kind == depgraph.RefPair && n.Status == depgraph.Merged {
-				uf.Union(int(n.RefA), int(n.RefB))
+			if n.Kind() == depgraph.RefPair && n.Status() == depgraph.Merged {
+				uf.Union(int(n.RefA()), int(n.RefB()))
 			}
 		})
 		return partitionResult(store, uf)
@@ -335,23 +335,23 @@ func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Resul
 	var merged []*depgraph.Node
 	enemies := make(map[int][]int) // root -> enemy reference ids
 	g.Nodes(func(n *depgraph.Node) {
-		if n.Kind != depgraph.RefPair {
+		if n.Kind() != depgraph.RefPair {
 			return
 		}
-		switch n.Status {
+		switch n.Status() {
 		case depgraph.Merged:
 			merged = append(merged, n)
 		case depgraph.NonMerge:
-			enemies[int(n.RefA)] = append(enemies[int(n.RefA)], int(n.RefB))
-			enemies[int(n.RefB)] = append(enemies[int(n.RefB)], int(n.RefA))
+			enemies[int(n.RefA())] = append(enemies[int(n.RefA())], int(n.RefB()))
+			enemies[int(n.RefB())] = append(enemies[int(n.RefB())], int(n.RefA()))
 		}
 	})
 	// Most-certain links first; ties broken by key for determinism.
 	sort.Slice(merged, func(i, j int) bool {
-		if merged[i].Sim != merged[j].Sim {
-			return merged[i].Sim > merged[j].Sim
+		if merged[i].Sim() != merged[j].Sim() {
+			return merged[i].Sim() > merged[j].Sim()
 		}
-		return merged[i].Key < merged[j].Key
+		return merged[i].Key() < merged[j].Key()
 	})
 	hostile := func(ra, rb int) bool {
 		es := enemies[ra]
@@ -366,7 +366,7 @@ func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Resul
 		return false
 	}
 	for _, n := range merged {
-		ra, rb := uf.Find(int(n.RefA)), uf.Find(int(n.RefB))
+		ra, rb := uf.Find(int(n.RefA())), uf.Find(int(n.RefB()))
 		if ra == rb || hostile(ra, rb) {
 			continue
 		}

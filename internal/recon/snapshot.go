@@ -354,15 +354,15 @@ func newSnapshot(store *reference.Store, res *Result, g *depgraph.Graph, version
 		snap.pairs = make(map[uint64]*PairDecision)
 		snap.merged = make(map[reference.ID][]mergedLink)
 		g.Nodes(func(node *depgraph.Node) {
-			if node.Kind != depgraph.RefPair {
+			if node.Kind() != depgraph.RefPair {
 				return
 			}
 			d := describeNode(node)
 			dp := &d
-			snap.pairs[pairIndex(node.RefA, node.RefB)] = dp
-			if node.Status == depgraph.Merged {
-				snap.merged[node.RefA] = append(snap.merged[node.RefA], mergedLink{node.RefB, dp})
-				snap.merged[node.RefB] = append(snap.merged[node.RefB], mergedLink{node.RefA, dp})
+			snap.pairs[pairIndex(node.RefA(), node.RefB())] = dp
+			if node.Status() == depgraph.Merged {
+				snap.merged[node.RefA()] = append(snap.merged[node.RefA()], mergedLink{node.RefB(), dp})
+				snap.merged[node.RefB()] = append(snap.merged[node.RefB()], mergedLink{node.RefA(), dp})
 			}
 		})
 		for id := range snap.merged {

@@ -48,7 +48,7 @@ func Gather(n *depgraph.Node) Evidence {
 		src := e.From
 		switch e.Dep {
 		case depgraph.RealValued:
-			if src.Status == depgraph.NonMerge {
+			if src.Status() == depgraph.NonMerge {
 				if ev.NonMergeReal == nil {
 					ev.NonMergeReal = make(map[string]bool)
 				}
@@ -59,15 +59,15 @@ func Gather(n *depgraph.Node) Evidence {
 			// that was compared and found dissimilar must not masquerade
 			// as a missing attribute (the renormalizing similarity
 			// functions would otherwise inflate the remaining evidence).
-			if cur, ok := ev.Real[e.Evidence]; !ok || src.Sim > cur {
-				ev.Real[e.Evidence] = src.Sim
+			if cur, ok := ev.Real[e.Evidence]; !ok || src.Sim() > cur {
+				ev.Real[e.Evidence] = src.Sim()
 			}
 		case depgraph.StrongBoolean:
-			if src.Status == depgraph.Merged {
+			if src.Status() == depgraph.Merged {
 				ev.StrongMerged++
 			}
 		case depgraph.WeakBoolean:
-			if src.Status == depgraph.Merged {
+			if src.Status() == depgraph.Merged {
 				ev.WeakMerged++
 			}
 		}
@@ -139,7 +139,7 @@ func NewScorer() *Scorer { return &Scorer{Params: PaperParams()} }
 
 // Score implements depgraph.Scorer.
 func (s *Scorer) Score(n *depgraph.Node) float64 {
-	if n.Kind == depgraph.ValuePair {
+	if n.Kind() == depgraph.ValuePair {
 		return s.scoreValuePairNode(n)
 	}
 	var view EvidenceView
@@ -148,8 +148,8 @@ func (s *Scorer) Score(n *depgraph.Node) float64 {
 	} else {
 		view = n.Digest()
 	}
-	srv := srvClass(n.Class, view)
-	p, ok := s.Params[n.Class]
+	srv := srvClass(n.Class(), view)
+	p, ok := s.Params[n.Class()]
 	if !ok {
 		// Custom classes default to the Person/Article settings.
 		p = ClassParams{TRV: 0.7, Beta: 0.1, Gamma: 0.05}
@@ -176,14 +176,14 @@ func (s *Scorer) scoreValuePairNode(n *depgraph.Node) float64 {
 	if n.Digest().StrongMergedCount() > 0 {
 		return 1
 	}
-	return n.Sim
+	return n.Sim()
 }
 
 // scoreValuePair is the rescan form of alias learning.
 func scoreValuePair(n *depgraph.Node) float64 {
-	s := n.Sim
+	s := n.Sim()
 	for _, e := range n.In() {
-		if e.Dep == depgraph.StrongBoolean && e.From.Status == depgraph.Merged {
+		if e.Dep == depgraph.StrongBoolean && e.From.Status() == depgraph.Merged {
 			return 1
 		}
 	}

@@ -108,12 +108,12 @@ func buildPersonNode(t *testing.T, nameSim float64, strongMerged, weakMerged int
 	g.AddEdge(v, n, depgraph.RealValued, EvName)
 	for i := 0; i < strongMerged; i++ {
 		m := g.AddRefPair(reference.ID(10+2*i), reference.ID(11+2*i), schema.ClassArticle)
-		m.Status = depgraph.Merged
+		m.SetStatus(depgraph.Merged)
 		g.AddEdge(m, n, depgraph.StrongBoolean, EvArticle)
 	}
 	for i := 0; i < weakMerged; i++ {
 		m := g.AddRefPair(reference.ID(100+2*i), reference.ID(101+2*i), schema.ClassPerson)
-		m.Status = depgraph.Merged
+		m.SetStatus(depgraph.Merged)
 		g.AddEdge(m, n, depgraph.WeakBoolean, EvContact)
 	}
 	return n
@@ -156,7 +156,7 @@ func TestScorerValuePairAlias(t *testing.T) {
 	if got := s.Score(v); !close(got, 0.2) {
 		t.Errorf("unmerged alias = %f", got)
 	}
-	venue.Status = depgraph.Merged
+	venue.SetStatus(depgraph.Merged)
 	if got := s.Score(v); got != 1 {
 		t.Errorf("merged alias = %f", got)
 	}

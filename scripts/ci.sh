@@ -33,6 +33,9 @@ go test -race -run 'RescanEquivalence' .
 echo "== bench smoke (propagate/fold benchmarks compile and run) =="
 go test -run=NONE -bench='Propagate|EnrichFold' -benchtime=1x .
 
+echo "== alloc regression smoke (columnar storage allocs/op ceilings) =="
+go test -run='ZeroAlloc|AllocsAmortized' -count=1 ./internal/depgraph
+
 echo "== fuzz smoke (10s per target, seed corpora replayed by go test above) =="
 go test -fuzz='^FuzzBibTeX$' -fuzztime 10s ./internal/extract
 go test -fuzz='^FuzzVCard$' -fuzztime 10s ./internal/extract
