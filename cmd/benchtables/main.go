@@ -38,15 +38,40 @@ import (
 // benchBaseline is the JSON shape written by -bench: one record per
 // (dataset, worker count), plus enough context to re-run the measurement.
 type benchBaseline struct {
-	Scale      float64         `json:"scale"`
-	NumCPU     int             `json:"numCPU"`
-	GoMaxProcs int             `json:"gomaxprocs"`
-	GoVer      string          `json:"go"`
+	Scale      float64 `json:"scale"`
+	NumCPU     int     `json:"numCPU"`
+	GoMaxProcs int     `json:"gomaxprocs"`
+	GoVer      string  `json:"go"`
+	// Degraded marks a baseline captured on a single-core host: every
+	// workers>1 and shards>1 row times goroutine overhead rather than
+	// parallel speedup, so the speedup and shard-sweep figures are noise.
+	// Consumers (ci.sh prints this prominently) must not treat a degraded
+	// baseline as a performance reference.
+	Degraded   bool            `json:"degraded"`
 	Runs       []benchRun      `json:"runs"`
 	Speedup    []benchGain     `json:"speedup"`
 	Propagate  []benchRescan   `json:"propagateComparison"`
 	Query      []benchQuery    `json:"queryLatency"`
 	Counters   []benchCounters `json:"counters,omitempty"`
+	ShardSweep []benchShard    `json:"shardSweep,omitempty"`
+}
+
+// benchShard is one sharded-reconciliation measurement: a full Reconcile
+// at a fixed shard count, with the boundary-frontier counters from
+// Stats.Shard. Per-shard wall-clock lanes live in the trace spans (run
+// cmd/reconcile -trace -shards N); here the sweep records the end-to-end
+// effect of the shard count.
+type benchShard struct {
+	Dataset         string  `json:"dataset"`
+	Shards          int     `json:"shards"`
+	Components      int     `json:"components"`
+	LargestComp     int     `json:"largestComponent"`
+	BoundaryPairs   int     `json:"boundaryPairs"`
+	FrontierRounds  int     `json:"frontierRounds"`
+	BoundaryUpdates int     `json:"boundaryUpdates"`
+	FoldReplays     int     `json:"foldReplays"`
+	PropagateMS     float64 `json:"propagateMs"`
+	ReconcileMS     float64 `json:"reconcileMs"`
 }
 
 type benchRun struct {
@@ -243,6 +268,7 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 		NumCPU:     runtime.NumCPU(),
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoVer:      runtime.Version(),
+		Degraded:   runtime.NumCPU() == 1,
 	}
 	serial := make(map[string]float64)
 	for _, name := range []string{"A", "Cora"} {
@@ -339,6 +365,32 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 		base.Query = append(base.Query, qb)
 		fmt.Printf("%-5s query:     p50 %8.3fms  p99 %8.3fms  (%d queries, mean %.1f candidate refs)\n",
 			name, qb.P50MS, qb.P99MS, qb.Queries, qb.MeanCandidateRefs)
+		for _, k := range []int{1, 2, 4} {
+			cfg := recon.DefaultConfig()
+			cfg.Shards = k
+			res, err := recon.New(schema.PIM(), cfg).Reconcile(store)
+			if err != nil {
+				log.Fatal(err)
+			}
+			st := res.Stats
+			row := benchShard{
+				Dataset:         name,
+				Shards:          k,
+				Components:      st.Shard.Components,
+				LargestComp:     st.Shard.LargestComponent,
+				BoundaryPairs:   st.Shard.BoundaryLinks,
+				FrontierRounds:  st.Shard.FrontierRounds,
+				BoundaryUpdates: st.Shard.BoundaryUpdates,
+				FoldReplays:     st.Shard.FoldReplays,
+				PropagateMS:     float64(st.PropagateTime.Microseconds()) / 1e3,
+				ReconcileMS: float64((st.BuildTime + st.PropagateTime +
+					st.ClosureTime).Microseconds()) / 1e3,
+			}
+			base.ShardSweep = append(base.ShardSweep, row)
+			fmt.Printf("%-5s shards=%-2d propagate %8.1fms  reconcile %8.1fms  (%d components, %d boundary pairs, %d frontier rounds)\n",
+				name, k, row.PropagateMS, row.ReconcileMS,
+				row.Components, row.BoundaryPairs, row.FrontierRounds)
+		}
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -5,6 +5,14 @@
 //
 //	pimgen -dataset A [-scale 0.25] [-o dataset.json]
 //	pimgen -dataset cora [-scale 1.0]
+//	pimgen -refs 100000 [-dup 3.5] [-assoc 0.2] [-seed 1] [-o big.json]
+//
+// With -refs, pimgen ignores -dataset/-scale and generates a corpus
+// calibrated to approximately that many references (100k–1M is the
+// intended range), with -dup controlling the duplicate rate (average
+// references per real person) and -assoc the cross-class association
+// density (fraction of references from the bibliography side). The same
+// -refs/-dup/-assoc/-seed always produce the same corpus.
 package main
 
 import (
@@ -24,11 +32,24 @@ func main() {
 	log.SetPrefix("pimgen: ")
 	name := flag.String("dataset", "A", "dataset to generate: A, B, C, D, or cora")
 	scale := flag.Float64("scale", 0.25, "scale factor (1.0 = paper scale)")
+	refs := flag.Int("refs", 0, "generate a scaled corpus of approximately N references instead of a named dataset")
+	dup := flag.Float64("dup", 3.5, "with -refs: duplicate rate, average references per real person")
+	assoc := flag.Float64("assoc", 0.2, "with -refs: cross-class association density, fraction of references from the bibliography side")
+	seed := flag.Int64("seed", 1, "with -refs: generation seed")
 	out := flag.String("o", "", "output file (default stdout)")
 	format := flag.String("format", "json", "output format: json or csv")
 	flag.Parse()
 
 	var ds *dataset.Dataset
+	if *refs > 0 {
+		g, err := pim.GenerateScaled(*refs, *dup, *assoc, *seed)
+		if err != nil {
+			log.Fatal(err)
+		}
+		ds = &dataset.Dataset{Name: fmt.Sprintf("scaled-%d", *refs), Store: g.Store}
+		writeDataset(ds, *out, *format)
+		return
+	}
 	switch *name {
 	case "A", "B", "C", "D":
 		var p pim.Profile
@@ -57,9 +78,13 @@ func main() {
 		log.Fatalf("unknown dataset %q (want A, B, C, D, or cora)", *name)
 	}
 
+	writeDataset(ds, *out, *format)
+}
+
+func writeDataset(ds *dataset.Dataset, out, format string) {
 	var w io.Writer = os.Stdout
-	if *out != "" {
-		f, err := os.Create(*out)
+	if out != "" {
+		f, err := os.Create(out)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -71,13 +96,13 @@ func main() {
 		w = f
 	}
 	var writeErr error
-	switch *format {
+	switch format {
 	case "json":
 		writeErr = ds.WriteJSON(w)
 	case "csv":
 		writeErr = ds.WriteCSV(w)
 	default:
-		log.Fatalf("unknown format %q (want json or csv)", *format)
+		log.Fatalf("unknown format %q (want json or csv)", format)
 	}
 	if writeErr != nil {
 		log.Fatal(writeErr)

@@ -5,7 +5,7 @@
 // Usage:
 //
 //	reconcile -in dataset.json [-algo depgraph|indepdec] [-mode full|traditional|propagation|merge]
-//	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-workers N]
+//	          [-evidence attr|nameemail|article|contact] [-constraints=true] [-workers N] [-shards N]
 //	          [-dump partitions.json] [-trace trace.json] [-progress]
 //
 // The input is the JSON format written by cmd/pimgen (or dataset.WriteJSON).
@@ -41,6 +41,8 @@ func main() {
 	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
 	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU, 1 = serial; results are identical at any setting)")
+	shards := flag.Int("shards", 1, "reconcile blocking-connected components in N concurrent shards (0 = one per CPU, 1 = single monolithic run; depgraph only)")
+	bucketCap := flag.Int("bucketcap", 0, "override the blocking bucket cap (0 = keep the default; lower caps tame saturated buckets on large scaled corpora)")
 	rescan := flag.Bool("rescan", false, "score by full neighborhood rescans instead of delta-maintained digests (results are identical; for benchmarking)")
 	auditFlag := flag.Bool("audit", false, "verify structural invariants at every phase boundary (depgraph only; slower, aborts on the first violation)")
 	dump := flag.String("dump", "", "write partitions as JSON to this file")
@@ -115,8 +117,23 @@ func main() {
 			}
 			cfg.Obs = observer
 		}
-		sess := recon.New(schema.PIM(), cfg).NewSession(ds.Store)
-		res, err := sess.Reconcile()
+		cfg.Shards = *shards
+		if *bucketCap > 0 {
+			cfg.BucketCap = *bucketCap
+		}
+		rc := recon.New(schema.PIM(), cfg)
+		var res *recon.Result
+		var sess *recon.Session
+		if *shards == 1 {
+			sess = rc.NewSession(ds.Store)
+			res, err = sess.Reconcile()
+		} else {
+			// Sessions run monolithically; the sharded path is one-shot.
+			if *explain != "" || *dot != "" {
+				log.Fatal("-explain and -dot need the session graph; use -shards 1")
+			}
+			res, err = rc.Reconcile(ds.Store)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -150,6 +167,11 @@ func main() {
 		fmt.Printf("engine: %d steps, %d merges, %d folds, %d reactivations%s (propagated in %s)\n",
 			st.Engine.Steps, st.Engine.Merges, st.Engine.Folds, st.Engine.Reactivate, truncated,
 			st.PropagateTime.Round(time.Millisecond))
+		if sh := st.Shard; sh.Components > 0 {
+			fmt.Printf("shards: %d groups over %d components (largest weight %d), %d boundary links, %d frontier rounds, %d boundary updates, %d fold replays\n",
+				sh.Shards, sh.Components, sh.LargestComponent, sh.BoundaryLinks,
+				sh.FrontierRounds, sh.BoundaryUpdates, sh.FoldReplays)
+		}
 		if st.Engine.DeltaHits > 0 || st.Engine.AggBuilds > 0 {
 			fmt.Printf("delta: %d digest hits (full rescans avoided), %d aggregate builds, %d kind rebuilds\n",
 				st.Engine.DeltaHits, st.Engine.AggBuilds, st.Engine.AggRebuilds)
@@ -184,8 +206,8 @@ func main() {
 			fmt.Printf("dependency graph written to %s\n", *dot)
 		}
 	case "indepdec":
-		if *explain != "" || *dot != "" || *auditFlag || *tracePath != "" || *progress {
-			log.Fatal("-explain, -dot, -audit, -trace, and -progress require -algo depgraph")
+		if *explain != "" || *dot != "" || *auditFlag || *tracePath != "" || *progress || *shards != 1 {
+			log.Fatal("-explain, -dot, -audit, -trace, -progress, and -shards require -algo depgraph")
 		}
 		res, err := indepdec.New(schema.PIM(), indepdec.DefaultConfig()).Reconcile(ds.Store)
 		if err != nil {

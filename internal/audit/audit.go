@@ -24,6 +24,7 @@ import (
 
 	"refrecon/internal/depgraph"
 	"refrecon/internal/reference"
+	"refrecon/internal/shard"
 )
 
 // Violation is one invariant breach.
@@ -233,6 +234,15 @@ func (a *Auditor) CheckGraph(phase string, g *depgraph.Graph, truncated bool) *R
 // nodes.
 func (a *Auditor) CheckPartition(phase string, store *reference.Store, g *depgraph.Graph,
 	partitions map[string][][]reference.ID, assignment map[reference.ID]int) *Report {
+	return a.CheckPartitionNodes(phase, store, g.Nodes, partitions, assignment)
+}
+
+// CheckPartitionNodes is CheckPartition over an arbitrary node iterator, so
+// the sharded path can audit its result against the union of per-component
+// graphs (the iterator must yield each decision-bearing RefPair node once;
+// mirror copies are harmless duplicates — they carry the same references).
+func (a *Auditor) CheckPartitionNodes(phase string, store *reference.Store, each func(func(*depgraph.Node)),
+	partitions map[string][][]reference.ID, assignment map[reference.ID]int) *Report {
 	r := &Report{Phase: phase}
 
 	seen := make(map[reference.ID]string, store.Len())
@@ -274,7 +284,7 @@ func (a *Auditor) CheckPartition(phase string, store *reference.Store, g *depgra
 		r.violate("partition/coverage", "", "partitions cover %d of %d references", total, store.Len())
 	}
 
-	g.Nodes(func(n *depgraph.Node) {
+	each(func(n *depgraph.Node) {
 		if n.Kind() != depgraph.RefPair {
 			return
 		}
@@ -297,6 +307,89 @@ func (a *Auditor) CheckPartition(phase string, store *reference.Store, g *depgra
 			}
 		}
 	})
+	a.TotalChecks += r.Checks
+	return r
+}
+
+// CheckSharding audits a shard.Split plan against the global graph it was
+// derived from, immediately after the split (before any propagation
+// mutates either side):
+//
+//   - every live candidate pair of the global graph is owned by exactly
+//     one component — the one owning its references — and no component
+//     owns a pair the global graph lacks;
+//   - every mirror copy a component holds corresponds to a live pair of
+//     its claimed source component, and the boundary link is registered on
+//     both sides (the mirror appears in Plan.Links with matching source
+//     and destination).
+//
+// Cost is one scan of the global graph plus one scan of every component
+// graph.
+func (a *Auditor) CheckSharding(phase string, plan *shard.Plan, g *depgraph.Graph) *Report {
+	r := &Report{Phase: phase}
+
+	global := make(map[string]struct{})
+	globalPairs := 0
+	g.Nodes(func(n *depgraph.Node) {
+		if n.Kind() == depgraph.RefPair {
+			global[n.Key()] = struct{}{}
+			globalPairs++
+		}
+	})
+
+	linked := make(map[*depgraph.Node]shard.Link, len(plan.Links))
+	for _, l := range plan.Links {
+		linked[l.Mirror] = l
+	}
+
+	owned := make(map[string]int, globalPairs)
+	total := 0
+	for _, c := range plan.Comps {
+		c.G.Nodes(func(n *depgraph.Node) {
+			if n.Kind() != depgraph.RefPair {
+				return
+			}
+			key := n.Key()
+			if !plan.IsMirror(c, n) {
+				total++
+				r.check()
+				if _, ok := global[key]; !ok {
+					r.violate("shard/unknown-pair", key, "component %d owns a pair the global graph lacks", c.ID)
+				}
+				r.check()
+				if prior, dup := owned[key]; dup {
+					r.violate("shard/multi-owner", key, "owned by components %d and %d", prior, c.ID)
+				}
+				owned[key] = c.ID
+				return
+			}
+			srcComp := plan.CompOfRef(n.RefA())
+			r.check()
+			if srcComp < 0 || srcComp >= len(plan.Comps) || srcComp == c.ID {
+				r.violate("shard/mirror-source", key, "mirror in component %d claims source component %d", c.ID, srcComp)
+				return
+			}
+			r.check()
+			if plan.Comps[srcComp].G.LookupRefPair(n.RefA(), n.RefB()) == nil {
+				r.violate("shard/mirror-orphan", key, "mirror in component %d has no source pair in component %d", c.ID, srcComp)
+			}
+			l, ok := linked[n]
+			r.check()
+			if !ok {
+				r.violate("shard/mirror-unlinked", key, "mirror in component %d has no boundary link", c.ID)
+				return
+			}
+			r.check()
+			if l.SrcComp != srcComp || l.DstComp != c.ID || !l.Src.Alive() {
+				r.violate("shard/link-mismatch", key, "link (%d -> %d, src alive %v) disagrees with mirror in component %d from %d",
+					l.SrcComp, l.DstComp, l.Src.Alive(), c.ID, srcComp)
+			}
+		})
+	}
+	r.check()
+	if total != globalPairs {
+		r.violate("shard/coverage", "", "components own %d of %d candidate pairs", total, globalPairs)
+	}
 	a.TotalChecks += r.Checks
 	return r
 }

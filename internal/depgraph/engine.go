@@ -43,6 +43,11 @@ type Options struct {
 	// OnMerge, if set, is invoked whenever a RefPair node first becomes
 	// merged. The reconciler uses it to feed its union-find.
 	OnMerge func(n *Node)
+	// OnFold, if set, is invoked whenever enrichment folds node l into node
+	// m, just before l is removed. The sharded orchestrator uses it to keep
+	// forwarding maps so boundary links survive folds. The hook stays
+	// installed for the duration of the Run only.
+	OnFold func(l, m *Node)
 	// MaxSteps caps the number of node evaluations as a safety net
 	// against non-monotone scorers. 0 means 1000 * initial node count.
 	MaxSteps int
@@ -118,6 +123,10 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 	// digests built now stay exact — including across incremental sessions.
 	g.maintain = true
 	d0 := g.delta
+	if opt.OnFold != nil {
+		g.onFold = opt.OnFold
+		defer func() { g.onFold = nil }()
+	}
 
 	for _, n := range seed {
 		if g.alive[n.id] && g.status[n.id] != NonMerge {
@@ -292,6 +301,48 @@ func (g *Graph) Run(seed []*Node, opt Options) Stats {
 	return st
 }
 
+// Activate pushes n to the back of the propagation queue if it is
+// eligible, reporting whether it was pushed. It is the public face of the
+// engine's weak-boolean/real-valued re-activation rule, exposed so the
+// sharded boundary sync can replicate the monolithic engine's behavior
+// when cross-shard evidence raises a mirror node.
+func (g *Graph) Activate(n *Node) bool { return g.activate(n) }
+
+// ActivateFront pushes n to the front of the propagation queue if
+// eligible (the strong-boolean activation rule), reporting whether it was
+// pushed.
+func (g *Graph) ActivateFront(n *Node) bool { return g.activateFront(n) }
+
+// RaiseSim raises n's similarity to sim, a no-op unless sim is strictly
+// higher than the current value or n is constrained NonMerge. It routes
+// through the maintained-aggregate hook, so external evidence injection —
+// the sharded boundary sync pushing a source pair's similarity into its
+// mirror — keeps dependents' digests exact. The value is clamped to 1.
+func (g *Graph) RaiseSim(n *Node, sim float64) {
+	if sim > 1 {
+		sim = 1
+	}
+	if sim > g.sim[n.id] && g.status[n.id] != NonMerge {
+		g.raiseSim(n, sim)
+	}
+}
+
+// FoldInto applies the enrichment fold "l absorbs into m" outside the
+// engine's own pop path: l's edges move onto m (deduplicated, aggregates
+// patched), l's NonMerge status or higher similarity is inherited, l is
+// removed, and targets that gained evidence are re-queued — exactly the
+// mechanics of §3.3's fold. The sharded boundary sync uses it to replay an
+// owner component's folds onto the mirror copies other components hold, so
+// duplicate boolean evidence collapses the same way it does in the
+// monolithic graph. No-op unless both nodes are alive and distinct.
+// Options.OnFold is not invoked (the caller already knows the fold).
+func (g *Graph) FoldInto(l, m *Node) {
+	if l == m || !g.alive[l.id] || !g.alive[m.id] {
+		return
+	}
+	g.fold(l, m)
+}
+
 // activate pushes m to the back of the queue if it is eligible for
 // recomputation, reporting whether it was pushed. A merged node keeps its
 // Merged status while queued: downgrading it would erase the evidence it
@@ -410,6 +461,9 @@ func (g *Graph) fold(l, m *Node) {
 		// the normal pop path mark it merged and fire its neighbors.
 		g.raiseSim(m, g.sim[l.id])
 		gainedIncoming = true
+	}
+	if g.onFold != nil {
+		g.onFold(l, m)
 	}
 	g.removeNode(l)
 	// Bypass the sim<1 eligibility check: even a node whose inherited

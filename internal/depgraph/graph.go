@@ -58,6 +58,10 @@ type Graph struct {
 	liveNodes int
 	edgeCount int
 
+	// onFold, when set (by Run, from Options.OnFold), observes every
+	// enrichment fold l -> m just before l is removed.
+	onFold func(l, m *Node)
+
 	// maintain turns on delta-maintenance of per-node evidence aggregates.
 	// It is set by the first Run and stays on: from then every mutation
 	// that can change a node's evidence goes through a hook in
@@ -82,6 +86,12 @@ func New() *Graph {
 
 // NodeCount returns the number of live nodes (the paper's Table 6 metric).
 func (g *Graph) NodeCount() int { return g.liveNodes }
+
+// NodeIDBound returns an exclusive upper bound on the node ids ever
+// assigned by this graph (dead rows included). Ids are dense and never
+// reused, so callers may size side tables by this bound and index them
+// with Node.ID.
+func (g *Graph) NodeIDBound() int { return len(g.alive) }
 
 // EdgeCount returns the number of live directed edges.
 func (g *Graph) EdgeCount() int { return g.edgeCount }

@@ -151,6 +151,12 @@ func (n *Node) Key() string {
 	return g.key[n.id]
 }
 
+// ID returns the node's dense storage id: assigned at insertion, never
+// reused or renumbered. Useful for indexing side tables sized by
+// Graph.NodeIDBound. Ids are graph-local — nodes of different graphs may
+// share an id.
+func (n *Node) ID() int32 { return n.id }
+
 // Kind says whether this is a reference pair or a value pair.
 func (n *Node) Kind() Kind { return n.g.kind[n.id] }
 
@@ -165,6 +171,16 @@ func (n *Node) RefB() reference.ID { return n.g.refB[n.id] }
 // Class is the references' class for RefPair nodes; for ValuePair nodes it
 // is the evidence type of the value comparison.
 func (n *Node) Class() string { return n.g.strs.str(n.g.classID[n.id]) }
+
+// ValueElems returns the canonical element keys of a ValuePair node, in
+// stored (string-ascending) order. For RefPair nodes both strings are
+// empty.
+func (n *Node) ValueElems() (x, y string) {
+	if n.g.kind[n.id] != ValuePair {
+		return "", ""
+	}
+	return n.g.strs.str(n.g.valX[n.id]), n.g.strs.str(n.g.valY[n.id])
+}
 
 // Sim is the current similarity score in [0, 1].
 func (n *Node) Sim() float64 { return n.g.sim[n.id] }

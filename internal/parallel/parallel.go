@@ -101,6 +101,58 @@ func For(workers, n int, fn func(i int)) {
 	}
 }
 
+// Coarse runs fn(i) for every i in [0, n) using up to workers goroutines,
+// claiming indexes one at a time. Unlike For — which inlines small ranges
+// because its work items are tiny — Coarse assumes each item is a large
+// independent task (e.g. one shard's propagation fixed point), so even a
+// handful of items is worth fanning out. workers <= 0 means
+// runtime.NumCPU(); workers == 1 runs inline, preserving exact serial
+// behavior. A panic in any fn is re-raised on the calling goroutine after
+// the remaining workers drain.
+func Coarse(workers, n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	workers = Workers(workers)
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var (
+		cursor   atomic.Int64
+		wg       sync.WaitGroup
+		panicked atomic.Value
+	)
+	work := func() {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				panicked.CompareAndSwap(nil, &workerPanic{r})
+			}
+		}()
+		for {
+			i := int(cursor.Add(1)) - 1
+			if i >= n {
+				return
+			}
+			fn(i)
+		}
+	}
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go work()
+	}
+	wg.Wait()
+	if p, ok := panicked.Load().(*workerPanic); ok {
+		panic(p.value)
+	}
+}
+
 // workerPanic wraps a recovered panic value so atomic.Value always stores
 // one concrete type (atomic.Value requires consistent dynamic types).
 type workerPanic struct{ value any }

@@ -108,6 +108,21 @@ type Config struct {
 	// independent items into per-item slots and all graph mutation stays
 	// on one goroutine.
 	Workers int
+	// Shards controls sharded reconciliation of Reconcile /
+	// ReconcileContext: the candidate-pair graph is partitioned into
+	// blocking-connected components, the components are grouped into this
+	// many balanced shards, and one propagation engine runs per shard
+	// concurrently, with cross-shard evidence resolved by a boundary
+	// frontier to a global fixed point (package shard; decisions agree
+	// with the monolithic run on >= 99.9% of pairs — see DESIGN.md,
+	// "Sharded reconciliation"). 1 — the
+	// default — is the exact legacy single-graph path, 0 resolves to
+	// runtime.GOMAXPROCS(0), and any value >= 2 produces identical
+	// partitions and stats for every other value >= 2 (grouping only
+	// affects scheduling). Incremental Sessions always run the monolithic
+	// path: components drift and merge across batches, so a per-batch
+	// re-split would forfeit the retained graph the session exists to keep.
+	Shards int
 	// MaxSteps caps engine evaluations (0 = engine default).
 	MaxSteps int
 	// Epsilon is the reactivation threshold (0 = engine default).
@@ -147,5 +162,6 @@ func DefaultConfig() Config {
 		Evidence:           EvidenceContact,
 		Constraints:        true,
 		BucketCap:          512,
+		Shards:             1,
 	}
 }

@@ -29,6 +29,11 @@ import (
 // so evidence accumulated under an earlier, smaller view of the data keeps
 // its shape. The engine's monotone scoring guarantees merges never
 // regress.
+//
+// Sessions always run the monolithic propagation path and ignore
+// Config.Shards: components drift and merge as batches arrive, so a
+// per-batch re-split would forfeit the retained graph the session exists
+// to keep.
 type Session struct {
 	rc     *Reconciler
 	store  *reference.Store

@@ -46,8 +46,13 @@ type Stats struct {
 	NonMergeNodes int
 	// SkippedBuckets counts blocking buckets dropped by the bucket cap.
 	SkippedBuckets int
-	// Engine carries the propagation-engine counters.
+	// Engine carries the propagation-engine counters. Under sharded
+	// execution (Config.Shards != 1) it aggregates the per-component runs:
+	// counts sum, QueueHighWater is the max, terminal flags or together.
 	Engine depgraph.Stats
+	// Shard describes the sharded execution layer; the whole struct is
+	// zero under the monolithic path.
+	Shard ShardStats
 	// BuildTime, PropagateTime, and ClosureTime are wall-clock phase
 	// timings: graph construction (blocking, candidate scoring, wiring),
 	// fixed-point propagation, and the constrained transitive closure.
@@ -194,6 +199,9 @@ func (p *Prepared) Propagate() (*Result, error) {
 }
 
 func (p *Prepared) propagateContext(ctx context.Context) (*Result, error) {
+	if k := p.rc.shardCount(); k > 1 {
+		return p.propagateSharded(ctx, k)
+	}
 	if p.used {
 		return nil, fmt.Errorf("recon: Prepared.Propagate called twice (the graph is consumed)")
 	}
@@ -322,9 +330,16 @@ func feedEngineCounters(c *obs.Counters, e depgraph.Stats) {
 // clustered even if we have evidence showing that r1 is not similar to r3"
 // — by revoking the least-certain link on any constraint-violating path.
 func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Result {
+	return closureOver(store, g.Nodes, constrained)
+}
+
+// closureOver is closure generalized over any node iterator; the sharded
+// path feeds it the concatenation of every component's real (non-mirror)
+// pairs in component-id order, which visits each global pair exactly once.
+func closureOver(store *reference.Store, each func(func(*depgraph.Node)), constrained bool) *Result {
 	uf := unionfind.New(store.Len())
 	if !constrained {
-		g.Nodes(func(n *depgraph.Node) {
+		each(func(n *depgraph.Node) {
 			if n.Kind() == depgraph.RefPair && n.Status() == depgraph.Merged {
 				uf.Union(int(n.RefA()), int(n.RefB()))
 			}
@@ -334,7 +349,7 @@ func closure(store *reference.Store, g *depgraph.Graph, constrained bool) *Resul
 
 	var merged []*depgraph.Node
 	enemies := make(map[int][]int) // root -> enemy reference ids
-	g.Nodes(func(n *depgraph.Node) {
+	each(func(n *depgraph.Node) {
 		if n.Kind() != depgraph.RefPair {
 			return
 		}

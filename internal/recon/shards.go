@@ -1,0 +1,347 @@
+package recon
+
+// Sharded reconciliation: the construction phase builds one global graph
+// exactly as the monolithic path does (so the candidate set, node and edge
+// shapes, and their stats are identical by construction), then package
+// shard splits it into blocking-connected components, each with a private
+// columnar graph, evidence aggregates, and queue. Components are grouped
+// into Config.Shards balanced groups and one propagation engine runs per
+// group concurrently; after every wave the serial boundary sync pushes
+// cross-component evidence (association and contact edges between
+// components) into the mirror copies and re-runs only the affected
+// components, iterating to the same global fixed point the single engine
+// reaches. Similarities and statuses only ever go up, so the frontier
+// loop terminates; the shard-count equivalence tests pin bit-identical
+// partitions and stats for every Shards >= 2, and identical partitions
+// against Shards == 1.
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"time"
+
+	"refrecon/internal/audit"
+	"refrecon/internal/depgraph"
+	"refrecon/internal/obs"
+	"refrecon/internal/parallel"
+	"refrecon/internal/reference"
+	"refrecon/internal/shard"
+	"refrecon/internal/unionfind"
+)
+
+// ShardStats describes the sharded execution layer of one reconciliation.
+// Every field is deterministic and identical for every Shards value >= 2
+// (grouping affects scheduling only, never which components exist or what
+// the boundary carries). The whole struct is zero under the monolithic
+// path, so Stats comparisons of legacy runs are unaffected.
+type ShardStats struct {
+	// Shards is the number of concurrent shard groups used.
+	Shards int
+	// Components counts blocking-connected components.
+	Components int
+	// LargestComponent is the heaviest component's weight (nodes + edges).
+	LargestComponent int
+	// BoundaryLinks counts cross-component dependencies resolved through
+	// mirrors (including mirrors materialized by fold replay).
+	BoundaryLinks int
+	// ValueReplicas counts extra value-node copies created by replication.
+	ValueReplicas int
+	// BoundaryUpdates counts mirror/replica state changes applied by the
+	// frontier syncs; FrontierActivations counts the dependents those
+	// updates re-queued; FoldReplays counts owner folds replayed onto
+	// mirrors.
+	BoundaryUpdates     int
+	FrontierActivations int
+	FoldReplays         int
+	// FrontierRounds counts boundary sync passes, including the final pass
+	// that found nothing left to push.
+	FrontierRounds int
+}
+
+// shardCount resolves Config.Shards: 0 means one shard per available CPU,
+// anything below 1 is clamped to the monolithic path.
+func (rc *Reconciler) shardCount() int {
+	s := rc.cfg.Shards
+	if s == 0 {
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// propagateSharded is the sharded counterpart of propagateContext: split
+// the prepared global graph, run per-component fixed points concurrently,
+// drain the boundary frontier, then close over the union of per-component
+// decisions.
+func (p *Prepared) propagateSharded(ctx context.Context, shards int) (*Result, error) {
+	if p.used {
+		return nil, fmt.Errorf("recon: Prepared.Propagate called twice (the graph is consumed)")
+	}
+	p.used = true
+	stats := p.stats
+	o := p.rc.cfg.Obs
+
+	aud := p.rc.newAuditor()
+	if aud != nil {
+		if err := aud.CheckGraph("build", p.g, false).Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, canceled("propagate", err)
+	}
+
+	sp := o.Tracer().Begin("phase", "propagate")
+	start := time.Now()
+
+	spSplit := o.Tracer().Begin("phase", "shard-split")
+	plan := shard.Split(p.g, p.seed, p.store.Len(), shards)
+	spSplit.EndArgs(map[string]any{
+		"components": len(plan.Comps), "shards": len(plan.Groups),
+		"boundaryLinks": len(plan.Links), "valueReplicas": plan.ValueReplicas,
+	})
+	shStats := ShardStats{
+		Shards:           len(plan.Groups),
+		Components:       len(plan.Comps),
+		LargestComponent: plan.LargestComponent(),
+		ValueReplicas:    plan.ValueReplicas,
+	}
+
+	// The shard partition itself, then each component graph, is audited
+	// with a per-component auditor: mirrors duplicate remote pair keys, so
+	// the stateful cross-phase snapshots need per-graph scopes.
+	var auds []*audit.Auditor
+	if aud != nil {
+		if err := aud.CheckSharding("shard-split", plan, p.g).Err(); err != nil {
+			return nil, err
+		}
+		auds = make([]*audit.Auditor, len(plan.Comps))
+		for i, c := range plan.Comps {
+			auds[i] = p.rc.newAuditor()
+			if err := auds[i].CheckGraph("shard-build", c.G, false).Err(); err != nil {
+				return nil, fmt.Errorf("component %d: %w", i, err)
+			}
+		}
+	}
+
+	eps := p.rc.cfg.Epsilon
+	if eps <= 0 {
+		eps = 1e-6
+	}
+	eopts := p.rc.engineOptions()
+	eopts.Interrupt = ctx.Err
+	// Engine-internal tracing and progress stay off: rounds of different
+	// components would interleave on one lane. The orchestrator emits one
+	// span per component run on a per-shard lane instead, and one progress
+	// event per frontier round.
+	tr := o.Tracer()
+	lanes := make([]int64, len(plan.Groups))
+	for s := range lanes {
+		lanes[s] = tr.NextTID()
+	}
+
+	engine := make([]depgraph.Stats, len(plan.Comps))
+	runs := 0
+	runWave := func(comps []int, seeded bool) {
+		byShard := make([][]int, len(plan.Groups))
+		for _, cid := range comps {
+			s := plan.ShardOf[cid]
+			byShard[s] = append(byShard[s], cid)
+		}
+		runs += len(comps)
+		parallel.Coarse(len(byShard), len(byShard), func(s int) {
+			for _, cid := range byShard[s] {
+				c := plan.Comps[cid]
+				opts := eopts
+				opts.OnFold = c.OnFold
+				var seed []*depgraph.Node
+				if seeded {
+					seed = c.Seed
+				}
+				csp := tr.BeginTID("shard", fmt.Sprintf("component %d", cid), lanes[s])
+				st := c.G.Run(seed, opts)
+				csp.EndArgs(map[string]any{
+					"steps": st.Steps, "merges": st.Merges, "folds": st.Folds,
+				})
+				addEngineStats(&engine[cid], st)
+			}
+		})
+	}
+
+	// The frontier loop. The first wave runs every component from its
+	// seeds; later waves run only components the boundary sync gave work.
+	var base map[reference.ID]int // merged closure after the first wave (audit oracle)
+	stopped := func(comps []int) bool {
+		for _, cid := range comps {
+			if engine[cid].Interrupted || engine[cid].Truncated {
+				return true
+			}
+		}
+		return false
+	}
+	loop := func() {
+		affected := make([]int, len(plan.Comps))
+		for i := range affected {
+			affected[i] = i
+		}
+		seeded := true
+		for len(affected) > 0 {
+			runWave(affected, seeded)
+			if stopped(affected) {
+				return
+			}
+			if seeded && aud != nil {
+				base = shardedAssignment(p.store, plan)
+			}
+			seeded = false
+			var sst shard.SyncStats
+			affected, sst = plan.SyncBoundary(eps)
+			shStats.FrontierRounds++
+			shStats.BoundaryUpdates += sst.Updates
+			shStats.FrontierActivations += sst.Activations
+			shStats.FoldReplays += sst.FoldReplays
+			o.Progressor().Emit(obs.Event{
+				Phase: "frontier", Round: shStats.FrontierRounds,
+				Steps: sst.Updates, Merges: sst.NewlyMerged, Queue: len(affected),
+			})
+		}
+	}
+	if o.Profiling() {
+		obs.Do("propagate", loop)
+	} else {
+		loop()
+	}
+
+	var agg depgraph.Stats
+	for i := range engine {
+		addEngineStats(&agg, engine[i])
+	}
+	stats.Engine = agg
+	shStats.BoundaryLinks = len(plan.Links)
+	stats.Shard = shStats
+	stats.PropagateTime = time.Since(start)
+	sp.EndArgs(map[string]any{
+		"steps": agg.Steps, "merges": agg.Merges, "folds": agg.Folds,
+		"rounds": agg.Rounds, "components": shStats.Components,
+		"frontierRounds": shStats.FrontierRounds, "runs": runs,
+	})
+	feedEngineCounters(o.Counter(), stats.Engine)
+	feedShardCounters(o.Counter(), shStats, runs)
+	o.Progressor().Emit(obs.Event{
+		Phase: "propagate", Round: stats.Engine.Rounds,
+		Steps: stats.Engine.Steps, Merges: stats.Engine.Merges,
+		Folds: stats.Engine.Folds, Final: true,
+	})
+	if stats.Engine.Interrupted {
+		if c := o.Counter(); c != nil {
+			c.Canceled.Add(1)
+		}
+		return nil, canceled("propagate", ctx.Err())
+	}
+
+	eachReal := func(fn func(*depgraph.Node)) {
+		for _, c := range plan.Comps {
+			c := c
+			c.G.Nodes(func(n *depgraph.Node) {
+				if !plan.IsMirror(c, n) {
+					fn(n)
+				}
+			})
+		}
+	}
+	eachReal(func(n *depgraph.Node) {
+		if n.Status() == depgraph.NonMerge {
+			stats.NonMergeNodes++
+		}
+	})
+	if aud != nil {
+		for i, c := range plan.Comps {
+			if err := auds[i].CheckGraph("shard-propagate", c.G, stats.Engine.Truncated).Err(); err != nil {
+				return nil, fmt.Errorf("component %d: %w", i, err)
+			}
+		}
+		// Frontier coherence: merges only accumulate after the first wave,
+		// so the final unconstrained closure must refine (merge together)
+		// the first wave's groups, never split them.
+		if err := audit.CheckSuperset("frontier", base, shardedAssignment(p.store, plan)).Err(); err != nil {
+			return nil, err
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		if c := o.Counter(); c != nil {
+			c.Canceled.Add(1)
+		}
+		return nil, canceled("closure", err)
+	}
+
+	spc := o.Tracer().Begin("phase", "closure")
+	cstart := time.Now()
+	res := closureOver(p.store, eachReal, p.rc.cfg.Constraints)
+	stats.ClosureTime = time.Since(cstart)
+	spc.End()
+	o.Progressor().Emit(obs.Event{Phase: "closure", Final: true})
+	if aud != nil {
+		if err := aud.CheckPartitionNodes("closure", p.store, eachReal, res.Partitions, res.Assignment).Err(); err != nil {
+			return nil, err
+		}
+		stats.AuditChecks = aud.TotalChecks
+		for _, ca := range auds {
+			stats.AuditChecks += ca.TotalChecks
+		}
+	}
+	res.Stats = stats
+	return res, nil
+}
+
+// shardedAssignment computes the unconstrained transitive closure of the
+// merged decisions across every component's real (non-mirror) pairs — the
+// frontier-coherence oracle input.
+func shardedAssignment(store *reference.Store, plan *shard.Plan) map[reference.ID]int {
+	uf := unionfind.New(store.Len())
+	for _, c := range plan.Comps {
+		c.G.Nodes(func(n *depgraph.Node) {
+			if n.Kind() == depgraph.RefPair && n.Status() == depgraph.Merged && !plan.IsMirror(c, n) {
+				uf.Union(int(n.RefA()), int(n.RefB()))
+			}
+		})
+	}
+	return partitionResult(store, uf).Assignment
+}
+
+// addEngineStats folds one run's engine stats into an accumulator: counts
+// add, high-water marks take the max, terminal flags or together.
+func addEngineStats(dst *depgraph.Stats, s depgraph.Stats) {
+	dst.Steps += s.Steps
+	dst.Merges += s.Merges
+	dst.Folds += s.Folds
+	dst.Reactivate += s.Reactivate
+	dst.Rounds += s.Rounds
+	dst.RequeueReal += s.RequeueReal
+	dst.RequeueStrong += s.RequeueStrong
+	dst.RequeueWeak += s.RequeueWeak
+	dst.DeltaHits += s.DeltaHits
+	dst.AggBuilds += s.AggBuilds
+	dst.AggRebuilds += s.AggRebuilds
+	if s.QueueHighWater > dst.QueueHighWater {
+		dst.QueueHighWater = s.QueueHighWater
+	}
+	dst.Truncated = dst.Truncated || s.Truncated
+	dst.Interrupted = dst.Interrupted || s.Interrupted
+}
+
+// feedShardCounters adds one sharded run's layer stats to the observer's
+// counter set. Safe with a nil set.
+func feedShardCounters(c *obs.Counters, s ShardStats, runs int) {
+	if c == nil {
+		return
+	}
+	c.ShardRuns.Add(int64(runs))
+	c.ShardComponents.Add(int64(s.Components))
+	c.BoundaryLinks.Add(int64(s.BoundaryLinks))
+	c.FrontierRounds.Add(int64(s.FrontierRounds))
+	c.FrontierActivations.Add(int64(s.FrontierActivations))
+	obs.UpdateMax(&c.LargestComponent, int64(s.LargestComponent))
+}

@@ -1,0 +1,163 @@
+package shard_test
+
+import (
+	"fmt"
+	"testing"
+
+	"refrecon/internal/audit"
+	"refrecon/internal/depgraph"
+	"refrecon/internal/shard"
+)
+
+// buildGraph assembles a small multi-component graph by hand:
+//
+//	component 0: pairs (0,1), (1,2)   class P
+//	component 1: pair  (3,4)          class P
+//	component 2: pair  (5,6)          class A, with association edges into
+//	             both P components (the boundary), plus a value node shared
+//	             by (0,1) and (3,4) (a replicated value).
+func buildGraph() (*depgraph.Graph, []*depgraph.Node) {
+	g := depgraph.New()
+	p01 := g.AddRefPair(0, 1, "P")
+	p12 := g.AddRefPair(1, 2, "P")
+	p34 := g.AddRefPair(3, 4, "P")
+	a56 := g.AddRefPair(5, 6, "A")
+	v := g.AddValuePair("name", "x", "y", 0.4)
+	g.AddEdge(v, p01, depgraph.RealValued, "name")
+	g.AddEdge(v, p34, depgraph.RealValued, "name")
+	g.AddEdge(a56, v, depgraph.StrongBoolean, "alias")
+	g.AddEdge(a56, p01, depgraph.StrongBoolean, "assoc")
+	g.AddEdge(a56, p34, depgraph.StrongBoolean, "assoc")
+	g.AddEdge(p12, a56, depgraph.WeakBoolean, "contact")
+	return g, []*depgraph.Node{p01, p12, p34, a56, v}
+}
+
+func TestSplitStructure(t *testing.T) {
+	g, seed := buildGraph()
+	plan := shard.Split(g, seed, 7, 2)
+
+	if len(plan.Comps) != 3 {
+		t.Fatalf("components = %d, want 3", len(plan.Comps))
+	}
+	// Reference ownership: connected refs share a component, classes never
+	// mix, unseen refs map to -1.
+	if plan.CompOfRef(0) != plan.CompOfRef(1) || plan.CompOfRef(1) != plan.CompOfRef(2) {
+		t.Error("refs 0,1,2 should share a component")
+	}
+	if plan.CompOfRef(0) == plan.CompOfRef(3) {
+		t.Error("refs 0 and 3 are not pair-connected; distinct components expected")
+	}
+	if plan.CompOfRef(5) == plan.CompOfRef(0) || plan.CompOfRef(5) == plan.CompOfRef(3) {
+		t.Error("class A refs must not share the P components")
+	}
+	if plan.CompOfRef(100) != -1 {
+		t.Error("out-of-range ref should map to -1")
+	}
+
+	// The shard partition passes the auditor's validity checks: every pair
+	// in exactly one component, every mirror registered on both sides.
+	aud := audit.New(func(*depgraph.Node) float64 { return 0.85 }, true)
+	if rep := aud.CheckSharding("test", plan, g); !rep.Ok() {
+		t.Fatalf("CheckSharding violations: %v", rep.Violations)
+	}
+
+	// Cross-component edges run through mirrors: each P component holds a
+	// mirror of (5,6) for the assoc edges, and the A component holds a
+	// mirror of (1,2) for the contact edge. Mirrors never have in-edges.
+	mirrors := 0
+	for _, c := range plan.Comps {
+		c.G.Nodes(func(n *depgraph.Node) {
+			if plan.IsMirror(c, n) {
+				mirrors++
+				ok := (n.RefA() == 5 && n.RefB() == 6) || (n.RefA() == 1 && n.RefB() == 2)
+				if !ok {
+					t.Errorf("unexpected mirror (%d,%d) in comp %d", n.RefA(), n.RefB(), c.ID)
+				}
+				in := 0
+				n.EachIn(func(depgraph.Edge) { in++ })
+				if in != 0 {
+					t.Errorf("mirror (%d,%d) has %d in-edges, want 0", n.RefA(), n.RefB(), in)
+				}
+			}
+		})
+	}
+	if mirrors != 3 {
+		t.Errorf("mirrors = %d, want 3 (one per cross-component edge source)", mirrors)
+	}
+	if len(plan.Links) != 3 {
+		t.Errorf("links = %d, want 3", len(plan.Links))
+	}
+	// The value node is replicated into each P component and the A
+	// component, and it is alias-learnable, so a group exists.
+	if plan.ValueReplicas != 2 {
+		t.Errorf("value replicas = %d, want 2", plan.ValueReplicas)
+	}
+	if len(plan.Values) != 1 || len(plan.Values[0].Reps) != 3 {
+		t.Fatalf("value groups = %+v, want one group with 3 replicas", plan.Values)
+	}
+}
+
+// planFingerprint renders the scheduling-relevant plan shape.
+func planFingerprint(p *shard.Plan) string {
+	out := fmt.Sprintf("comps=%d links=%d reps=%d groups=%v shardOf=%v weights=[",
+		len(p.Comps), len(p.Links), p.ValueReplicas, p.Groups, p.ShardOf)
+	for _, c := range p.Comps {
+		out += fmt.Sprintf("%d ", c.Weight)
+	}
+	return out + "]"
+}
+
+func TestSplitDeterministic(t *testing.T) {
+	g1, seed1 := buildGraph()
+	g2, seed2 := buildGraph()
+	a := shard.Split(g1, seed1, 7, 2)
+	b := shard.Split(g2, seed2, 7, 2)
+	if planFingerprint(a) != planFingerprint(b) {
+		t.Fatalf("same input, different plans:\n  %s\n  %s", planFingerprint(a), planFingerprint(b))
+	}
+}
+
+func TestGroupingClampsAndCovers(t *testing.T) {
+	for _, shards := range []int{1, 2, 3, 16} {
+		g, seed := buildGraph()
+		plan := shard.Split(g, seed, 7, shards)
+		want := shards
+		if want > len(plan.Comps) {
+			want = len(plan.Comps)
+		}
+		if len(plan.Groups) != want {
+			t.Errorf("shards=%d: groups = %d, want %d", shards, len(plan.Groups), want)
+		}
+		// Every component appears in exactly one group, consistent with
+		// ShardOf.
+		seen := make(map[int]bool)
+		for s, grp := range plan.Groups {
+			for _, cid := range grp {
+				if seen[cid] {
+					t.Errorf("shards=%d: component %d grouped twice", shards, cid)
+				}
+				seen[cid] = true
+				if plan.ShardOf[cid] != s {
+					t.Errorf("shards=%d: ShardOf[%d] = %d, want %d", shards, cid, plan.ShardOf[cid], s)
+				}
+			}
+		}
+		if len(seen) != len(plan.Comps) {
+			t.Errorf("shards=%d: grouped %d of %d components", shards, len(seen), len(plan.Comps))
+		}
+	}
+}
+
+func TestLargestComponent(t *testing.T) {
+	g, seed := buildGraph()
+	plan := shard.Split(g, seed, 7, 2)
+	max := 0
+	for _, c := range plan.Comps {
+		if c.Weight > max {
+			max = c.Weight
+		}
+	}
+	if got := plan.LargestComponent(); got != max || got == 0 {
+		t.Fatalf("LargestComponent = %d, want %d (nonzero)", got, max)
+	}
+}

@@ -6,6 +6,15 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+if grep -q '"degraded": true' BENCH_baseline.json 2>/dev/null; then
+    echo "#############################################################"
+    echo "# WARNING: BENCH_baseline.json is DEGRADED: it was recorded #"
+    echo "# on a single-core host (numCPU == 1). Its speedup and      #"
+    echo "# shard-sweep figures time goroutine overhead, not parallel #"
+    echo "# execution — do not quote them; re-record on multi-core.   #"
+    echo "#############################################################"
+fi
+
 echo "== gofmt =="
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
@@ -30,6 +39,10 @@ echo "== go test -race (delta/rescan equivalence) =="
 go test -race -run 'DeltaRescanEquivalence' ./internal/depgraph
 go test -race -run 'RescanEquivalence' .
 
+echo "== go test -race (sharded equivalence) =="
+go test -race -run 'TestShard' ./internal/recon
+go test -race ./internal/shard
+
 echo "== bench smoke (propagate/fold benchmarks compile and run) =="
 go test -run=NONE -bench='Propagate|EnrichFold' -benchtime=1x .
 
@@ -52,6 +65,16 @@ for d in A B C D cora; do
     go run ./cmd/pimgen -dataset "$d" -o "$tmpdir/$d.json"
     go run ./cmd/reconcile -in "$tmpdir/$d.json" -audit | grep '^audit:'
 done
+
+echo "== shard smoke (100k-ref scaled corpus through the sharded path) =="
+# The shard count is explicit (-shards 4) because -shards 0 resolves to
+# GOMAXPROCS, which is 1 on single-core CI hosts and would silently skip
+# the sharded path. The wall-clock budget is enforced with timeout(1);
+# override via SHARD_SMOKE_BUDGET (seconds) for slower hardware.
+budget="${SHARD_SMOKE_BUDGET:-300}"
+go run ./cmd/pimgen -refs 100000 -o "$tmpdir/scaled100k.json"
+timeout "$budget" go run ./cmd/reconcile -in "$tmpdir/scaled100k.json" \
+    -shards 4 -bucketcap 48 | grep '^shards: 4 groups'
 
 echo "== trace smoke (reconcile -trace over PIM A, validated by tracecheck) =="
 go run ./cmd/reconcile -in "$tmpdir/A.json" -trace "$tmpdir/trace.json" -progress | grep '^trace written'
