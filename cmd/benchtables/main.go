@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"path/filepath"
 	"runtime"
 	"sort"
 	"time"
@@ -33,6 +34,7 @@ import (
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
+	"refrecon/internal/serve"
 )
 
 // benchBaseline is the JSON shape written by -bench: one record per
@@ -54,6 +56,84 @@ type benchBaseline struct {
 	Query      []benchQuery    `json:"queryLatency"`
 	Counters   []benchCounters `json:"counters,omitempty"`
 	ShardSweep []benchShard    `json:"shardSweep,omitempty"`
+	Durability []benchDurable  `json:"durability,omitempty"`
+}
+
+// benchDurable measures the serving layer's durability machinery on one
+// dataset: the size of the write-ahead log and of a snapshot checkpoint
+// covering the whole dataset, and the two recovery paths — the fast
+// checkpoint restore a clean shutdown enables, and the full log replay a
+// crash forces.
+type benchDurable struct {
+	Dataset         string  `json:"dataset"`
+	References      int     `json:"references"`
+	LogBytes        int64   `json:"logBytes"`
+	CheckpointBytes int64   `json:"checkpointBytes"`
+	RestoreMS       float64 `json:"checkpointRestoreMs"`
+	ReplayMS        float64 `json:"logReplayMs"`
+}
+
+// durabilityPhase seeds a durable service with the dataset (logged as
+// batch 1), shuts it down cleanly, and times both recovery paths; the
+// replay measurement removes the checkpoints so recovery must rebuild
+// from the log alone.
+func durabilityPhase(store *reference.Store, name string) benchDurable {
+	dir, err := os.MkdirTemp("", "benchdurable")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	cfg := serve.Config{Schema: schema.PIM(), DataDir: dir}
+	svc, err := serve.NewFromStore(cfg, store)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := svc.Close(); err != nil {
+		log.Fatal(err)
+	}
+	d := svc.Metrics().Durability
+	row := benchDurable{
+		Dataset:         name,
+		References:      store.Len(),
+		LogBytes:        d.LogBytes,
+		CheckpointBytes: d.CheckpointBytes,
+	}
+
+	restored, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rd := restored.Metrics().Durability
+	if rd.Recovery != "checkpoint" {
+		log.Fatalf("durability bench: recovery = %q, want checkpoint", rd.Recovery)
+	}
+	row.RestoreMS = rd.RecoveryMS
+	if err := restored.Close(); err != nil {
+		log.Fatal(err)
+	}
+
+	cks, err := filepath.Glob(filepath.Join(dir, "ckpt-*.ck"))
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, f := range cks {
+		if err := os.Remove(f); err != nil {
+			log.Fatal(err)
+		}
+	}
+	replayed, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pd := replayed.Metrics().Durability
+	if pd.Recovery != "replay" {
+		log.Fatalf("durability bench: recovery = %q, want replay", pd.Recovery)
+	}
+	row.ReplayMS = pd.RecoveryMS
+	if err := replayed.Close(); err != nil {
+		log.Fatal(err)
+	}
+	return row
 }
 
 // benchShard is one sharded-reconciliation measurement: a full Reconcile
@@ -391,6 +471,11 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 				name, k, row.PropagateMS, row.ReconcileMS,
 				row.Components, row.BoundaryPairs, row.FrontierRounds)
 		}
+		db := durabilityPhase(store, name)
+		base.Durability = append(base.Durability, db)
+		fmt.Printf("%-5s durable:   restore %8.1fms  replay %8.1fms  (log %.1f KB, checkpoint %.1f KB)\n",
+			name, db.RestoreMS, db.ReplayMS,
+			float64(db.LogBytes)/1024, float64(db.CheckpointBytes)/1024)
 	}
 	f, err := os.Create(out)
 	if err != nil {

@@ -6,12 +6,17 @@
 //
 //	reconserve [-addr :8080] [-in dataset.json] [-name refrecon]
 //	           [-evidence attr|nameemail|article|contact] [-constraints=true]
-//	           [-workers N] [-audit]
+//	           [-workers N] [-audit] [-data-dir DIR] [-checkpoint-every N]
 //
 // With -in, the dataset (cmd/pimgen JSON format) is reconciled at startup
 // as the first batch; without it the service starts empty and is
-// populated through POST /ingest. The server shuts down gracefully on
-// SIGINT/SIGTERM.
+// populated through POST /ingest. With -data-dir, every acknowledged
+// ingest batch is fsynced to a write-ahead log under DIR before it is
+// applied, snapshot checkpoints are written every N committed batches,
+// and a restart recovers the previous state — after a crash by replaying
+// the log, after a clean shutdown from the final checkpoint. The server
+// shuts down gracefully on SIGINT/SIGTERM: in-flight ingest drains, a
+// final checkpoint is written, and the log is closed before exit.
 package main
 
 import (
@@ -45,6 +50,8 @@ func main() {
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
 	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU)")
 	auditFlag := flag.Bool("audit", false, "verify structural invariants after every batch (slower)")
+	dataDir := flag.String("data-dir", "", "durability directory: write-ahead batch log + snapshot checkpoints (empty = in-memory only)")
+	ckptEvery := flag.Int("checkpoint-every", 16, "write a checkpoint every N committed batches (requires -data-dir; negative disables periodic checkpoints)")
 	flag.Parse()
 
 	cfg := recon.DefaultConfig()
@@ -67,6 +74,12 @@ func main() {
 		log.Fatalf("unknown evidence level %q", *evidence)
 	}
 
+	if *dataDir != "" {
+		if err := os.MkdirAll(*dataDir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
 	store := reference.NewStore()
 	if *in != "" {
 		f, err := os.Open(*in)
@@ -84,9 +97,11 @@ func main() {
 
 	start := time.Now()
 	svc, err := serve.NewFromStore(serve.Config{
-		Schema: schema.PIM(),
-		Recon:  cfg,
-		Name:   *name,
+		Schema:          schema.PIM(),
+		Recon:           cfg,
+		Name:            *name,
+		DataDir:         *dataDir,
+		CheckpointEvery: *ckptEvery,
 	}, store)
 	if err != nil {
 		log.Fatal(err)
@@ -95,6 +110,10 @@ func main() {
 	log.Printf("initial snapshot v%d: %d references, %d entities (%.1fms)",
 		v.Snapshot.Version, v.Snapshot.RefCount(), len(v.Snapshot.Entities()),
 		float64(time.Since(start).Microseconds())/1000)
+	if d := svc.Metrics().Durability; d != nil {
+		log.Printf("durable session in %s: recovery=%s, %d batches replayed (%.1fms)",
+			*dataDir, d.Recovery, d.RecoveryBatches, d.RecoveryMS)
+	}
 
 	expvar.Publish("reconserve", expvar.Func(func() any { return svc.Metrics() }))
 	mux := http.NewServeMux()
@@ -120,6 +139,11 @@ func main() {
 		if err := srv.Shutdown(ctx); err != nil {
 			log.Printf("shutdown: %v", err)
 		}
+	}
+	// Drain any in-flight ingest, write the final checkpoint, and seal the
+	// log; the next start takes the fast restore path.
+	if err := svc.Close(); err != nil {
+		log.Printf("close: %v", err)
 	}
 	m := svc.Metrics()
 	fmt.Fprintf(os.Stderr, "reconserve: served %d queries (%d errors), %d ingest batches\n",

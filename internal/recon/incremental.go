@@ -254,6 +254,19 @@ func (s *Session) reset() {
 	s.poisoned = false
 }
 
+// Poison marks the session for a from-scratch rebuild on its next commit,
+// exactly as an internally cancelled commit would. Callers use it when the
+// session's incremental state is known to have diverged from the store —
+// the serving layer poisons after a publish failure, and crash recovery
+// poisons at the point where a past run lost its graph (a recorded
+// cancellation or a cold checkpoint restore) so a replayed history evolves
+// identically to the live one.
+func (s *Session) Poison() { s.poisoned = true }
+
+// Poisoned reports whether the next commit will discard the incremental
+// state and reconcile the whole store from scratch.
+func (s *Session) Poisoned() bool { return s.poisoned }
+
 // Latest returns the most recent result (nil before the first Reconcile).
 func (s *Session) Latest() *Result { return s.latest }
 

@@ -310,9 +310,38 @@ func newSnapshot(store *reference.Store, res *Result, g *depgraph.Graph, version
 		snap.assignment[id] = label
 	}
 
-	// Canonical enriched entities: one per partition, attribute values
-	// unioned over the members (the MAX-rule view enrichment builds
-	// implicitly).
+	snap.buildEntities()
+
+	if g != nil {
+		snap.pairs = make(map[uint64]*PairDecision)
+		snap.merged = make(map[reference.ID][]mergedLink)
+		g.Nodes(func(node *depgraph.Node) {
+			if node.Kind() != depgraph.RefPair {
+				return
+			}
+			d := describeNode(node)
+			dp := &d
+			snap.pairs[pairIndex(node.RefA(), node.RefB())] = dp
+			if node.Status() == depgraph.Merged {
+				snap.merged[node.RefA()] = append(snap.merged[node.RefA()], mergedLink{node.RefB(), dp})
+				snap.merged[node.RefB()] = append(snap.merged[node.RefB()], mergedLink{node.RefA(), dp})
+			}
+		})
+		for id := range snap.merged {
+			links := snap.merged[id]
+			sort.Slice(links, func(i, j int) bool { return links[i].other < links[j].other })
+		}
+	}
+	return snap
+}
+
+// buildEntities derives the canonical enriched entities from the
+// snapshot's refs, partitions, and assignment: one entity per partition,
+// attribute values unioned over the members (the MAX-rule view enrichment
+// builds implicitly). It is called once at export and again when a
+// snapshot is decoded from its persisted form, which carries only the base
+// data.
+func (snap *Snapshot) buildEntities() {
 	classes := make([]string, 0, len(snap.partitions))
 	for c := range snap.partitions {
 		classes = append(classes, c)
@@ -349,28 +378,6 @@ func newSnapshot(store *reference.Store, res *Result, g *depgraph.Graph, version
 	sort.Slice(snap.entities, func(i, j int) bool {
 		return snap.entities[i].Canonical < snap.entities[j].Canonical
 	})
-
-	if g != nil {
-		snap.pairs = make(map[uint64]*PairDecision)
-		snap.merged = make(map[reference.ID][]mergedLink)
-		g.Nodes(func(node *depgraph.Node) {
-			if node.Kind() != depgraph.RefPair {
-				return
-			}
-			d := describeNode(node)
-			dp := &d
-			snap.pairs[pairIndex(node.RefA(), node.RefB())] = dp
-			if node.Status() == depgraph.Merged {
-				snap.merged[node.RefA()] = append(snap.merged[node.RefA()], mergedLink{node.RefB(), dp})
-				snap.merged[node.RefB()] = append(snap.merged[node.RefB()], mergedLink{node.RefA(), dp})
-			}
-		})
-		for id := range snap.merged {
-			links := snap.merged[id]
-			sort.Slice(links, func(i, j int) bool { return links[i].other < links[j].other })
-		}
-	}
-	return snap
 }
 
 func containsStr(vs []string, v string) bool {

@@ -69,14 +69,15 @@ func traceRequests(tr *obs.Tracer, h http.Handler) http.Handler {
 // recon sentinels — errors.Is instead of string matching. A rejected
 // batch is the client's fault (400); schema violations outside a batch
 // rejection mean the stored data no longer validates (422); a cancelled
-// reconcile is a transient server-side condition (503).
+// reconcile or a shutting-down service is a transient server-side
+// condition (503) the client should retry.
 func statusFor(err error) int {
 	switch {
 	case errors.Is(err, recon.ErrBatchRejected):
 		return http.StatusBadRequest
 	case errors.Is(err, recon.ErrSchemaViolation):
 		return http.StatusUnprocessableEntity
-	case errors.Is(err, recon.ErrCanceled):
+	case errors.Is(err, recon.ErrCanceled), errors.Is(err, ErrUnavailable):
 		return http.StatusServiceUnavailable
 	default:
 		return http.StatusInternalServerError
@@ -212,7 +213,14 @@ func (s *Service) handleIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	resp, err := s.IngestContext(r.Context(), batch)
 	if err != nil {
-		writeErr(w, statusFor(err), "%v", err)
+		code := statusFor(err)
+		if code == http.StatusServiceUnavailable {
+			// A cancelled commit poisoned the session (the next ingest
+			// rebuilds it) and a closing service is about to restart:
+			// either way a prompt retry is expected to succeed.
+			w.Header().Set("Retry-After", "1")
+		}
+		writeErr(w, code, "%v", err)
 		return
 	}
 	snapshotHeader(w, s.view.Load())

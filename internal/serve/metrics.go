@@ -110,6 +110,23 @@ type metrics struct {
 	ingestRefs atomic.Int64
 	ingestNS   atomic.Int64
 	lastInNS   atomic.Int64
+
+	// poisoned counts session poisonings (commit or publish failures that
+	// forced a from-scratch rebuild on the next ingest); it ticks in both
+	// in-memory and durable modes.
+	poisoned atomic.Int64
+
+	// Durability gauges, synced from the mu-guarded service state after
+	// every ingest so /metrics never takes the writer lock.
+	durErrors      atomic.Int64 // non-fatal durability failures (marker/checkpoint/compaction)
+	checkpoints    atomic.Int64
+	ckptBytes      atomic.Int64 // size of the newest checkpoint file
+	ckptOrdinal    atomic.Int64
+	accepted       atomic.Int64
+	committed      atomic.Int64
+	historyRecords atomic.Int64
+	logBytes       atomic.Int64
+	logSegments    atomic.Int64
 }
 
 func newMetrics() *metrics { return &metrics{queryLat: newHistogram()} }
@@ -149,9 +166,38 @@ type MetricsSnapshot struct {
 	Snapshot        SnapshotInfo   `json:"snapshot"`
 	UptimeSeconds   float64        `json:"uptimeSeconds"`
 	StoreReferences int            `json:"storeReferences"`
+	// SessionPoisoned counts commits that failed after their batch reached
+	// the store, forcing the next ingest to rebuild the session.
+	SessionPoisoned int64 `json:"sessionPoisoned"`
+	// Durability describes the write-ahead log and checkpoints when the
+	// service runs with Config.DataDir (absent otherwise).
+	Durability *DurabilityInfo `json:"durability,omitempty"`
 	// Engine carries the reconciliation-engine counters when the service
 	// was configured with an obs.Counters set (absent otherwise).
 	Engine *obs.CounterSnapshot `json:"engine,omitempty"`
+}
+
+// DurabilityInfo describes the durable-session state at /metrics.
+type DurabilityInfo struct {
+	// Recovery says how the service last started: "fresh", "checkpoint"
+	// (fast restore), or "replay" (history replayed through the session).
+	Recovery        string  `json:"recovery"`
+	RecoveryBatches int     `json:"recoveryBatches"`
+	RecoveryMS      float64 `json:"recoveryMs"`
+	// Accepted is the ordinal of the last batch fsynced to the log;
+	// Committed the ordinal whose commit last published a view. They
+	// diverge while the session is poisoned.
+	Accepted  int64 `json:"accepted"`
+	Committed int64 `json:"committed"`
+	// HistoryRecords counts batch + lifecycle records in the replayable
+	// history.
+	HistoryRecords    int64 `json:"historyRecords"`
+	LogBytes          int64 `json:"logBytes"`
+	LogSegments       int64 `json:"logSegments"`
+	Checkpoints       int64 `json:"checkpoints"`
+	CheckpointBytes   int64 `json:"checkpointBytes"`
+	CheckpointOrdinal int64 `json:"checkpointOrdinal"`
+	Errors            int64 `json:"errors"`
 }
 
 // CandidateStats describes blocking candidate-set sizes per query.
@@ -198,5 +244,24 @@ func (m *metrics) snapshot() MetricsSnapshot {
 	if ok := out.QueryLatency.Count; ok > 0 {
 		out.Candidates.Mean = float64(out.Candidates.Total) / float64(ok)
 	}
+	out.SessionPoisoned = m.poisoned.Load()
 	return out
+}
+
+// durability renders the durability gauges (called only with DataDir set).
+func (m *metrics) durability(r recoveryInfo) *DurabilityInfo {
+	return &DurabilityInfo{
+		Recovery:          r.Mode,
+		RecoveryBatches:   r.Batches,
+		RecoveryMS:        r.Millis,
+		Accepted:          m.accepted.Load(),
+		Committed:         m.committed.Load(),
+		HistoryRecords:    m.historyRecords.Load(),
+		LogBytes:          m.logBytes.Load(),
+		LogSegments:       m.logSegments.Load(),
+		Checkpoints:       m.checkpoints.Load(),
+		CheckpointBytes:   m.ckptBytes.Load(),
+		CheckpointOrdinal: m.ckptOrdinal.Load(),
+		Errors:            m.durErrors.Load(),
+	}
 }

@@ -10,17 +10,25 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"refrecon/internal/durable"
 	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
 	"refrecon/internal/schema"
 )
+
+// ErrUnavailable marks requests refused because the service is shutting
+// down (Close has drained ingest and sealed the log). It maps to 503 with
+// a Retry-After hint like a cancelled commit.
+var ErrUnavailable = errors.New("serve: service unavailable")
 
 // Config configures a Service.
 type Config struct {
@@ -37,6 +45,17 @@ type Config struct {
 	// DefaultLimit bounds candidates per query when the query doesn't
 	// specify one (default 10).
 	DefaultLimit int
+	// DataDir enables durability: every validated ingest batch is framed,
+	// appended to a segment log under this directory, and fsynced before
+	// the commit runs, and snapshot checkpoints are written periodically.
+	// On startup the service recovers the previous state from the
+	// directory (see internal/serve/durability.go). Empty keeps the
+	// service purely in-memory.
+	DataDir string
+	// CheckpointEvery writes a checkpoint after that many committed
+	// batches (default 16; negative disables periodic checkpoints — a
+	// final one is still written by Close). Ignored without DataDir.
+	CheckpointEvery int
 }
 
 // View is one published read state: an immutable snapshot and its query
@@ -51,12 +70,32 @@ type View struct {
 // ingest (Ingest serializes internally); any number may query.
 type Service struct {
 	cfg     Config
-	mu      sync.Mutex // guards sess + store writes
+	mu      sync.Mutex // guards sess + store writes and all durability state
 	sess    *recon.Session
 	store   *reference.Store
 	view    atomic.Pointer[View]
 	met     *metrics
 	started time.Time
+
+	// Durability state (zero/nil without Config.DataDir); mu-guarded.
+	// history is the full record sequence — batches plus lifecycle
+	// markers — that reproduces the current state when replayed; it is
+	// what checkpoints persist. accepted is the ordinal of the last batch
+	// that reached the log and store; committed is the ordinal whose
+	// commit last published a view (accepted > committed while the
+	// session is poisoned). lastCkpt is the newest checkpoint's ordinal.
+	log       *durable.Log
+	history   []durable.Record
+	accepted  uint64
+	committed uint64
+	lastCkpt  uint64
+	closed    bool
+	recovery  recoveryInfo
+
+	// publishHook, when set, runs inside publish before the view swap —
+	// a test seam for injecting publish failures and for observing the
+	// critical section.
+	publishHook func() error
 }
 
 // New starts a service over an empty store.
@@ -65,7 +104,10 @@ func New(cfg Config) (*Service, error) {
 }
 
 // NewFromStore starts a service over a pre-populated store (reconciling
-// it as the first batch) and publishes the initial view.
+// it as the first batch) and publishes the initial view. With
+// Config.DataDir, the store seeds only a fresh data directory (it must be
+// empty when the directory already holds state) and the previous state is
+// recovered from the checkpoint and segment log first.
 func NewFromStore(cfg Config, store *reference.Store) (*Service, error) {
 	if cfg.Schema == nil {
 		return nil, fmt.Errorf("serve: Config.Schema is required")
@@ -82,33 +124,60 @@ func NewFromStore(cfg Config, store *reference.Store) (*Service, error) {
 	if cfg.DefaultLimit <= 0 {
 		cfg.DefaultLimit = 10
 	}
+	if cfg.CheckpointEvery == 0 {
+		cfg.CheckpointEvery = 16
+	}
 	if err := store.Validate(cfg.Schema); err != nil {
 		return nil, fmt.Errorf("serve: initial store invalid: %w", err)
 	}
-	s := &Service{
-		cfg:     cfg,
-		store:   store,
-		sess:    recon.New(cfg.Schema, cfg.Recon).NewSession(store),
-		met:     newMetrics(),
-		started: time.Now(),
-	}
-	if _, err := s.sess.Reconcile(); err != nil {
-		return nil, fmt.Errorf("serve: initial reconcile: %w", err)
-	}
-	if err := s.publish(); err != nil {
+	s := &Service{cfg: cfg, met: newMetrics(), started: time.Now()}
+	if cfg.DataDir != "" {
+		if err := s.recover(store); err != nil {
+			if s.log != nil {
+				s.log.Close()
+			}
+			return nil, err
+		}
+	} else if err := s.initLive(store); err != nil {
 		return nil, err
 	}
+	s.syncDurabilityGauges()
 	return s, nil
 }
 
+// initLive runs the in-memory initialization path: a session over the
+// (possibly pre-populated) store, an initial reconcile, and the first
+// published view. A non-empty initial store counts as batch ordinal 1.
+func (s *Service) initLive(store *reference.Store) error {
+	s.store = store
+	s.sess = recon.New(s.cfg.Schema, s.cfg.Recon).NewSession(store)
+	if store.Len() > 0 {
+		s.accepted = 1
+	}
+	if _, err := s.sess.Reconcile(); err != nil {
+		return fmt.Errorf("serve: initial reconcile: %w", err)
+	}
+	s.committed = s.accepted
+	return s.publish()
+}
+
 // publish exports a snapshot of the session's current result, builds its
-// matcher, and swaps it in as the live view. Callers must hold mu (or be
+// matcher, and swaps it in as the live view. The snapshot version is the
+// service's committed batch ordinal — a counter that survives session
+// rebuilds (a poisoned session restarts its internal batch numbering, and
+// the published version must never regress). Callers must hold mu (or be
 // the constructor, before the service escapes).
 func (s *Service) publish() error {
 	snap, err := s.sess.Snapshot()
 	if err != nil {
 		return fmt.Errorf("serve: snapshot: %w", err)
 	}
+	if s.publishHook != nil {
+		if err := s.publishHook(); err != nil {
+			return fmt.Errorf("serve: publish: %w", err)
+		}
+	}
+	snap.Version = int(s.committed)
 	v := &View{
 		Snapshot:  snap,
 		Matcher:   recon.NewMatcher(s.cfg.Schema, s.cfg.Recon, snap),
@@ -184,21 +253,80 @@ func (s *Service) Ingest(batch []IngestRef) (IngestResponse, error) {
 // incrementally (honoring ctx at phase and propagation-round boundaries),
 // and publishes a fresh view. It returns the applied id range and the new
 // snapshot version. Validation errors — wrapping recon.ErrBatchRejected —
-// leave the service unchanged. A cancelled ingest (the error wraps
-// recon.ErrCanceled) keeps the batch's references in the store and leaves
-// the previous view published; the next ingest re-reconciles from scratch
-// and picks them up.
+// leave the service unchanged (with durability on, nothing reaches the
+// log either: the batch is applied all-or-nothing).
+//
+// Once a batch passes validation it is logged (fsync) before any state
+// mutates, so an acknowledged batch survives a crash at any later point.
+// A commit that fails after that — a cancelled context, an audit failure,
+// a publish error — poisons the session explicitly: the batch's
+// references stay in the store, the previous view stays published at its
+// version, a poison marker is logged so crash recovery reproduces the
+// same evolution, and the next ingest rebuilds from the whole store. The
+// failed request maps to 503 with a Retry-After hint (recon.ErrCanceled).
 func (s *Service) IngestContext(ctx context.Context, batch []IngestRef) (IngestResponse, error) {
 	if len(batch) == 0 {
 		return IngestResponse{}, fmt.Errorf("%w: empty batch", recon.ErrBatchRejected)
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		return IngestResponse{}, fmt.Errorf("%w: shutting down", ErrUnavailable)
+	}
 	start := time.Now()
 	base := s.store.Len()
 	if err := s.validateBatch(base, batch); err != nil {
 		return IngestResponse{}, fmt.Errorf("%w: %w: %w", recon.ErrBatchRejected, recon.ErrSchemaViolation, err)
 	}
+	ord := s.accepted + 1
+	if s.log != nil {
+		payload, err := json.Marshal(batch)
+		if err != nil {
+			return IngestResponse{}, fmt.Errorf("%w: encode batch: %w", recon.ErrBatchRejected, err)
+		}
+		rec := durable.Record{Kind: durable.KindBatch, Ordinal: ord, Payload: payload}
+		if err := s.log.Append(rec); err != nil {
+			// Nothing was applied; the service stays coherent at the
+			// previous batch, but refuses to acknowledge unlogged data.
+			s.met.durErrors.Add(1)
+			return IngestResponse{}, fmt.Errorf("serve: wal append: %w", err)
+		}
+		s.history = append(s.history, rec)
+	}
+	s.accepted = ord
+	applyBatch(s.store, batch)
+	if _, err := s.sess.CommitContext(ctx); err != nil {
+		s.poisonSession(ord)
+		s.syncDurabilityGauges()
+		return IngestResponse{}, fmt.Errorf("reconcile: %w", err)
+	}
+	prevCommitted := s.committed
+	s.committed = ord
+	if err := s.publish(); err != nil {
+		// The store holds the batch but no view was published for it:
+		// roll the version back to the coherent published state and
+		// poison so the next commit rebuilds store and view together.
+		s.committed = prevCommitted
+		s.poisonSession(ord)
+		s.syncDurabilityGauges()
+		return IngestResponse{}, err
+	}
+	elapsed := time.Since(start)
+	s.met.recordIngest(len(batch), elapsed)
+	s.maybeCheckpoint()
+	s.syncDurabilityGauges()
+	return IngestResponse{
+		Added:           len(batch),
+		FirstID:         reference.ID(base),
+		LastID:          reference.ID(base + len(batch) - 1),
+		SnapshotVersion: s.view.Load().Snapshot.Version,
+		References:      s.store.Len(),
+		ElapsedMS:       float64(elapsed.Nanoseconds()) / 1e6,
+	}, nil
+}
+
+// applyBatch appends a validated batch's references to the store.
+func applyBatch(store *reference.Store, batch []IngestRef) {
 	for _, ir := range batch {
 		r := reference.New(ir.Class)
 		r.Source = ir.Source
@@ -213,24 +341,53 @@ func (s *Service) IngestContext(ctx context.Context, batch []IngestRef) (IngestR
 				r.AddAssoc(attr, t)
 			}
 		}
-		s.store.Add(r)
+		store.Add(r)
 	}
-	if _, err := s.sess.CommitContext(ctx); err != nil {
-		return IngestResponse{}, fmt.Errorf("reconcile: %w", err)
+}
+
+// poisonSession records that batch ord's commit failed after its
+// references reached the store: the session is marked for a from-scratch
+// rebuild, the poisoned-session counter ticks, and with durability on a
+// poison marker is appended so a crash-replay reproduces the same
+// lifecycle. Callers hold mu.
+func (s *Service) poisonSession(ord uint64) {
+	s.sess.Poison()
+	s.met.poisoned.Add(1)
+	if s.log == nil {
+		return
 	}
-	if err := s.publish(); err != nil {
-		return IngestResponse{}, err
+	rec := durable.Record{Kind: durable.KindPoison, Ordinal: ord}
+	if err := s.log.Append(rec); err != nil {
+		// The marker could not be made durable; a crash before the next
+		// successful append would replay this batch as committed. The log
+		// marks itself broken on sync failures, so subsequent ingests
+		// fail loudly rather than widen the divergence.
+		s.met.durErrors.Add(1)
+		return
 	}
-	elapsed := time.Since(start)
-	s.met.recordIngest(len(batch), elapsed)
-	return IngestResponse{
-		Added:           len(batch),
-		FirstID:         reference.ID(base),
-		LastID:          reference.ID(base + len(batch) - 1),
-		SnapshotVersion: s.view.Load().Snapshot.Version,
-		References:      s.store.Len(),
-		ElapsedMS:       float64(elapsed.Nanoseconds()) / 1e6,
-	}, nil
+	s.history = append(s.history, rec)
+}
+
+// Close drains any in-flight ingest (it blocks on the writer lock), seals
+// the service against further ingests, writes a final checkpoint so the
+// next start takes the fast restore path, and closes the segment log.
+// Reads keep serving the published view. Safe to call more than once.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.log == nil {
+		return nil
+	}
+	if len(s.history) > 0 && maxOrdinal(s.history) > s.lastCkpt {
+		s.checkpoint()
+	}
+	err := s.log.Close()
+	s.syncDurabilityGauges()
+	return err
 }
 
 // Query resolves one reconciliation query against the published view,
@@ -377,6 +534,9 @@ func (s *Service) Metrics() MetricsSnapshot {
 			Entities:   len(v.Snapshot.Entities()),
 		}
 		out.StoreReferences = v.Snapshot.RefCount()
+	}
+	if s.cfg.DataDir != "" {
+		out.Durability = s.met.durability(s.recovery)
 	}
 	out.UptimeSeconds = time.Since(s.started).Seconds()
 	return out
