@@ -29,6 +29,7 @@ import (
 	"sort"
 	"time"
 
+	"refrecon/internal/collective"
 	"refrecon/internal/experiments"
 	"refrecon/internal/obs"
 	"refrecon/internal/recon"
@@ -238,18 +239,42 @@ type benchRescan struct {
 
 // benchQuery is the query-time reconciliation latency over a warm
 // snapshot: N single queries replayed through the recon.Matcher (the
-// same path reconserve's /reconcile endpoint takes).
+// same path reconserve's /reconcile endpoint takes), then the same
+// queries — with each reference's associations attached — through the
+// collective matcher (the "collective" query mode).
 type benchQuery struct {
 	Dataset           string  `json:"dataset"`
 	Queries           int     `json:"queries"`
 	P50MS             float64 `json:"query_p50_ms"`
 	P99MS             float64 `json:"query_p99_ms"`
 	MeanCandidateRefs float64 `json:"meanCandidateRefs"`
+	CollectiveP50MS   float64 `json:"collective_query_p50_ms"`
+	CollectiveP99MS   float64 `json:"collective_query_p99_ms"`
+	// MeanExpansionNodes is the mean expanded-subgraph size (reference-pair
+	// nodes) per collective query; Degraded counts queries that fell back
+	// to attribute-only scoring under the node budget (the collective runs
+	// have no time budget, so the counts are deterministic).
+	MeanExpansionNodes float64 `json:"meanExpansionNodes"`
+	Degraded           int     `json:"collectiveDegraded"`
+}
+
+// latQuantiles sorts a latency series and reads the q-quantile in ms.
+func latQuantiles(lats []time.Duration, q float64) float64 {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(lats)))
+	if i >= len(lats) {
+		i = len(lats) - 1
+	}
+	return float64(lats[i].Nanoseconds()) / 1e6
 }
 
 // queryPhase reconciles the store once, exports a snapshot, and replays
 // up to n exact-copy queries (each reference's own atomic values) against
-// the warm matcher, reporting per-query latency quantiles.
+// the warm matcher, reporting per-query latency quantiles; the same
+// queries then replay through the collective matcher with the reference's
+// associations attached.
 func queryPhase(store *reference.Store, n int) benchQuery {
 	sess := recon.New(schema.PIM(), recon.DefaultConfig()).NewSession(store)
 	if _, err := sess.Reconcile(); err != nil {
@@ -260,6 +285,9 @@ func queryPhase(store *reference.Store, n int) benchQuery {
 		log.Fatal(err)
 	}
 	m := recon.NewMatcher(schema.PIM(), recon.DefaultConfig(), snap)
+	// Budget 0: no wall-clock limit, so the collective measurements are a
+	// deterministic function of the dataset (only node/step budgets apply).
+	cm := recon.NewCollectiveMatcher(m, collective.Config{})
 
 	var queries []recon.Query
 	stride := store.Len() / n
@@ -272,6 +300,12 @@ func queryPhase(store *reference.Store, n int) benchQuery {
 		for _, attr := range r.AtomicAttrs() {
 			q.Atomic[attr] = r.Atomic(attr)
 		}
+		for _, attr := range r.AssocAttrs() {
+			if q.Assoc == nil {
+				q.Assoc = make(map[string][]reference.ID)
+			}
+			q.Assoc[attr] = r.Assoc(attr)
+		}
 		if len(q.Atomic) > 0 {
 			queries = append(queries, q)
 		}
@@ -283,8 +317,10 @@ func queryPhase(store *reference.Store, n int) benchQuery {
 		lats = lats[:0]
 		totalRefs = 0
 		for _, q := range queries {
+			aq := q
+			aq.Assoc = nil
 			t0 := time.Now()
-			_, stats, err := m.Match(q)
+			_, stats, err := m.Match(aq)
 			lat := time.Since(t0)
 			if err != nil {
 				log.Fatal(err)
@@ -294,19 +330,36 @@ func queryPhase(store *reference.Store, n int) benchQuery {
 		}
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	quant := func(q float64) float64 {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(q * float64(len(lats)))
-		if i >= len(lats) {
-			i = len(lats) - 1
-		}
-		return float64(lats[i].Nanoseconds()) / 1e6
-	}
-	out := benchQuery{Queries: len(lats), P50MS: quant(0.50), P99MS: quant(0.99)}
+	out := benchQuery{Queries: len(lats), P50MS: latQuantiles(lats, 0.50), P99MS: latQuantiles(lats, 0.99)}
 	if len(lats) > 0 {
 		out.MeanCandidateRefs = float64(totalRefs) / float64(len(lats))
+	}
+
+	clats := make([]time.Duration, 0, len(queries))
+	totalNodes, degraded := 0, 0
+	for rep := 0; rep < 2; rep++ {
+		clats = clats[:0]
+		totalNodes, degraded = 0, 0
+		for _, q := range queries {
+			t0 := time.Now()
+			_, st, err := cm.Match(q)
+			lat := time.Since(t0)
+			if err != nil {
+				log.Fatal(err)
+			}
+			clats = append(clats, lat)
+			totalNodes += st.Expansion.PairNodes
+			if st.Expansion.Degraded {
+				degraded++
+			}
+		}
+	}
+	sort.Slice(clats, func(i, j int) bool { return clats[i] < clats[j] })
+	out.CollectiveP50MS = latQuantiles(clats, 0.50)
+	out.CollectiveP99MS = latQuantiles(clats, 0.99)
+	out.Degraded = degraded
+	if len(clats) > 0 {
+		out.MeanExpansionNodes = float64(totalNodes) / float64(len(clats))
 	}
 	return out
 }
@@ -445,6 +498,8 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 		base.Query = append(base.Query, qb)
 		fmt.Printf("%-5s query:     p50 %8.3fms  p99 %8.3fms  (%d queries, mean %.1f candidate refs)\n",
 			name, qb.P50MS, qb.P99MS, qb.Queries, qb.MeanCandidateRefs)
+		fmt.Printf("%-5s collective: p50 %7.3fms  p99 %8.3fms  (mean %.1f pair nodes, %d degraded)\n",
+			name, qb.CollectiveP50MS, qb.CollectiveP99MS, qb.MeanExpansionNodes, qb.Degraded)
 		for _, k := range []int{1, 2, 4} {
 			cfg := recon.DefaultConfig()
 			cfg.Shards = k

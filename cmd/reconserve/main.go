@@ -7,6 +7,8 @@
 //	reconserve [-addr :8080] [-in dataset.json] [-name refrecon]
 //	           [-evidence attr|nameemail|article|contact] [-constraints=true]
 //	           [-workers N] [-audit] [-data-dir DIR] [-checkpoint-every N]
+//	           [-collective-max-nodes N] [-collective-max-hops N]
+//	           [-collective-budget-ms MS]
 //
 // With -in, the dataset (cmd/pimgen JSON format) is reconciled at startup
 // as the first batch; without it the service starts empty and is
@@ -32,6 +34,7 @@ import (
 	"syscall"
 	"time"
 
+	"refrecon/internal/collective"
 	"refrecon/internal/dataset"
 	"refrecon/internal/obs"
 	"refrecon/internal/recon"
@@ -52,6 +55,9 @@ func main() {
 	auditFlag := flag.Bool("audit", false, "verify structural invariants after every batch (slower)")
 	dataDir := flag.String("data-dir", "", "durability directory: write-ahead batch log + snapshot checkpoints (empty = in-memory only)")
 	ckptEvery := flag.Int("checkpoint-every", 16, "write a checkpoint every N committed batches (requires -data-dir; negative disables periodic checkpoints)")
+	collNodes := flag.Int("collective-max-nodes", 512, "collective mode: max reference-pair nodes expanded per query")
+	collHops := flag.Int("collective-max-hops", 2, "collective mode: max expansion hops from the query")
+	collBudget := flag.Float64("collective-budget-ms", 250, "collective mode: wall-clock budget per query in ms (negative disables)")
 	flag.Parse()
 
 	cfg := recon.DefaultConfig()
@@ -96,12 +102,23 @@ func main() {
 	}
 
 	start := time.Now()
+	collCfg := collective.Config{
+		MaxNodes: *collNodes,
+		MaxHops:  *collHops,
+	}
+	switch {
+	case *collBudget < 0:
+		collCfg.Budget = -1 // serve maps negative to "no time budget"
+	case *collBudget > 0:
+		collCfg.Budget = time.Duration(*collBudget * float64(time.Millisecond))
+	}
 	svc, err := serve.NewFromStore(serve.Config{
 		Schema:          schema.PIM(),
 		Recon:           cfg,
 		Name:            *name,
 		DataDir:         *dataDir,
 		CheckpointEvery: *ckptEvery,
+		Collective:      collCfg,
 	}, store)
 	if err != nil {
 		log.Fatal(err)

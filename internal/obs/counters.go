@@ -48,6 +48,14 @@ type Counters struct {
 	FrontierRounds      atomic.Int64
 	FrontierActivations atomic.Int64
 
+	// Query-time collective reconciliation: queries run, queries that
+	// degraded to the attribute-only fallback, RefPair nodes materialized
+	// across all expansions, and the largest single expansion.
+	CollectiveQueries      atomic.Int64
+	CollectiveDegraded     atomic.Int64
+	CollectivePairNodes    atomic.Int64
+	CollectiveMaxPairNodes atomic.Int64 // max, not sum
+
 	// Session-level events.
 	Batches  atomic.Int64
 	Canceled atomic.Int64
@@ -70,31 +78,36 @@ func UpdateMax(c *atomic.Int64, v int64) {
 // CounterSnapshot is a point-in-time copy of a Counters set, shaped for
 // JSON rendering (the serve /metrics document embeds one).
 type CounterSnapshot struct {
-	SimfnCacheHits      int64 `json:"simfnCacheHits"`
-	SimfnCacheMisses    int64 `json:"simfnCacheMisses"`
-	BlockingCandidates  int64 `json:"blockingCandidates"`
-	SkippedBuckets      int64 `json:"skippedBuckets"`
-	BlockingKeys        int64 `json:"blockingKeys"`
-	MaxBucket           int64 `json:"maxBucket"`
-	Steps               int64 `json:"steps"`
-	Merges              int64 `json:"merges"`
-	Folds               int64 `json:"folds"`
-	Rounds              int64 `json:"rounds"`
-	RequeueReal         int64 `json:"requeueReal"`
-	RequeueStrong       int64 `json:"requeueStrong"`
-	RequeueWeak         int64 `json:"requeueWeak"`
-	QueueHighWater      int64 `json:"queueHighWater"`
-	DeltaHits           int64 `json:"deltaHits"`
-	AggBuilds           int64 `json:"aggBuilds"`
-	AggRebuilds         int64 `json:"aggRebuilds"`
-	ShardRuns           int64 `json:"shardRuns"`
-	ShardComponents     int64 `json:"shardComponents"`
-	LargestComponent    int64 `json:"largestComponent"`
-	BoundaryLinks       int64 `json:"boundaryLinks"`
-	FrontierRounds      int64 `json:"frontierRounds"`
-	FrontierActivations int64 `json:"frontierActivations"`
-	Batches             int64 `json:"batches"`
-	Canceled            int64 `json:"canceled"`
+	SimfnCacheHits         int64 `json:"simfnCacheHits"`
+	SimfnCacheMisses       int64 `json:"simfnCacheMisses"`
+	BlockingCandidates     int64 `json:"blockingCandidates"`
+	SkippedBuckets         int64 `json:"skippedBuckets"`
+	BlockingKeys           int64 `json:"blockingKeys"`
+	MaxBucket              int64 `json:"maxBucket"`
+	Steps                  int64 `json:"steps"`
+	Merges                 int64 `json:"merges"`
+	Folds                  int64 `json:"folds"`
+	Rounds                 int64 `json:"rounds"`
+	RequeueReal            int64 `json:"requeueReal"`
+	RequeueStrong          int64 `json:"requeueStrong"`
+	RequeueWeak            int64 `json:"requeueWeak"`
+	QueueHighWater         int64 `json:"queueHighWater"`
+	DeltaHits              int64 `json:"deltaHits"`
+	AggBuilds              int64 `json:"aggBuilds"`
+	AggRebuilds            int64 `json:"aggRebuilds"`
+	ShardRuns              int64 `json:"shardRuns"`
+	ShardComponents        int64 `json:"shardComponents"`
+	LargestComponent       int64 `json:"largestComponent"`
+	BoundaryLinks          int64 `json:"boundaryLinks"`
+	FrontierRounds         int64 `json:"frontierRounds"`
+	FrontierActivations    int64 `json:"frontierActivations"`
+	CollectiveQueries      int64 `json:"collectiveQueries"`
+	CollectiveDegraded     int64 `json:"collectiveDegraded"`
+	CollectivePairNodes    int64 `json:"collectivePairNodes"`
+	CollectiveMaxPairNodes int64 `json:"collectiveMaxPairNodes"`
+
+	Batches  int64 `json:"batches"`
+	Canceled int64 `json:"canceled"`
 }
 
 // Snapshot copies the current counter values. Safe on a nil receiver
@@ -104,30 +117,34 @@ func (c *Counters) Snapshot() CounterSnapshot {
 		return CounterSnapshot{}
 	}
 	return CounterSnapshot{
-		SimfnCacheHits:      c.SimfnCacheHits.Load(),
-		SimfnCacheMisses:    c.SimfnCacheMisses.Load(),
-		BlockingCandidates:  c.BlockingCandidates.Load(),
-		SkippedBuckets:      c.SkippedBuckets.Load(),
-		BlockingKeys:        c.BlockingKeys.Load(),
-		MaxBucket:           c.MaxBucket.Load(),
-		Steps:               c.Steps.Load(),
-		Merges:              c.Merges.Load(),
-		Folds:               c.Folds.Load(),
-		Rounds:              c.Rounds.Load(),
-		RequeueReal:         c.RequeueReal.Load(),
-		RequeueStrong:       c.RequeueStrong.Load(),
-		RequeueWeak:         c.RequeueWeak.Load(),
-		QueueHighWater:      c.QueueHighWater.Load(),
-		DeltaHits:           c.DeltaHits.Load(),
-		AggBuilds:           c.AggBuilds.Load(),
-		AggRebuilds:         c.AggRebuilds.Load(),
-		ShardRuns:           c.ShardRuns.Load(),
-		ShardComponents:     c.ShardComponents.Load(),
-		LargestComponent:    c.LargestComponent.Load(),
-		BoundaryLinks:       c.BoundaryLinks.Load(),
-		FrontierRounds:      c.FrontierRounds.Load(),
-		FrontierActivations: c.FrontierActivations.Load(),
-		Batches:             c.Batches.Load(),
-		Canceled:            c.Canceled.Load(),
+		SimfnCacheHits:         c.SimfnCacheHits.Load(),
+		SimfnCacheMisses:       c.SimfnCacheMisses.Load(),
+		BlockingCandidates:     c.BlockingCandidates.Load(),
+		SkippedBuckets:         c.SkippedBuckets.Load(),
+		BlockingKeys:           c.BlockingKeys.Load(),
+		MaxBucket:              c.MaxBucket.Load(),
+		Steps:                  c.Steps.Load(),
+		Merges:                 c.Merges.Load(),
+		Folds:                  c.Folds.Load(),
+		Rounds:                 c.Rounds.Load(),
+		RequeueReal:            c.RequeueReal.Load(),
+		RequeueStrong:          c.RequeueStrong.Load(),
+		RequeueWeak:            c.RequeueWeak.Load(),
+		QueueHighWater:         c.QueueHighWater.Load(),
+		DeltaHits:              c.DeltaHits.Load(),
+		AggBuilds:              c.AggBuilds.Load(),
+		AggRebuilds:            c.AggRebuilds.Load(),
+		ShardRuns:              c.ShardRuns.Load(),
+		ShardComponents:        c.ShardComponents.Load(),
+		LargestComponent:       c.LargestComponent.Load(),
+		BoundaryLinks:          c.BoundaryLinks.Load(),
+		FrontierRounds:         c.FrontierRounds.Load(),
+		FrontierActivations:    c.FrontierActivations.Load(),
+		CollectiveQueries:      c.CollectiveQueries.Load(),
+		CollectiveDegraded:     c.CollectiveDegraded.Load(),
+		CollectivePairNodes:    c.CollectivePairNodes.Load(),
+		CollectiveMaxPairNodes: c.CollectiveMaxPairNodes.Load(),
+		Batches:                c.Batches.Load(),
+		Canceled:               c.Canceled.Load(),
 	}
 }

@@ -1,0 +1,467 @@
+package recon
+
+// Query-time collective reconciliation: the CollectiveMatcher wraps the
+// attribute-only Matcher and, per query, asks internal/collective to
+// expand a bounded neighborhood around the query reference, run the
+// propagation fixed point over it, and raise the entity scores with the
+// collectively-informed pair similarities. A degraded run (budget
+// exhausted) falls back to the Matcher's candidate list bit-for-bit — the
+// fallback is the Matcher, not an approximation of it.
+
+import (
+	"fmt"
+	"sort"
+
+	"refrecon/internal/collective"
+	"refrecon/internal/depgraph"
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+	"refrecon/internal/simfn"
+	"refrecon/internal/tokenizer"
+)
+
+// contactsAttr is the pseudo-attribute the collective host pools a
+// person's coAuthor and emailContact links under, mirroring the offline
+// builder's contact union (Figure 2(b)).
+const contactsAttr = "contacts"
+
+// CollectiveStats extends MatchStats with the expansion/propagation
+// telemetry of the collective pass.
+type CollectiveStats struct {
+	MatchStats
+	// Expansion describes the collective pass: neighborhood size, engine
+	// activity, and whether (and why) the query degraded to the
+	// attribute-only fallback.
+	Expansion collective.Stats
+}
+
+// CollectiveMatcher answers reconciliation queries with query-time
+// collective resolution over a Matcher's snapshot. Safe for concurrent
+// use: each Match call materializes its own local graph.
+type CollectiveMatcher struct {
+	m  *Matcher
+	cc collective.Config
+}
+
+// NewCollectiveMatcher wraps a Matcher. Unset collective thresholds and
+// parameters inherit the Matcher's reconciliation Config, so the local
+// fixed point agrees with the offline one.
+func NewCollectiveMatcher(m *Matcher, cc collective.Config) *CollectiveMatcher {
+	if cc.Params == nil {
+		cc.Params = m.cfg.Params
+	}
+	if cc.MergeThreshold == 0 {
+		cc.MergeThreshold = m.cfg.MergeThreshold
+	}
+	if cc.AttrMergeThreshold == 0 {
+		cc.AttrMergeThreshold = m.cfg.AttrMergeThreshold
+	}
+	if cc.Obs == nil {
+		cc.Obs = m.cfg.Obs
+	}
+	return &CollectiveMatcher{m: m, cc: cc.WithDefaults()}
+}
+
+// Matcher returns the wrapped attribute-only matcher.
+func (cm *CollectiveMatcher) Matcher() *Matcher { return cm.m }
+
+// Config returns the resolved collective configuration (defaults filled).
+func (cm *CollectiveMatcher) Config() collective.Config { return cm.cc }
+
+// Match resolves one query collectively under the matcher's configured
+// budgets.
+func (cm *CollectiveMatcher) Match(q Query) ([]Candidate, CollectiveStats, error) {
+	return cm.MatchConfig(q, cm.cc)
+}
+
+// MatchConfig resolves one query collectively under an explicit budget
+// configuration (serve uses it for per-query budget knobs). Collective
+// scores only ever raise an entity above its attribute-only score, so the
+// result is never worse than Matcher.Match on the same query; when the
+// budget degrades the run, it is exactly Matcher.Match.
+func (cm *CollectiveMatcher) MatchConfig(q Query, cc collective.Config) ([]Candidate, CollectiveStats, error) {
+	m := cm.m
+	class, ok := m.sch.Class(q.Class)
+	if !ok {
+		return nil, CollectiveStats{}, fmt.Errorf("recon: unknown query class %q", q.Class)
+	}
+	qr, err := buildQueryRef(class, q)
+	if err != nil {
+		return nil, CollectiveStats{}, err
+	}
+	assoc, err := cm.validateAssoc(class, q)
+	if err != nil {
+		return nil, CollectiveStats{}, err
+	}
+	if qr.IsEmpty() && len(assoc) == 0 {
+		return nil, CollectiveStats{}, nil
+	}
+
+	// Attribute-only base, untruncated: the collective pass raises entity
+	// scores, and the final ranking must see every blocked entity, not
+	// the attribute-only top-limit.
+	baseQ := q
+	baseQ.Assoc = nil
+	baseQ.Limit = 1 << 30
+	base, mstats, err := m.Match(baseQ)
+	if err != nil {
+		return nil, CollectiveStats{}, err
+	}
+	st := CollectiveStats{MatchStats: mstats}
+
+	limit := q.Limit
+	if limit <= 0 {
+		limit = 10
+	}
+	finish := func(cands []Candidate) []Candidate {
+		sort.Slice(cands, func(i, j int) bool {
+			if cands[i].Score != cands[j].Score {
+				return cands[i].Score > cands[j].Score
+			}
+			return cands[i].Entity.Canonical < cands[j].Entity.Canonical
+		})
+		if len(cands) > limit {
+			cands = cands[:limit]
+		}
+		MarkMatches(cands, m.cfg.MergeThreshold)
+		return cands
+	}
+
+	if qr.IsEmpty() {
+		// Associations alone generate no blocking candidates; nothing to
+		// expand from.
+		return nil, st, nil
+	}
+
+	host := newQueryHost(m, qr, assoc, cc.AttrMergeThreshold)
+	res := collective.Resolve(host, collective.Request{Query: host.qid}, cc)
+	st.Expansion = res.Stats
+	if res.Stats.Degraded || res.Scores == nil {
+		return finish(base), st, nil
+	}
+
+	// Entity-level MAX raise: a candidate entity's score becomes the max
+	// of its attribute-only score and the collective similarity of any of
+	// its member references with the query. Candidate ids are visited in
+	// sorted order (MAX is order-independent; the order only pins the
+	// iteration itself).
+	pos := make(map[int]int, len(base))
+	for i := range base {
+		pos[base[i].Entity.Label] = i
+	}
+	ids := make([]reference.ID, 0, len(res.Scores))
+	for id := range res.Scores {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		label, ok := m.snap.assignment[id]
+		if !ok {
+			continue
+		}
+		i, ok := pos[label]
+		if !ok {
+			continue
+		}
+		if s := res.Scores[id]; s > base[i].Score {
+			base[i].Score = s
+		}
+	}
+	return finish(base), st, nil
+}
+
+// validateAssoc checks the query's association attributes against the
+// class schema and its target ids against the snapshot, returning a
+// normalized copy with sorted, deduplicated target lists.
+func (cm *CollectiveMatcher) validateAssoc(class *schema.Class, q Query) (map[string][]reference.ID, error) {
+	if len(q.Assoc) == 0 {
+		return nil, nil
+	}
+	snap := cm.m.snap
+	out := make(map[string][]reference.ID, len(q.Assoc))
+	attrs := make([]string, 0, len(q.Assoc))
+	for a := range q.Assoc {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		a, ok := class.Attr(attr)
+		if !ok || a.Kind != schema.Association {
+			return nil, fmt.Errorf("recon: class %q has no association attribute %q", q.Class, attr)
+		}
+		seen := make(map[reference.ID]bool, len(q.Assoc[attr]))
+		var ts []reference.ID
+		for _, t := range q.Assoc[attr] {
+			sr, ok := snap.Ref(t)
+			if !ok {
+				return nil, fmt.Errorf("recon: association %q target %d is not a stored reference", attr, t)
+			}
+			if sr.Class != a.Target {
+				return nil, fmt.Errorf("recon: association %q target %d has class %q, want %q", attr, t, sr.Class, a.Target)
+			}
+			if !seen[t] {
+				seen[t] = true
+				ts = append(ts, t)
+			}
+		}
+		if len(ts) > 0 {
+			sort.Slice(ts, func(i, j int) bool { return ts[i] < ts[j] })
+			out[attr] = ts
+		}
+	}
+	return out, nil
+}
+
+// queryHost adapts one (Matcher, query reference) pair to the
+// collective.Host interface. The query reference gets the first id past
+// the stored id space; everything else resolves through the snapshot.
+// Not safe for concurrent use — each Match call builds its own.
+type queryHost struct {
+	m       *Matcher
+	qr      *reference.Reference
+	qid     reference.ID
+	assoc   map[string][]reference.ID
+	attrThr float64
+
+	cands map[reference.ID][]reference.ID
+	cmps  map[string][]attrCompare
+	elems map[string]map[string]string
+}
+
+func newQueryHost(m *Matcher, qr *reference.Reference, assoc map[string][]reference.ID, attrThr float64) *queryHost {
+	return &queryHost{
+		m:       m,
+		qr:      qr,
+		qid:     reference.ID(m.snap.RefCount()),
+		assoc:   assoc,
+		attrThr: attrThr,
+		cands:   make(map[reference.ID][]reference.ID),
+		cmps:    make(map[string][]attrCompare),
+		elems:   make(map[string]map[string]string),
+	}
+}
+
+// ClassOf implements collective.Host.
+func (h *queryHost) ClassOf(id reference.ID) string {
+	if id == h.qid {
+		return h.qr.Class
+	}
+	if sr, ok := h.m.snap.Ref(id); ok {
+		return sr.Class
+	}
+	return ""
+}
+
+// Candidates implements collective.Host: blocking-index lookup over the
+// reference's keys, memoized, with the reference itself removed.
+func (h *queryHost) Candidates(id reference.ID) []reference.ID {
+	if got, ok := h.cands[id]; ok {
+		return got
+	}
+	var keys []string
+	var class string
+	if id == h.qid {
+		class = h.qr.Class
+		blockingKeys(h.qr, func(k string) { keys = append(keys, k) })
+	} else {
+		sr, ok := h.m.snap.Ref(id)
+		if !ok {
+			h.cands[id] = nil
+			return nil
+		}
+		class = sr.Class
+		blockingKeys(sr.detached(), func(k string) { keys = append(keys, k) })
+	}
+	var ids []reference.ID
+	if idx := h.m.idx[class]; idx != nil && len(keys) > 0 {
+		ids = idx.Candidates(keys)
+	}
+	out := ids[:0]
+	for _, c := range ids {
+		if c != id {
+			out = append(out, c)
+		}
+	}
+	h.cands[id] = out
+	return out
+}
+
+// EachAssoc implements collective.Host. Person references pool coAuthor
+// and emailContact under the contacts pseudo-attribute (the paper relates
+// one reference's co-author to another's email contact); other classes
+// emit their association attributes in sorted order.
+func (h *queryHost) EachAssoc(id reference.ID, fn func(attr string, targets []reference.ID)) {
+	var assoc map[string][]reference.ID
+	if id == h.qid {
+		assoc = h.assoc
+	} else if sr, ok := h.m.snap.Ref(id); ok {
+		assoc = sr.Assoc
+	}
+	if len(assoc) == 0 {
+		return
+	}
+	if h.ClassOf(id) == schema.ClassPerson {
+		if pooled := pooledContacts(assoc); len(pooled) > 0 {
+			fn(contactsAttr, pooled)
+		}
+		return
+	}
+	attrs := make([]string, 0, len(assoc))
+	for a := range assoc {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, a := range attrs {
+		fn(a, assoc[a])
+	}
+}
+
+// pooledContacts unions a person's coAuthor and emailContact targets,
+// deduplicated, in stable order (coAuthor first, as contactsOf does).
+func pooledContacts(assoc map[string][]reference.ID) []reference.ID {
+	co := assoc[schema.AttrCoAuthor]
+	ec := assoc[schema.AttrEmailContact]
+	if len(ec) == 0 {
+		return co
+	}
+	if len(co) == 0 {
+		return ec
+	}
+	out := make([]reference.ID, 0, len(co)+len(ec))
+	seen := make(map[reference.ID]bool, len(co)+len(ec))
+	for _, lists := range [2][]reference.ID{co, ec} {
+		for _, id := range lists {
+			if !seen[id] {
+				seen[id] = true
+				out = append(out, id)
+			}
+		}
+	}
+	return out
+}
+
+// AssocEvidence implements collective.Host, mirroring the offline
+// builder's association wiring: author and venue similarities feed an
+// article pair as real-valued evidence (with the strong-boolean back edge
+// of Figure 2 where the evidence level allows), contacts are weak-boolean
+// person evidence, and custom classes get conservative generic
+// weak-boolean links.
+func (h *queryHost) AssocEvidence(class, attr string) (string, depgraph.DepType, string, bool) {
+	switch class {
+	case schema.ClassArticle:
+		switch attr {
+		case schema.AttrAuthoredBy:
+			back := ""
+			if h.m.cfg.Evidence >= EvidenceArticle {
+				back = simfn.EvArticle
+			}
+			return simfn.EvAuthors, depgraph.RealValued, back, true
+		case schema.AttrPublishedIn:
+			return simfn.EvVenue, depgraph.RealValued, simfn.EvArticle, true
+		}
+		return "", 0, "", false
+	case schema.ClassPerson:
+		if attr == contactsAttr && h.m.cfg.Evidence >= EvidenceContact {
+			return simfn.EvContact, depgraph.WeakBoolean, "", true
+		}
+		return "", 0, "", false
+	case schema.ClassVenue:
+		return "", 0, "", false
+	}
+	if c, ok := h.m.sch.Class(class); ok {
+		if a, ok := c.Attr(attr); ok && a.Kind == schema.Association {
+			return "ga:" + attr, depgraph.WeakBoolean, "", true
+		}
+	}
+	return "", 0, "", false
+}
+
+// WireAttrEvidence implements collective.Host: the same value-pair nodes
+// and edges wireScored creates offline, scored against the matcher's
+// frozen corpus statistics.
+func (h *queryHost) WireAttrEvidence(g *depgraph.Graph, n *depgraph.Node, a, b reference.ID) bool {
+	class := n.Class()
+	cmps, ok := h.cmps[class]
+	if !ok {
+		cmps = comparisons(h.m.sch, class, h.m.cfg.Evidence)
+		h.cmps[class] = cmps
+	}
+	wired := false
+	for _, cmp := range cmps {
+		for _, v1 := range h.atomicOf(a, cmp.attrA) {
+			for _, v2 := range h.atomicOf(b, cmp.attrB) {
+				x, y := v1, v2
+				if cmp.swap {
+					x, y = v2, v1
+				}
+				sim := h.m.lib.Compare(cmp.evidence, x, y)
+				if sim < simfn.CandidateThreshold(cmp.evidence) {
+					continue
+				}
+				vn := g.AddValuePair(cmp.evidence, h.elemKey(cmp.attrA, v1), h.elemKey(cmp.attrB, v2), sim)
+				if vn.Sim() >= h.attrThr && vn.Status() != depgraph.Merged {
+					g.MarkMerged(vn)
+				}
+				g.AddEdge(vn, n, depgraph.RealValued, cmp.evidence)
+				if simfn.AliasEvidence(cmp.evidence) && !cmp.swap && cmp.attrA == cmp.attrB {
+					g.AddEdge(n, vn, depgraph.StrongBoolean, cmp.evidence)
+				}
+				wired = true
+			}
+		}
+	}
+	return wired
+}
+
+func (h *queryHost) atomicOf(id reference.ID, attr string) []string {
+	if id == h.qid {
+		return h.qr.Atomic(attr)
+	}
+	if sr, ok := h.m.snap.Ref(id); ok {
+		return sr.Atomic[attr]
+	}
+	return nil
+}
+
+func (h *queryHost) elemKey(attr, raw string) string {
+	m := h.elems[attr]
+	if m == nil {
+		m = make(map[string]string)
+		h.elems[attr] = m
+	}
+	if e, ok := m[raw]; ok {
+		return e
+	}
+	e := elemPrefix(attr) + tokenizer.Normalize(raw)
+	m[raw] = e
+	return e
+}
+
+// Frozen implements collective.Host from the snapshot's pair decisions
+// and transitive closure: a pair in the same partition is merged (sim 1
+// when the closure united it without a direct merge decision), a
+// constrained pair is non-merge, and a surviving pair node contributes
+// its converged similarity as the floor for re-scoring.
+func (h *queryHost) Frozen(a, b reference.ID) (float64, bool, bool, bool) {
+	snap := h.m.snap
+	n := reference.ID(snap.RefCount())
+	if a < 0 || b < 0 || a >= n || b >= n {
+		return 0, false, false, false
+	}
+	same := snap.SameEntity(a, b)
+	d := snap.Pair(a, b)
+	if d == nil {
+		if same {
+			return 1, true, false, true
+		}
+		return 0, false, false, false
+	}
+	directMerge := d.Status == depgraph.Merged.String()
+	nonMerge := d.Status == depgraph.NonMerge.String()
+	merged := same || directMerge
+	sim := d.Sim
+	if merged && !directMerge {
+		sim = 1
+	}
+	return sim, merged, nonMerge && !same, true
+}

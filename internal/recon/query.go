@@ -26,6 +26,11 @@ type Query struct {
 	Class string
 	// Atomic maps attribute names to the query's values.
 	Atomic map[string][]string
+	// Assoc maps association attribute names to stored reference ids the
+	// queried entity is known to link to (e.g. an article query naming
+	// its already-reconciled authors). Only the CollectiveMatcher reads
+	// it; the attribute-only Matcher ignores associations.
+	Assoc map[string][]reference.ID
 	// Limit bounds the returned candidates (<= 0 means the Matcher's
 	// default of 10).
 	Limit int
@@ -120,20 +125,9 @@ func (m *Matcher) Match(q Query) ([]Candidate, MatchStats, error) {
 	if !ok {
 		return nil, MatchStats{}, fmt.Errorf("recon: unknown query class %q", q.Class)
 	}
-	qr := reference.New(q.Class)
-	attrs := make([]string, 0, len(q.Atomic))
-	for a := range q.Atomic {
-		attrs = append(attrs, a)
-	}
-	sort.Strings(attrs)
-	for _, attr := range attrs {
-		a, ok := class.Attr(attr)
-		if !ok || a.Kind != schema.Atomic {
-			return nil, MatchStats{}, fmt.Errorf("recon: class %q has no atomic attribute %q", q.Class, attr)
-		}
-		for _, v := range q.Atomic[attr] {
-			qr.AddAtomic(attr, v)
-		}
+	qr, err := buildQueryRef(class, q)
+	if err != nil {
+		return nil, MatchStats{}, err
 	}
 	if qr.IsEmpty() {
 		return nil, MatchStats{}, nil
@@ -177,6 +171,28 @@ func (m *Matcher) Match(q Query) ([]Candidate, MatchStats, error) {
 	}
 	MarkMatches(cands, m.cfg.MergeThreshold)
 	return cands, stats, nil
+}
+
+// buildQueryRef materializes a query's atomic values as a free-standing
+// reference of the class, validating each attribute, with deterministic
+// (sorted) attribute order.
+func buildQueryRef(class *schema.Class, q Query) (*reference.Reference, error) {
+	qr := reference.New(q.Class)
+	attrs := make([]string, 0, len(q.Atomic))
+	for a := range q.Atomic {
+		attrs = append(attrs, a)
+	}
+	sort.Strings(attrs)
+	for _, attr := range attrs {
+		a, ok := class.Attr(attr)
+		if !ok || a.Kind != schema.Atomic {
+			return nil, fmt.Errorf("recon: class %q has no atomic attribute %q", q.Class, attr)
+		}
+		for _, v := range q.Atomic[attr] {
+			qr.AddAtomic(attr, v)
+		}
+	}
+	return qr, nil
 }
 
 // MarkMatches sets the Match flag on a score-sorted candidate list: the

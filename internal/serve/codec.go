@@ -22,18 +22,40 @@ type TypeRef struct {
 
 // Manifest is the service manifest served at /.
 type Manifest struct {
-	Versions        []string      `json:"versions"`
-	Name            string        `json:"name"`
-	IdentifierSpace string        `json:"identifierSpace"`
-	SchemaSpace     string        `json:"schemaSpace"`
-	DefaultTypes    []TypeRef     `json:"defaultTypes"`
-	View            *ManifestView `json:"view,omitempty"`
+	Versions        []string            `json:"versions"`
+	Name            string              `json:"name"`
+	IdentifierSpace string              `json:"identifierSpace"`
+	SchemaSpace     string              `json:"schemaSpace"`
+	DefaultTypes    []TypeRef           `json:"defaultTypes"`
+	View            *ManifestView       `json:"view,omitempty"`
+	Collective      *CollectiveManifest `json:"collective,omitempty"`
+}
+
+// CollectiveManifest advertises the query modes the service accepts and
+// the server-side budget defaults of the collective mode (per-query knobs
+// can only lower them).
+type CollectiveManifest struct {
+	Modes        []string `json:"modes"`
+	MaxNodes     int      `json:"maxNodes"`
+	MaxHops      int      `json:"maxHops"`
+	MaxNeighbors int      `json:"maxNeighbors"`
+	BudgetMS     float64  `json:"budgetMs"`
 }
 
 // ManifestView tells clients how to deep-link an entity id.
 type ManifestView struct {
 	URL string `json:"url"`
 }
+
+// Query modes accepted by the reconcile endpoint.
+const (
+	// ModeAttribute is the default: attribute-only entity scoring.
+	ModeAttribute = "attribute"
+	// ModeCollective runs query-time collective reconciliation — bounded
+	// expand-and-resolve over the snapshot's relational neighborhood —
+	// and degrades to attribute-only scoring when a budget is exhausted.
+	ModeCollective = "collective"
+)
 
 // ReconQuery is one entry of a reconcile batch.
 type ReconQuery struct {
@@ -45,8 +67,18 @@ type ReconQuery struct {
 	// Limit bounds the number of candidates returned.
 	Limit int `json:"limit,omitempty"`
 	// Properties carry additional attribute constraints; PID is the
-	// attribute name.
+	// attribute name. In collective mode a PID naming an association
+	// attribute carries stored reference ids instead of values.
 	Properties []QueryProperty `json:"properties,omitempty"`
+	// Mode selects the scoring path: "" or "attribute" for attribute-only
+	// scoring, "collective" for query-time collective reconciliation.
+	Mode string `json:"mode,omitempty"`
+	// MaxNodes, MaxHops, and BudgetMS lower the server's collective
+	// budgets for this query (they can never raise them). Zero keeps the
+	// server default. Ignored outside collective mode.
+	MaxNodes int     `json:"maxNodes,omitempty"`
+	MaxHops  int     `json:"maxHops,omitempty"`
+	BudgetMS float64 `json:"budgetMs,omitempty"`
 }
 
 // QueryProperty is one property constraint of a query.

@@ -98,18 +98,110 @@ func (h *histogram) summary() LatencySummary {
 	return s
 }
 
+// sizeHistogram is a lock-free fixed-bucket histogram over integer sizes
+// (expanded-subgraph node counts). Buckets are powers of two; quantiles
+// are estimated as the bucket upper bound, the max is exact.
+type sizeHistogram struct {
+	bounds []int64
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Int64
+	max    atomic.Int64
+}
+
+func newSizeHistogram() *sizeHistogram {
+	// 1, 2, 4, .. 65536: collective subgraphs are budget-capped (default
+	// 512 pair nodes), so the top buckets only catch raised budgets.
+	var bounds []int64
+	for b := int64(1); b <= 65536; b *= 2 {
+		bounds = append(bounds, b)
+	}
+	return &sizeHistogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *sizeHistogram) observe(n int) {
+	v := int64(n)
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	h.sum.Add(v)
+	for {
+		cur := h.max.Load()
+		if v <= cur || h.max.CompareAndSwap(cur, v) {
+			break
+		}
+	}
+}
+
+// quantile returns the estimated q-quantile size (0 with no observations).
+func (h *sizeHistogram) quantile(q float64) int64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > target {
+			if i < len(h.bounds) {
+				return h.bounds[i]
+			}
+			return h.max.Load()
+		}
+	}
+	return h.max.Load()
+}
+
+// SizeSummary is the JSON rendering of a sizeHistogram.
+type SizeSummary struct {
+	Count int64   `json:"count"`
+	Mean  float64 `json:"mean"`
+	P50   int64   `json:"p50"`
+	P90   int64   `json:"p90"`
+	P99   int64   `json:"p99"`
+	Max   int64   `json:"max"`
+}
+
+func (h *sizeHistogram) summary() SizeSummary {
+	s := SizeSummary{
+		Count: h.count.Load(),
+		P50:   h.quantile(0.50),
+		P90:   h.quantile(0.90),
+		P99:   h.quantile(0.99),
+		Max:   h.max.Load(),
+	}
+	if s.Count > 0 {
+		s.Mean = float64(h.sum.Load()) / float64(s.Count)
+	}
+	return s
+}
+
 // metrics aggregates the service counters.
 type metrics struct {
-	queries    atomic.Int64
-	queryErrs  atomic.Int64
-	queryLat   *histogram
-	candRefs   atomic.Int64 // total blocking candidate references across queries
-	candLast   atomic.Int64
-	candMax    atomic.Int64
-	batches    atomic.Int64
-	ingestRefs atomic.Int64
-	ingestNS   atomic.Int64
-	lastInNS   atomic.Int64
+	queries   atomic.Int64 // all reconcile queries, every mode
+	queryErrs atomic.Int64
+	queryLat  *histogram   // attribute-mode latency
+	candRefs  atomic.Int64 // total blocking candidate references across queries
+	candLast  atomic.Int64
+	candMax   atomic.Int64
+
+	// Collective-mode telemetry, split from the attribute path so the two
+	// latency profiles stay readable side by side.
+	collQueries  atomic.Int64
+	collDegraded atomic.Int64 // queries that fell back to attribute-only scoring
+	collLat      *histogram
+	collSize     *sizeHistogram // expanded-subgraph pair nodes per query
+	batches      atomic.Int64
+	ingestRefs   atomic.Int64
+	ingestNS     atomic.Int64
+	lastInNS     atomic.Int64
 
 	// poisoned counts session poisonings (commit or publish failures that
 	// forced a from-scratch rebuild on the next ingest); it ticks in both
@@ -129,7 +221,13 @@ type metrics struct {
 	logSegments    atomic.Int64
 }
 
-func newMetrics() *metrics { return &metrics{queryLat: newHistogram()} }
+func newMetrics() *metrics {
+	return &metrics{
+		queryLat: newHistogram(),
+		collLat:  newHistogram(),
+		collSize: newSizeHistogram(),
+	}
+}
 
 func (m *metrics) recordQuery(d time.Duration, candRefs int, err bool) {
 	m.queries.Add(1)
@@ -138,6 +236,31 @@ func (m *metrics) recordQuery(d time.Duration, candRefs int, err bool) {
 		return
 	}
 	m.queryLat.observe(d)
+	m.candRefs.Add(int64(candRefs))
+	m.candLast.Store(int64(candRefs))
+	for {
+		cur := m.candMax.Load()
+		if int64(candRefs) <= cur || m.candMax.CompareAndSwap(cur, int64(candRefs)) {
+			break
+		}
+	}
+}
+
+// recordCollective records one collective-mode query: latency and
+// expansion size land in the collective histograms, while the shared
+// query/candidate counters tick as for any query.
+func (m *metrics) recordCollective(d time.Duration, candRefs, pairNodes int, degraded, err bool) {
+	m.queries.Add(1)
+	m.collQueries.Add(1)
+	if err {
+		m.queryErrs.Add(1)
+		return
+	}
+	m.collLat.observe(d)
+	m.collSize.observe(pairNodes)
+	if degraded {
+		m.collDegraded.Add(1)
+	}
 	m.candRefs.Add(int64(candRefs))
 	m.candLast.Store(int64(candRefs))
 	for {
@@ -158,14 +281,21 @@ func (m *metrics) recordIngest(refs int, d time.Duration) {
 // MetricsSnapshot is the JSON document served at /metrics (and published
 // via expvar by cmd/reconserve).
 type MetricsSnapshot struct {
-	Queries         int64          `json:"queries"`
-	QueryErrors     int64          `json:"queryErrors"`
-	QueryLatency    LatencySummary `json:"queryLatencyMs"`
-	Candidates      CandidateStats `json:"candidates"`
-	Ingest          IngestMetrics  `json:"ingest"`
-	Snapshot        SnapshotInfo   `json:"snapshot"`
-	UptimeSeconds   float64        `json:"uptimeSeconds"`
-	StoreReferences int            `json:"storeReferences"`
+	Queries      int64          `json:"queries"`
+	QueryErrors  int64          `json:"queryErrors"`
+	QueryLatency LatencySummary `json:"queryLatencyMs"`
+	Candidates   CandidateStats `json:"candidates"`
+	// Collective-mode split: query count, degraded (attribute-fallback)
+	// count, a separate latency histogram, and the expanded-subgraph-size
+	// distribution. QueryLatency above covers attribute-mode queries only.
+	CollectiveQueries   int64          `json:"collectiveQueries"`
+	CollectiveDegraded  int64          `json:"collectiveDegraded"`
+	CollectiveLatency   LatencySummary `json:"collectiveLatencyMs"`
+	CollectiveExpansion SizeSummary    `json:"collectiveExpansionNodes"`
+	Ingest              IngestMetrics  `json:"ingest"`
+	Snapshot            SnapshotInfo   `json:"snapshot"`
+	UptimeSeconds       float64        `json:"uptimeSeconds"`
+	StoreReferences     int            `json:"storeReferences"`
 	// SessionPoisoned counts commits that failed after their batch reached
 	// the store, forcing the next ingest to rebuild the session.
 	SessionPoisoned int64 `json:"sessionPoisoned"`
@@ -226,9 +356,13 @@ type SnapshotInfo struct {
 
 func (m *metrics) snapshot() MetricsSnapshot {
 	out := MetricsSnapshot{
-		Queries:      m.queries.Load(),
-		QueryErrors:  m.queryErrs.Load(),
-		QueryLatency: m.queryLat.summary(),
+		Queries:             m.queries.Load(),
+		QueryErrors:         m.queryErrs.Load(),
+		QueryLatency:        m.queryLat.summary(),
+		CollectiveQueries:   m.collQueries.Load(),
+		CollectiveDegraded:  m.collDegraded.Load(),
+		CollectiveLatency:   m.collLat.summary(),
+		CollectiveExpansion: m.collSize.summary(),
 		Candidates: CandidateStats{
 			Total: m.candRefs.Load(),
 			Last:  m.candLast.Load(),
@@ -241,8 +375,8 @@ func (m *metrics) snapshot() MetricsSnapshot {
 			TotalMS:    float64(m.ingestNS.Load()) / 1e6,
 		},
 	}
-	if ok := out.QueryLatency.Count; ok > 0 {
-		out.Candidates.Mean = float64(out.Candidates.Total) / float64(ok)
+	if n := out.QueryLatency.Count + out.CollectiveLatency.Count; n > 0 {
+		out.Candidates.Mean = float64(out.Candidates.Total) / float64(n)
 	}
 	out.SessionPoisoned = m.poisoned.Load()
 	return out

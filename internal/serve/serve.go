@@ -14,10 +14,12 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
 
+	"refrecon/internal/collective"
 	"refrecon/internal/durable"
 	"refrecon/internal/obs"
 	"refrecon/internal/recon"
@@ -56,14 +58,21 @@ type Config struct {
 	// batches (default 16; negative disables periodic checkpoints — a
 	// final one is still written by Close). Ignored without DataDir.
 	CheckpointEvery int
+	// Collective bounds the collective query mode. Unset fields take the
+	// collective package defaults, except Budget: a serving process must
+	// never run an unbounded fixed point per query, so a zero Budget
+	// defaults to 250ms (set it negative to genuinely disable the time
+	// budget). Per-query knobs can only lower these.
+	Collective collective.Config
 }
 
 // View is one published read state: an immutable snapshot and its query
 // matcher. Views are never mutated after publication.
 type View struct {
-	Snapshot  *recon.Snapshot
-	Matcher   *recon.Matcher
-	Published time.Time
+	Snapshot   *recon.Snapshot
+	Matcher    *recon.Matcher
+	Collective *recon.CollectiveMatcher
+	Published  time.Time
 }
 
 // Service is the reconciliation service. One goroutine at a time may
@@ -127,6 +136,11 @@ func NewFromStore(cfg Config, store *reference.Store) (*Service, error) {
 	if cfg.CheckpointEvery == 0 {
 		cfg.CheckpointEvery = 16
 	}
+	if cfg.Collective.Budget == 0 {
+		cfg.Collective.Budget = 250 * time.Millisecond
+	} else if cfg.Collective.Budget < 0 {
+		cfg.Collective.Budget = 0
+	}
 	if err := store.Validate(cfg.Schema); err != nil {
 		return nil, fmt.Errorf("serve: initial store invalid: %w", err)
 	}
@@ -178,10 +192,12 @@ func (s *Service) publish() error {
 		}
 	}
 	snap.Version = int(s.committed)
+	matcher := recon.NewMatcher(s.cfg.Schema, s.cfg.Recon, snap)
 	v := &View{
-		Snapshot:  snap,
-		Matcher:   recon.NewMatcher(s.cfg.Schema, s.cfg.Recon, snap),
-		Published: time.Now(),
+		Snapshot:   snap,
+		Matcher:    matcher,
+		Collective: recon.NewCollectiveMatcher(matcher, s.cfg.Collective),
+		Published:  time.Now(),
 	}
 	s.view.Store(v)
 	return nil
@@ -391,9 +407,22 @@ func (s *Service) Close() error {
 }
 
 // Query resolves one reconciliation query against the published view,
-// recording latency and candidate-set size. An empty Type fans the query
-// out to every class and re-merges the results.
+// recording latency and candidate-set size (per mode). An empty Type fans
+// the query out to every class and re-merges the results.
 func (s *Service) Query(q ReconQuery) ([]recon.Candidate, error) {
+	switch q.Mode {
+	case "", ModeAttribute:
+		return s.queryAttribute(q)
+	case ModeCollective:
+		return s.queryCollective(q)
+	default:
+		s.met.recordQuery(0, 0, true)
+		return nil, fmt.Errorf("unknown query mode %q (want %q or %q)", q.Mode, ModeAttribute, ModeCollective)
+	}
+}
+
+// queryAttribute is the default attribute-only query path.
+func (s *Service) queryAttribute(q ReconQuery) ([]recon.Candidate, error) {
 	v := s.view.Load()
 	start := time.Now()
 	limit := q.Limit
@@ -407,18 +436,9 @@ func (s *Service) Query(q ReconQuery) ([]recon.Candidate, error) {
 		}
 	}
 
-	var classes []string
-	if q.Type != "" {
-		classes = []string{q.Type}
-	} else {
-		for _, c := range s.cfg.Schema.Classes() {
-			classes = append(classes, c.Name)
-		}
-	}
-
 	var all []recon.Candidate
 	totalRefs := 0
-	for _, class := range classes {
+	for _, class := range s.queryClasses(q) {
 		cq := rq
 		cq.Class = class
 		cq.Atomic = s.bindQueryText(class, q, rq.Atomic)
@@ -451,6 +471,126 @@ func (s *Service) Query(q ReconQuery) ([]recon.Candidate, error) {
 	return all, nil
 }
 
+// queryCollective is the collective query path: per class, properties
+// split into atomic constraints and association targets, and the view's
+// CollectiveMatcher scores with bounded expand-and-resolve. Budgets come
+// from the server config, lowered (never raised) by the query's knobs.
+func (s *Service) queryCollective(q ReconQuery) ([]recon.Candidate, error) {
+	v := s.view.Load()
+	start := time.Now()
+	limit := q.Limit
+	if limit <= 0 {
+		limit = s.cfg.DefaultLimit
+	}
+	cc := v.Collective.Config()
+	if q.MaxNodes > 0 && q.MaxNodes < cc.MaxNodes {
+		cc.MaxNodes = q.MaxNodes
+	}
+	if q.MaxHops > 0 && q.MaxHops < cc.MaxHops {
+		cc.MaxHops = q.MaxHops
+	}
+	if q.BudgetMS > 0 {
+		if b := time.Duration(q.BudgetMS * float64(time.Millisecond)); cc.Budget == 0 || b < cc.Budget {
+			cc.Budget = b
+		}
+	}
+
+	var all []recon.Candidate
+	totalRefs, totalPairs := 0, 0
+	degraded := false
+	fail := func(err error) ([]recon.Candidate, error) {
+		s.met.recordCollective(time.Since(start), 0, 0, false, true)
+		return nil, err
+	}
+	for _, class := range s.queryClasses(q) {
+		rq, err := s.bindCollectiveQuery(class, q, limit)
+		if rq == nil {
+			if q.Type != "" {
+				return fail(fmt.Errorf("unknown type %q", q.Type))
+			}
+			continue
+		}
+		if err != nil {
+			if q.Type != "" {
+				return fail(err)
+			}
+			continue
+		}
+		cands, stats, err := v.Collective.MatchConfig(*rq, cc)
+		if err != nil {
+			if q.Type != "" {
+				return fail(err)
+			}
+			// Fan-out: a property foreign to this class rules it out.
+			continue
+		}
+		totalRefs += stats.CandidateRefs
+		totalPairs += stats.Expansion.PairNodes
+		degraded = degraded || stats.Expansion.Degraded
+		all = append(all, cands...)
+	}
+	sortCandidates(all)
+	if len(all) > limit {
+		all = all[:limit]
+	}
+	recon.MarkMatches(all, mergeThreshold(s.cfg.Recon))
+	s.met.recordCollective(time.Since(start), totalRefs, totalPairs, degraded, false)
+	return all, nil
+}
+
+// queryClasses resolves a query's class fan-out: the named type, or every
+// schema class when the type is empty.
+func (s *Service) queryClasses(q ReconQuery) []string {
+	if q.Type != "" {
+		return []string{q.Type}
+	}
+	var classes []string
+	for _, c := range s.cfg.Schema.Classes() {
+		classes = append(classes, c.Name)
+	}
+	return classes
+}
+
+// bindCollectiveQuery builds the recon.Query for one class in collective
+// mode: properties naming an association attribute of the class become
+// association targets (values parsed as stored reference ids), everything
+// else stays an atomic constraint; the free-text query binds to the
+// class's name-like attribute as in the attribute path. Returns (nil,
+// nil) for an unknown class.
+func (s *Service) bindCollectiveQuery(class string, q ReconQuery, limit int) (*recon.Query, error) {
+	c, ok := s.cfg.Schema.Class(class)
+	if !ok {
+		return nil, nil
+	}
+	rq := recon.Query{Class: class, Atomic: make(map[string][]string), Limit: limit}
+	for _, p := range q.Properties {
+		vals := p.values()
+		if len(vals) == 0 {
+			continue
+		}
+		if a, ok := c.Attr(p.PID); ok && a.Kind == schema.Association {
+			for _, vs := range vals {
+				n, err := strconv.Atoi(vs)
+				if err != nil {
+					return nil, fmt.Errorf("association property %q: value %q is not a stored reference id", p.PID, vs)
+				}
+				if rq.Assoc == nil {
+					rq.Assoc = make(map[string][]reference.ID)
+				}
+				rq.Assoc[p.PID] = append(rq.Assoc[p.PID], reference.ID(n))
+			}
+			continue
+		}
+		rq.Atomic[p.PID] = append(rq.Atomic[p.PID], vals...)
+	}
+	if q.Query != "" {
+		if attr := nameAttr(c); attr != "" {
+			rq.Atomic[attr] = append(rq.Atomic[attr], q.Query)
+		}
+	}
+	return &rq, nil
+}
+
 // bindQueryText maps the free-text query string onto the class's
 // name-like attribute (name, then title, then the first atomic
 // attribute) and merges it with the property constraints. It returns nil
@@ -465,19 +605,26 @@ func (s *Service) bindQueryText(class string, q ReconQuery, props map[string][]s
 		atomic[k] = v
 	}
 	if q.Query != "" {
-		attr := ""
-		if _, ok := c.Attr(schema.AttrName); ok {
-			attr = schema.AttrName
-		} else if _, ok := c.Attr(schema.AttrTitle); ok {
-			attr = schema.AttrTitle
-		} else if aa := c.AtomicAttrs(); len(aa) > 0 {
-			attr = aa[0].Name
-		}
-		if attr != "" {
+		if attr := nameAttr(c); attr != "" {
 			atomic[attr] = append(atomic[attr], q.Query)
 		}
 	}
 	return atomic
+}
+
+// nameAttr picks the class's name-like attribute for free-text binding:
+// name, then title, then the first atomic attribute.
+func nameAttr(c *schema.Class) string {
+	if _, ok := c.Attr(schema.AttrName); ok {
+		return schema.AttrName
+	}
+	if _, ok := c.Attr(schema.AttrTitle); ok {
+		return schema.AttrTitle
+	}
+	if aa := c.AtomicAttrs(); len(aa) > 0 {
+		return aa[0].Name
+	}
+	return ""
 }
 
 // sortCandidates re-sorts a merged candidate list the way Match orders a
@@ -512,6 +659,16 @@ func (s *Service) Manifest(baseURL string) Manifest {
 	}
 	if baseURL != "" {
 		m.View = &ManifestView{URL: baseURL + "/entity/{{id}}"}
+	}
+	if v := s.view.Load(); v != nil && v.Collective != nil {
+		cc := v.Collective.Config()
+		m.Collective = &CollectiveManifest{
+			Modes:        []string{ModeAttribute, ModeCollective},
+			MaxNodes:     cc.MaxNodes,
+			MaxHops:      cc.MaxHops,
+			MaxNeighbors: cc.MaxNeighbors,
+			BudgetMS:     float64(cc.Budget.Nanoseconds()) / 1e6,
+		}
 	}
 	return m
 }

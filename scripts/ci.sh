@@ -33,7 +33,7 @@ echo "== go test =="
 go test ./...
 
 echo "== go test -race (concurrent packages) =="
-go test -race ./internal/parallel ./internal/recon ./internal/serve
+go test -race ./internal/parallel ./internal/recon ./internal/serve ./internal/collective
 
 echo "== go test -race (delta/rescan equivalence) =="
 go test -race -run 'DeltaRescanEquivalence' ./internal/depgraph
@@ -103,6 +103,16 @@ name=$(awk -F'"' '/"name": \[/ { getline; print $2; exit }' "$tmpdir/A.json")
 curl -fsS "$base/reconcile" --data-urlencode "queries={\"q0\":{\"query\":\"$name\",\"type\":\"Person\"}}" \
     | grep '"result":\[{' >/dev/null
 curl -fsS "$base/metrics" | grep '"queries":1' >/dev/null
+# Collective smoke: the manifest must advertise the mode, and the same
+# query in collective mode must return a scored response with the
+# snapshot-version header and tick the collective metrics split.
+curl -fsS "$base/" | grep '"collective":{"modes":\["attribute","collective"\]' >/dev/null
+curl -fsS -D "$tmpdir/coll.headers" "$base/reconcile" \
+    --data-urlencode "queries={\"q0\":{\"query\":\"$name\",\"type\":\"Person\",\"mode\":\"collective\"}}" \
+    | grep '"result":\[{' >/dev/null
+grep -i '^x-snapshot-version:' "$tmpdir/coll.headers" >/dev/null \
+    || { echo "collective response missing X-Snapshot-Version" >&2; exit 1; }
+curl -fsS "$base/metrics" | grep '"collectiveQueries":1' >/dev/null
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
