@@ -23,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net/http/httptest"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -31,6 +32,7 @@ import (
 
 	"refrecon/internal/collective"
 	"refrecon/internal/experiments"
+	"refrecon/internal/loadgen"
 	"refrecon/internal/obs"
 	"refrecon/internal/recon"
 	"refrecon/internal/reference"
@@ -58,6 +60,27 @@ type benchBaseline struct {
 	Counters   []benchCounters `json:"counters,omitempty"`
 	ShardSweep []benchShard    `json:"shardSweep,omitempty"`
 	Durability []benchDurable  `json:"durability,omitempty"`
+	Loadgen    []benchLoadgen  `json:"loadgen,omitempty"`
+}
+
+// benchLoadgen is one cmd/loadgen replay through the full serving stack
+// (HTTP transport over a loopback server): sustained throughput and
+// client-observed latency for the standing regression gate. The qps and
+// p99 keys are the rows ci consumers read.
+type benchLoadgen struct {
+	Dataset         string  `json:"dataset"`
+	Refs            int     `json:"refs"`
+	Queries         int     `json:"queries"`
+	Clients         int     `json:"clients"`
+	QPS             float64 `json:"loadgen_qps"`
+	PlainP50MS      float64 `json:"plainP50Ms"`
+	PlainP99MS      float64 `json:"loadgen_p99_ms"`
+	CollectiveP50MS float64 `json:"collectiveP50Ms"`
+	CollectiveP99MS float64 `json:"collectiveP99Ms"`
+	IngestP99MS     float64 `json:"ingestP99Ms"`
+	TransportErrors int64   `json:"transportErrors"`
+	QueryErrors     int64   `json:"queryErrors"`
+	Degraded        int64   `json:"degraded"`
 }
 
 // benchDurable measures the serving layer's durability machinery on one
@@ -135,6 +158,48 @@ func durabilityPhase(store *reference.Store, name string) benchDurable {
 		log.Fatal(err)
 	}
 	return row
+}
+
+// loadgenPhase replays the standard cmd/loadgen workload for one dataset
+// through the full serving stack — workload generation, HTTP transport
+// over a loopback server, mixed ingest+query replay — and reports the
+// client-observed throughput and latency rows the regression gate reads.
+func loadgenPhase(dataset string) benchLoadgen {
+	const (
+		refs    = 1500
+		queries = 300
+		clients = 16
+	)
+	w, err := loadgen.Build(loadgen.Defaults(dataset, refs, queries, 1))
+	if err != nil {
+		log.Fatal(err)
+	}
+	svc, err := serve.New(serve.Config{Schema: w.Schema, Name: "benchtables"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	rep, err := loadgen.Run(w, loadgen.NewHTTPTarget(ts.URL, clients),
+		loadgen.Options{Concurrency: clients})
+	if err != nil {
+		log.Fatal(err)
+	}
+	return benchLoadgen{
+		Dataset:         dataset,
+		Refs:            rep.IngestedRefs,
+		Queries:         rep.Queries,
+		Clients:         rep.Concurrency,
+		QPS:             rep.QPS,
+		PlainP50MS:      rep.Plain.P50MS,
+		PlainP99MS:      rep.Plain.P99MS,
+		CollectiveP50MS: rep.Collective.P50MS,
+		CollectiveP99MS: rep.Collective.P99MS,
+		IngestP99MS:     rep.Ingest.P99MS,
+		TransportErrors: rep.TransportErrors,
+		QueryErrors:     rep.QueryErrors,
+		Degraded:        rep.Degraded,
+	}
 }
 
 // benchShard is one sharded-reconciliation measurement: a full Reconcile
@@ -531,6 +596,14 @@ func runBench(s *experiments.Suite, scale float64, out string) {
 		fmt.Printf("%-5s durable:   restore %8.1fms  replay %8.1fms  (log %.1f KB, checkpoint %.1f KB)\n",
 			name, db.RestoreMS, db.ReplayMS,
 			float64(db.LogBytes)/1024, float64(db.CheckpointBytes)/1024)
+	}
+	for _, ds := range []string{"biblio", "catalog"} {
+		lb := loadgenPhase(ds)
+		base.Loadgen = append(base.Loadgen, lb)
+		fmt.Printf("%-7s loadgen: %8.1f q/s  plain p50/p99 %.2f/%.2f ms  collective p50/p99 %.2f/%.2f ms  (%d clients, %d errors)\n",
+			ds, lb.QPS, lb.PlainP50MS, lb.PlainP99MS,
+			lb.CollectiveP50MS, lb.CollectiveP99MS, lb.Clients,
+			lb.TransportErrors+lb.QueryErrors)
 	}
 	f, err := os.Create(out)
 	if err != nil {

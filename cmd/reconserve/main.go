@@ -5,6 +5,7 @@
 // Usage:
 //
 //	reconserve [-addr :8080] [-in dataset.json] [-name refrecon]
+//	           [-schema pim|catalog]
 //	           [-evidence attr|nameemail|article|contact] [-constraints=true]
 //	           [-workers N] [-audit] [-data-dir DIR] [-checkpoint-every N]
 //	           [-collective-max-nodes N] [-collective-max-hops N]
@@ -49,6 +50,7 @@ func main() {
 	addr := flag.String("addr", ":8080", "listen address")
 	in := flag.String("in", "", "dataset JSON to reconcile at startup (optional)")
 	name := flag.String("name", "refrecon", "service name advertised in the manifest")
+	schemaName := flag.String("schema", "pim", "information-space schema: pim (Person/Article/Venue) or catalog (Product/Manufacturer)")
 	evidence := flag.String("evidence", "contact", "evidence level: attr, nameemail, article, contact")
 	constraints := flag.Bool("constraints", true, "enforce negative-evidence constraints")
 	workers := flag.Int("workers", 0, "goroutines scoring candidate pairs (0 = NumCPU)")
@@ -112,8 +114,18 @@ func main() {
 	case *collBudget > 0:
 		collCfg.Budget = time.Duration(*collBudget * float64(time.Millisecond))
 	}
+	var sch *schema.Schema
+	switch *schemaName {
+	case "pim":
+		sch = schema.PIM()
+	case "catalog":
+		sch = schema.Catalog()
+	default:
+		log.Fatalf("unknown schema %q (want pim or catalog)", *schemaName)
+	}
+
 	svc, err := serve.NewFromStore(serve.Config{
-		Schema:          schema.PIM(),
+		Schema:          sch,
 		Recon:           cfg,
 		Name:            *name,
 		DataDir:         *dataDir,

@@ -1,0 +1,380 @@
+// Package biblio generates a noisy bibliographic-reference corpus after
+// Demleitner et al.'s "Automated Resolution of Noisy Bibliographic
+// References" (the ADS astronomy citation workload, PAPERS.md): reference
+// strings whose fields are independently corrupted — abbreviated author
+// and journal names, reordered author lists, truncated pages, jittered
+// years, typos — while still denoting the same papers. Unlike the cora
+// generator, which renders text and round-trips it through the extractors,
+// biblio constructs schema.PIM references directly, so the realized
+// reference count is exact and the corpus doubles as a calibrated serving
+// workload for cmd/loadgen.
+package biblio
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+// Profile parameterizes the generator. Generation is deterministic: the
+// same Profile always yields the same corpus.
+type Profile struct {
+	// Seed drives every random choice.
+	Seed int64
+	// Refs is the target reference count; generation renders citation
+	// records (one article + its author and venue references each) until
+	// the store reaches it, so the realized count lands within one record
+	// of the target.
+	Refs int
+	// Papers is the number of distinct paper entities cited (0 derives
+	// it from Refs at roughly 3 citations per paper).
+	Papers int
+	// Authors is the author-entity pool size (0 derives it from Papers).
+	Authors int
+
+	// AbbrevRate is the probability a rendered author name abbreviates the
+	// given name to an initial, and a venue renders as its abbreviation
+	// ("Astrophys. J." for "The Astrophysical Journal").
+	AbbrevRate float64
+	// CorruptRate is the per-field corruption probability: typos in titles
+	// and names, case folding, truncated titles.
+	CorruptRate float64
+	// DropRate is the probability an optional field (pages, year) is
+	// omitted from a citation record.
+	DropRate float64
+	// ReorderRate is the probability a citation presents its author list
+	// in a different order than the paper's canonical one (Demleitner's
+	// reference strings routinely reorder or truncate author lists).
+	ReorderRate float64
+	// YearJitterRate is the probability the cited year is off by one.
+	YearJitterRate float64
+}
+
+// Default returns the moderately noisy profile calibrated to refs
+// references.
+func Default(refs int, seed int64) Profile {
+	return Profile{
+		Seed:           seed,
+		Refs:           refs,
+		AbbrevRate:     0.55,
+		CorruptRate:    0.12,
+		DropRate:       0.25,
+		ReorderRate:    0.15,
+		YearJitterRate: 0.08,
+	}
+}
+
+// Generated is the labeled corpus.
+type Generated struct {
+	Profile                 Profile
+	Store                   *reference.Store
+	Papers, Authors, Venues int
+	// Citations is the number of citation records rendered.
+	Citations int
+}
+
+type author struct{ first, last string }
+
+type paper struct {
+	label   string
+	title   string
+	year    int
+	pages   string
+	authors []int // author-pool indexes, canonical order
+	venue   int
+}
+
+// The venue pool is astronomy-flavored (Demleitner et al. resolve ADS
+// references): every venue has a full name and the abbreviations real
+// bibliographies use for it.
+type venueSpec struct{ aliases []string }
+
+var venuePool = []venueSpec{
+	{[]string{"The Astrophysical Journal", "Astrophys. J.", "ApJ"}},
+	{[]string{"Astronomy and Astrophysics", "Astron. Astrophys.", "A&A"}},
+	{[]string{"Monthly Notices of the Royal Astronomical Society", "Mon. Not. R. Astron. Soc.", "MNRAS"}},
+	{[]string{"The Astronomical Journal", "Astron. J.", "AJ"}},
+	{[]string{"Publications of the Astronomical Society of the Pacific", "Publ. Astron. Soc. Pac.", "PASP"}},
+	{[]string{"Icarus", "Icarus"}},
+	{[]string{"Solar Physics", "Sol. Phys."}},
+	{[]string{"Astrophysics and Space Science", "Astrophys. Space Sci.", "Ap&SS"}},
+	{[]string{"Journal of Geophysical Research", "J. Geophys. Res.", "JGR"}},
+	{[]string{"Annual Review of Astronomy and Astrophysics", "Annu. Rev. Astron. Astrophys.", "ARA&A"}},
+	{[]string{"The Astrophysical Journal Supplement Series", "Astrophys. J. Suppl. Ser.", "ApJS"}},
+	{[]string{"Acta Astronomica", "Acta Astron."}},
+}
+
+var astroFirst = []string{
+	"Jan", "Maarten", "Vera", "Margaret", "Edwin", "Fritz", "Subrahmanyan",
+	"Cecilia", "Annie", "Henrietta", "Karl", "Jocelyn", "Martin", "Rashid",
+	"Bohdan", "Kip", "Roger", "Jeremiah", "Sandra", "Wendy", "Adam", "Saul",
+	"Brian", "Riccardo", "Alar", "Jerry", "Donald", "George", "Allan",
+	"Geoffrey", "Douglas", "Virginia", "Neta", "Jim", "Scott", "David",
+}
+
+var astroLast = []string{
+	"Oort", "Schmidt", "Rubin", "Burbidge", "Hubble", "Zwicky",
+	"Chandrasekhar", "Payne", "Cannon", "Leavitt", "Jansky", "Bell",
+	"Rees", "Sunyaev", "Paczynski", "Thorne", "Penrose", "Ostriker",
+	"Faber", "Freedman", "Riess", "Perlmutter", "Schmidt", "Giacconi",
+	"Toomre", "Sellwood", "Lynden-Bell", "Efstathiou", "Sandage",
+	"Marcy", "Lin", "Trimble", "Bahcall", "Peebles", "Tremaine", "Spergel",
+}
+
+var titleSubjects = []string{
+	"dark matter halos", "galactic rotation curves", "stellar populations",
+	"the interstellar medium", "accretion disks", "pulsar timing",
+	"gravitational lensing", "the cosmic microwave background",
+	"supernova light curves", "protoplanetary disks", "globular clusters",
+	"active galactic nuclei", "white dwarf cooling", "molecular clouds",
+	"the galactic center", "brown dwarfs", "cosmic rays", "solar flares",
+	"gamma-ray bursts", "exoplanet atmospheres",
+}
+
+var titlePatterns = []string{
+	"On the structure of %s",
+	"Observations of %s",
+	"A photometric survey of %s",
+	"The dynamics of %s",
+	"Spectroscopy of %s",
+	"A catalog of %s",
+	"Modeling %s",
+	"The formation and evolution of %s",
+	"X-ray emission from %s",
+	"Radial velocities of %s",
+}
+
+var titleQualifiers = []string{
+	"in the solar neighborhood", "at high redshift", "in nearby galaxies",
+	"revisited", "from deep imaging", "with adaptive optics",
+	"in the Magellanic Clouds", "at radio wavelengths",
+	"from the infrared survey", "in close binaries",
+}
+
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+}
+
+// Generate builds the labeled corpus. Each citation record yields one
+// Article reference (title, year, pages, authoredBy, publishedIn), one
+// Person reference per presented author, and one Venue reference; every
+// reference carries its ground-truth entity label.
+func Generate(p Profile) (*Generated, error) {
+	if p.Refs < 1 {
+		return nil, fmt.Errorf("biblio: Refs must be positive (got %d)", p.Refs)
+	}
+	// A citation record yields ~4 references (article + ~2 authors +
+	// venue); papers default to ~3 citations each.
+	if p.Papers <= 0 {
+		p.Papers = p.Refs / 12
+		if p.Papers < 4 {
+			p.Papers = 4
+		}
+	}
+	if p.Authors <= 0 {
+		p.Authors = p.Papers
+		if p.Authors < 8 {
+			p.Authors = 8
+		}
+		if max := len(astroFirst) * len(astroLast) / 2; p.Authors > max {
+			p.Authors = max
+		}
+	}
+	g := &generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+	authors := g.buildAuthors()
+	papers := g.buildPapers(authors)
+
+	store := reference.NewStore()
+	out := &Generated{Profile: p, Store: store, Papers: len(papers), Authors: len(authors)}
+	venuesSeen := make(map[int]bool)
+	for store.Len() < p.Refs {
+		pp := papers[g.rng.Intn(len(papers))]
+		g.renderCitation(store, authors, pp)
+		venuesSeen[pp.venue] = true
+		out.Citations++
+	}
+	out.Venues = len(venuesSeen)
+	return out, nil
+}
+
+func (g *generator) buildAuthors() []author {
+	out := make([]author, 0, g.p.Authors)
+	seen := make(map[string]bool)
+	for len(out) < g.p.Authors {
+		a := author{astroFirst[g.rng.Intn(len(astroFirst))], astroLast[g.rng.Intn(len(astroLast))]}
+		k := a.first + " " + a.last
+		if seen[k] {
+			continue
+		}
+		seen[k] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+func (g *generator) buildPapers(authors []author) []*paper {
+	papers := make([]*paper, g.p.Papers)
+	usedTitles := make(map[string]bool)
+	for i := range papers {
+		pp := &paper{
+			label: fmt.Sprintf("B%05d", i),
+			year:  1965 + g.rng.Intn(40),
+			venue: g.rng.Intn(len(venuePool)),
+		}
+		start := 1 + g.rng.Intn(900)
+		pp.pages = fmt.Sprintf("%d-%d", start, start+2+g.rng.Intn(28))
+		for {
+			t := fmt.Sprintf(titlePatterns[g.rng.Intn(len(titlePatterns))],
+				titleSubjects[g.rng.Intn(len(titleSubjects))])
+			if g.rng.Float64() < 0.5 {
+				t += " " + titleQualifiers[g.rng.Intn(len(titleQualifiers))]
+			}
+			if !usedTitles[t] {
+				usedTitles[t] = true
+				pp.title = t
+				break
+			}
+		}
+		n := 1 + g.rng.Intn(3)
+		seen := make(map[int]bool)
+		for len(pp.authors) < n {
+			j := g.rng.Intn(len(authors))
+			if !seen[j] {
+				seen[j] = true
+				pp.authors = append(pp.authors, j)
+			}
+		}
+		papers[i] = pp
+	}
+	return papers
+}
+
+// renderCitation adds one noisy citation record's references to the store.
+func (g *generator) renderCitation(store *reference.Store, authors []author, pp *paper) {
+	// Author order: canonical, or reordered (rotated by a random offset —
+	// the common "alphabetical vs contribution order" divergence).
+	order := pp.authors
+	if len(order) > 1 && g.rng.Float64() < g.p.ReorderRate {
+		rot := 1 + g.rng.Intn(len(order)-1)
+		reordered := make([]int, 0, len(order))
+		reordered = append(reordered, order[rot:]...)
+		reordered = append(reordered, order[:rot]...)
+		order = reordered
+	}
+
+	var personIDs []reference.ID
+	for _, ai := range order {
+		a := authors[ai]
+		r := reference.New(schema.ClassPerson)
+		r.Source = "biblio"
+		r.Entity = "P:" + a.first + " " + a.last
+		r.AddAtomic(schema.AttrName, g.renderAuthor(a))
+		personIDs = append(personIDs, store.Add(r))
+	}
+	// Co-author links, as the BibTeX extractor would produce them.
+	for i, id := range personIDs {
+		r := store.Get(id)
+		for j, other := range personIDs {
+			if i != j {
+				r.AddAssoc(schema.AttrCoAuthor, other)
+			}
+		}
+	}
+
+	v := venuePool[pp.venue]
+	vr := reference.New(schema.ClassVenue)
+	vr.Source = "biblio"
+	vr.Entity = fmt.Sprintf("V%03d", pp.venue)
+	vname := v.aliases[0]
+	if g.rng.Float64() < g.p.AbbrevRate && len(v.aliases) > 1 {
+		vname = v.aliases[1+g.rng.Intn(len(v.aliases)-1)]
+	}
+	vr.AddAtomic(schema.AttrName, g.corrupt(vname))
+	year := pp.year
+	if g.rng.Float64() < g.p.YearJitterRate {
+		year += 1 - 2*g.rng.Intn(2)
+	}
+	if g.rng.Float64() >= g.p.DropRate {
+		vr.AddAtomic(schema.AttrYear, fmt.Sprintf("%d", year))
+	}
+	venueID := store.Add(vr)
+
+	ar := reference.New(schema.ClassArticle)
+	ar.Source = "biblio"
+	ar.Entity = pp.label
+	ar.AddAtomic(schema.AttrTitle, g.corrupt(pp.title))
+	if g.rng.Float64() >= g.p.DropRate {
+		ar.AddAtomic(schema.AttrYear, fmt.Sprintf("%d", year))
+	}
+	if g.rng.Float64() >= g.p.DropRate {
+		pages := pp.pages
+		// Truncated page ranges ("210-215" cited as "210") are one of the
+		// characteristic ADS corruptions.
+		if g.rng.Float64() < g.p.CorruptRate*2 {
+			pages = pages[:strings.IndexByte(pages, '-')]
+		}
+		ar.AddAtomic(schema.AttrPages, pages)
+	}
+	for _, id := range personIDs {
+		ar.AddAssoc(schema.AttrAuthoredBy, id)
+	}
+	ar.AddAssoc(schema.AttrPublishedIn, venueID)
+	store.Add(ar)
+}
+
+// renderAuthor presents one author name: full, abbreviated to an initial,
+// or comma-inverted, with optional corruption.
+func (g *generator) renderAuthor(a author) string {
+	var s string
+	switch {
+	case g.rng.Float64() < g.p.AbbrevRate:
+		if g.rng.Float64() < 0.5 {
+			s = a.last + ", " + string(a.first[0]) + "."
+		} else {
+			s = string(a.first[0]) + ". " + a.last
+		}
+	case g.rng.Float64() < 0.3:
+		s = a.last + ", " + a.first
+	default:
+		s = a.first + " " + a.last
+	}
+	return g.corrupt(s)
+}
+
+// corrupt applies one field corruption with probability CorruptRate: an
+// adjacent-letter typo, lower-casing, or (for multi-word values) dropping
+// the final word.
+func (g *generator) corrupt(s string) string {
+	if g.rng.Float64() >= g.p.CorruptRate {
+		return s
+	}
+	switch g.rng.Intn(3) {
+	case 0:
+		return typo(g.rng, s)
+	case 1:
+		return strings.ToLower(s)
+	default:
+		if words := strings.Fields(s); len(words) > 3 {
+			return strings.Join(words[:len(words)-1], " ")
+		}
+		return typo(g.rng, s)
+	}
+}
+
+// typo swaps two adjacent interior letters.
+func typo(rng *rand.Rand, s string) string {
+	rs := []rune(s)
+	if len(rs) < 4 {
+		return s
+	}
+	i := 1 + rng.Intn(len(rs)-3)
+	if rs[i] == ' ' || rs[i+1] == ' ' || rs[i] == ',' || rs[i+1] == ',' {
+		return s
+	}
+	rs[i], rs[i+1] = rs[i+1], rs[i]
+	return string(rs)
+}

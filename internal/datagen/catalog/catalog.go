@@ -1,0 +1,248 @@
+// Package catalog generates a scaled product-catalog corpus over
+// schema.Catalog(), the multi-storefront scenario from examples/products
+// grown to arbitrary size: several storefronts list overlapping product
+// lines from a shared pool of manufacturers, each storefront rendering
+// titles, model numbers, and brand names in its own house style. The same
+// physical product therefore appears as "TurboBlend 5000 blender,
+// TB-5000, by Acme Corporation" on one site and "Acme TB5000 TurboBlend
+// blender" on another — classic product-matching noise. Because
+// schema.Catalog() is a custom (non-PIM) schema, the corpus also
+// exercises the generic blocking and comparison fallbacks end to end.
+package catalog
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"refrecon/internal/reference"
+	"refrecon/internal/schema"
+)
+
+// Profile parameterizes the generator; same profile ⇒ same corpus.
+type Profile struct {
+	Seed int64
+	// Refs is the target reference count (realized within one listing of
+	// it).
+	Refs int
+	// Storefronts is the number of listing sources (min 2).
+	Storefronts int
+	// Manufacturers is the brand-entity pool size (0 derives it from
+	// Refs).
+	Manufacturers int
+	// ListRate is the probability a given storefront lists a given
+	// product; it controls the duplicate rate across storefronts.
+	ListRate float64
+	// NoiseRate is the per-field corruption probability (typos, dropped
+	// model separators, case folding).
+	NoiseRate float64
+}
+
+// Default returns a profile calibrated to refs references.
+func Default(refs int, seed int64) Profile {
+	return Profile{
+		Seed:        seed,
+		Refs:        refs,
+		Storefronts: 4,
+		ListRate:    0.55,
+		NoiseRate:   0.10,
+	}
+}
+
+// Generated is the labeled corpus.
+type Generated struct {
+	Profile                           Profile
+	Store                             *reference.Store
+	Products, Manufacturers, Listings int
+}
+
+var brandRoots = []string{
+	"Acme", "Globex", "Initech", "Vandelay", "Wayne", "Stark", "Umbrella",
+	"Tyrell", "Cyberdyne", "Wonka", "Aperture", "Sirius", "Hooli",
+	"Massive", "Soylent", "Oscorp", "Nakatomi", "Zorg", "Virtucon",
+	"Monarch", "Duff", "Prestige", "Pied", "Octan",
+}
+
+var brandSuffixes = []string{"Corporation", "Corp.", "Inc.", "GmbH", "Industries", "Ltd."}
+
+var countries = []string{"US", "DE", "JP", "CN", "KR", "SE", "NL", "TW"}
+
+var productLines = []string{
+	"TurboBlend", "AeroPress", "HyperDrive", "MaxiCool", "UltraWash",
+	"PowerGrip", "SmartBrew", "QuickCharge", "SilentFan", "ProCut",
+	"EasyToast", "DeepClean", "RapidBoil", "SteadyCam", "ClearView",
+	"TrueTone", "FreshAir", "LongLife", "MicroMill", "HeavyDuty",
+}
+
+var productNouns = []string{
+	"blender", "espresso machine", "vacuum cleaner", "toaster", "kettle",
+	"drill", "monitor", "router", "heater", "mixer", "fan", "charger",
+	"camera", "speaker", "dishwasher", "microwave",
+}
+
+type manufacturer struct {
+	label   string
+	root    string
+	country string
+}
+
+type product struct {
+	label string
+	line  string
+	noun  string
+	model int // e.g. 5000
+	maker int // manufacturer index
+}
+
+type generator struct {
+	p   Profile
+	rng *rand.Rand
+}
+
+// Generate builds the labeled corpus. Each listing yields one Product
+// reference; the first listing a storefront makes for a brand also yields
+// that storefront's Manufacturer reference, which its later listings
+// share (matching how examples/products wires one brand ref per feed).
+func Generate(p Profile) (*Generated, error) {
+	if p.Refs < 1 {
+		return nil, fmt.Errorf("catalog: Refs must be positive (got %d)", p.Refs)
+	}
+	if p.Storefronts < 2 {
+		p.Storefronts = 2
+	}
+	if p.Manufacturers <= 0 {
+		p.Manufacturers = p.Refs / 40
+		if p.Manufacturers < 3 {
+			p.Manufacturers = 3
+		}
+		if p.Manufacturers > len(brandRoots) {
+			p.Manufacturers = len(brandRoots)
+		}
+	}
+	g := &generator{p: p, rng: rand.New(rand.NewSource(p.Seed))}
+
+	makers := make([]manufacturer, p.Manufacturers)
+	rootPerm := g.rng.Perm(len(brandRoots))
+	for i := range makers {
+		makers[i] = manufacturer{
+			label:   fmt.Sprintf("M%03d", i),
+			root:    brandRoots[rootPerm[i]],
+			country: countries[g.rng.Intn(len(countries))],
+		}
+	}
+
+	store := reference.NewStore()
+	out := &Generated{Profile: p, Store: store, Manufacturers: len(makers)}
+	// brandRef[storefront][maker] is the storefront's Manufacturer ref id.
+	brandRef := make([]map[int]reference.ID, p.Storefronts)
+	for i := range brandRef {
+		brandRef[i] = make(map[int]reference.ID)
+	}
+	for pi := 0; store.Len() < p.Refs; pi++ {
+		prod := product{
+			label: fmt.Sprintf("P%05d", pi),
+			line:  productLines[g.rng.Intn(len(productLines))],
+			noun:  productNouns[g.rng.Intn(len(productNouns))],
+			model: 100*(1+g.rng.Intn(89)) + 10*g.rng.Intn(10),
+			maker: g.rng.Intn(len(makers)),
+		}
+		out.Products++
+		listed := false
+		for sf := 0; sf < p.Storefronts && store.Len() < p.Refs; sf++ {
+			// Every product appears somewhere: force the last storefront
+			// if none listed it yet.
+			if g.rng.Float64() >= p.ListRate && !(sf == p.Storefronts-1 && !listed) {
+				continue
+			}
+			listed = true
+			g.renderListing(store, brandRef[sf], sf, makers, prod)
+			out.Listings++
+		}
+	}
+	return out, nil
+}
+
+func (g *generator) renderListing(store *reference.Store, brands map[int]reference.ID, sf int, makers []manufacturer, prod product) {
+	mk := makers[prod.maker]
+	mid, ok := brands[prod.maker]
+	if !ok {
+		mr := reference.New(schema.ClassManufacturer)
+		mr.Source = fmt.Sprintf("store%d", sf)
+		mr.Entity = mk.label
+		// Each storefront renders the brand in its own legal-suffix style.
+		mr.AddAtomic(schema.AttrName, g.corrupt(mk.root+" "+brandSuffixes[(sf+prod.maker)%len(brandSuffixes)]))
+		if g.rng.Float64() < 0.7 {
+			mr.AddAtomic(schema.AttrCountry, mk.country)
+		}
+		mid = store.Add(mr)
+		brands[prod.maker] = mid
+	}
+
+	pr := reference.New(schema.ClassProduct)
+	pr.Source = fmt.Sprintf("store%d", sf)
+	pr.Entity = prod.label
+	pr.AddAtomic(schema.AttrTitle, g.corrupt(g.title(mk, prod, sf)))
+	pr.AddAtomic(schema.AttrModel, g.model(prod, sf))
+	pr.AddAssoc(schema.AttrMadeBy, mid)
+	store.Add(pr)
+}
+
+// title renders the listing title in the storefront's house style.
+func (g *generator) title(mk manufacturer, prod product, sf int) string {
+	switch sf % 3 {
+	case 0:
+		return fmt.Sprintf("%s %d %s", prod.line, prod.model, prod.noun)
+	case 1:
+		return fmt.Sprintf("%s %s%d %s", mk.root, modelPrefix(prod.line), prod.model, prod.noun)
+	default:
+		return fmt.Sprintf("%s %s (%s)", prod.line, prod.noun, mk.root)
+	}
+}
+
+// model renders the model number: "TB-5000", "TB5000", or "TB 5000".
+func (g *generator) model(prod product, sf int) string {
+	pre := modelPrefix(prod.line)
+	switch sf % 3 {
+	case 0:
+		return fmt.Sprintf("%s-%d", pre, prod.model)
+	case 1:
+		return fmt.Sprintf("%s%d", pre, prod.model)
+	default:
+		return fmt.Sprintf("%s %d", pre, prod.model)
+	}
+}
+
+// modelPrefix derives the model-number letters from the product line's
+// capitals: "TurboBlend" → "TB".
+func modelPrefix(line string) string {
+	var b strings.Builder
+	for _, r := range line {
+		if r >= 'A' && r <= 'Z' {
+			b.WriteRune(r)
+		}
+	}
+	if b.Len() == 0 {
+		return strings.ToUpper(line[:2])
+	}
+	return b.String()
+}
+
+// corrupt applies a typo or case fold with probability NoiseRate.
+func (g *generator) corrupt(s string) string {
+	if g.rng.Float64() >= g.p.NoiseRate {
+		return s
+	}
+	if g.rng.Intn(2) == 0 {
+		return strings.ToLower(s)
+	}
+	rs := []rune(s)
+	if len(rs) < 4 {
+		return s
+	}
+	i := 1 + g.rng.Intn(len(rs)-3)
+	if rs[i] == ' ' || rs[i+1] == ' ' {
+		return s
+	}
+	rs[i], rs[i+1] = rs[i+1], rs[i]
+	return string(rs)
+}

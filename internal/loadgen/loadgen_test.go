@@ -1,0 +1,186 @@
+package loadgen
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+
+	"refrecon/internal/serve"
+)
+
+// TestBuildDeterministic pins the acceptance criterion that the same seed
+// reproduces the identical request stream, byte for byte.
+func TestBuildDeterministic(t *testing.T) {
+	for _, dataset := range []string{"biblio", "catalog"} {
+		a, err := Build(Defaults(dataset, 400, 60, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := Build(Defaults(dataset, 400, 60, 42))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ja, _ := json.Marshal(struct {
+			Batches  [][]serve.IngestRef
+			IngestAt []int
+			Queries  []serve.ReconQuery
+		}{a.Batches, a.IngestAt, a.Queries})
+		jb, _ := json.Marshal(struct {
+			Batches  [][]serve.IngestRef
+			IngestAt []int
+			Queries  []serve.ReconQuery
+		}{b.Batches, b.IngestAt, b.Queries})
+		if string(ja) != string(jb) {
+			t.Fatalf("%s: same seed produced different request streams", dataset)
+		}
+		c, err := Build(Defaults(dataset, 400, 60, 43))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jc, _ := json.Marshal(c.Queries)
+		jaq, _ := json.Marshal(a.Queries)
+		if string(jc) == string(jaq) {
+			t.Fatalf("%s: different seeds produced identical query streams", dataset)
+		}
+	}
+}
+
+func TestWorkloadShape(t *testing.T) {
+	w, err := Build(Defaults("biblio", 600, 100, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Batches) < 2 {
+		t.Fatalf("got %d batches, want a multi-batch stream", len(w.Batches))
+	}
+	// No batch strands an association link past its own end.
+	end := 0
+	for bi, batch := range w.Batches {
+		end += len(batch)
+		for _, ir := range batch {
+			for attr, targets := range ir.Assoc {
+				for _, tgt := range targets {
+					if int(tgt) >= end {
+						t.Fatalf("batch %d: %s link to %d beyond batch end %d", bi, attr, tgt, end)
+					}
+				}
+			}
+		}
+	}
+	// The mode mix is realized.
+	var collective, withProps, typeless int
+	for _, q := range w.Queries {
+		if q.Mode == serve.ModeCollective {
+			collective++
+		}
+		if len(q.Properties) > 0 {
+			withProps++
+		}
+		if q.Type == "" {
+			typeless++
+		}
+	}
+	if collective == 0 || withProps == 0 || typeless == 0 {
+		t.Fatalf("query mix degenerate: collective=%d props=%d typeless=%d", collective, withProps, typeless)
+	}
+	if w.IngestAt[0] != 0 {
+		t.Fatalf("batch 0 not scheduled up front: %v", w.IngestAt)
+	}
+	for i := 1; i < len(w.IngestAt); i++ {
+		if w.IngestAt[i] < w.IngestAt[i-1] {
+			t.Fatalf("ingest schedule not monotone: %v", w.IngestAt)
+		}
+	}
+}
+
+// checkReport asserts the replay invariants shared by both targets: every
+// query accounted for, zero transport errors, zero per-query errors (the
+// workload only sends well-formed requests — unknown pids must be ignored
+// per spec, not errored), and a non-empty latency histogram per mode.
+func checkReport(t *testing.T, rep *Report, w *Workload) {
+	t.Helper()
+	if rep.TransportErrors != 0 {
+		t.Fatalf("%d transport errors", rep.TransportErrors)
+	}
+	if rep.QueryErrors != 0 {
+		t.Fatalf("%d per-query errors", rep.QueryErrors)
+	}
+	if got := rep.Plain.Count + rep.Collective.Count; got != int64(len(w.Queries)) {
+		t.Fatalf("histograms hold %d queries, want %d", got, len(w.Queries))
+	}
+	if rep.Plain.Count == 0 || rep.Collective.Count == 0 {
+		t.Fatalf("a mode histogram is empty: plain=%d collective=%d", rep.Plain.Count, rep.Collective.Count)
+	}
+	if rep.Plain.P50MS <= 0 || rep.Plain.P99MS < rep.Plain.P50MS {
+		t.Fatalf("implausible plain latency summary: %+v", rep.Plain)
+	}
+	if rep.IngestBatches != len(w.Batches) || rep.IngestedRefs != w.Config.Refs {
+		// Refs is a target the generators overshoot by at most one record.
+		if rep.IngestBatches != len(w.Batches) || rep.IngestedRefs < w.Config.Refs {
+			t.Fatalf("ingest incomplete: %d batches (%d refs)", rep.IngestBatches, rep.IngestedRefs)
+		}
+	}
+	if rep.QPS <= 0 {
+		t.Fatalf("no throughput recorded: %+v", rep)
+	}
+}
+
+func TestReplayInProcess(t *testing.T) {
+	w, err := Build(Defaults("biblio", 300, 48, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	target, err := NewInProcTarget(w)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(w, target, Options{Concurrency: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkReport(t, rep, w)
+	if rep.Degraded < 0 {
+		t.Fatal("in-process target exposes no metrics")
+	}
+}
+
+func TestReplayHTTPClosedAndOpenLoop(t *testing.T) {
+	for _, dataset := range []string{"biblio", "catalog"} {
+		w, err := Build(Defaults(dataset, 250, 40, 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		svc, err := serve.New(serve.Config{Schema: w.Schema, Name: "loadgen-test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(svc.Handler())
+		target := NewHTTPTarget(ts.URL, 4)
+		rep, err := Run(w, target, Options{Concurrency: 4})
+		if err != nil {
+			ts.Close()
+			t.Fatal(err)
+		}
+		checkReport(t, rep, w)
+		if rep.Mode != "closed" {
+			t.Fatalf("mode = %q", rep.Mode)
+		}
+		ts.Close()
+
+		// Open loop against a fresh server: same stream, paced arrivals.
+		svc2, err := serve.New(serve.Config{Schema: w.Schema, Name: "loadgen-test"})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts2 := httptest.NewServer(svc2.Handler())
+		rep2, err := Run(w, NewHTTPTarget(ts2.URL, 4), Options{Concurrency: 4, RateQPS: 400})
+		ts2.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		checkReport(t, rep2, w)
+		if rep2.Mode != "open" {
+			t.Fatalf("mode = %q", rep2.Mode)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package loadgen
+
+// The replayer. A single writer goroutine issues ingest batches in order,
+// gated on query progress (batch i waits until IngestAt[i] queries have
+// completed); query clients run either closed-loop (N workers, next query
+// as soon as the last returns) or open-loop (a paced arrival process at a
+// fixed rate, latency measured from the intended arrival time so a slow
+// server cannot hide queueing delay — the coordinated-omission guard).
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"refrecon/internal/serve"
+)
+
+// Options configures a replay run.
+type Options struct {
+	// Concurrency is the closed-loop worker count (and the open-loop
+	// in-flight hint). Minimum 1.
+	Concurrency int
+	// RateQPS switches to open-loop mode at this arrival rate; 0 keeps
+	// closed-loop.
+	RateQPS float64
+}
+
+// LatencyStats summarizes one latency histogram (log-spaced buckets,
+// ×1.5 from 20µs, like the server's own histograms).
+type LatencyStats struct {
+	Count  int64   `json:"count"`
+	MeanMS float64 `json:"meanMs"`
+	P50MS  float64 `json:"p50Ms"`
+	P90MS  float64 `json:"p90Ms"`
+	P99MS  float64 `json:"p99Ms"`
+	MaxMS  float64 `json:"maxMs"`
+}
+
+// Report is the machine-readable result of one replay.
+type Report struct {
+	Dataset     string  `json:"dataset"`
+	Seed        int64   `json:"seed"`
+	Refs        int     `json:"refs"`
+	Mode        string  `json:"mode"` // "closed" or "open"
+	Concurrency int     `json:"concurrency"`
+	RateQPS     float64 `json:"rateQps,omitempty"`
+
+	Queries         int     `json:"queries"`
+	IngestBatches   int     `json:"ingestBatches"`
+	IngestedRefs    int     `json:"ingestedRefs"`
+	DurationSec     float64 `json:"durationSec"`
+	QPS             float64 `json:"qps"`
+	TransportErrors int64   `json:"transportErrors"`
+	QueryErrors     int64   `json:"queryErrors"`
+	EmptyResults    int64   `json:"emptyResults"`
+
+	// Per-mode latency splits, measured at the client.
+	Plain      LatencyStats `json:"plainLatencyMs"`
+	Collective LatencyStats `json:"collectiveLatencyMs"`
+	Ingest     LatencyStats `json:"ingestLatencyMs"`
+
+	// Degraded is the server-side count of collective queries that fell
+	// back to attribute-only scoring (from the final metrics scrape; -1
+	// when the target exposes no metrics).
+	Degraded int64 `json:"degraded"`
+}
+
+// histogram is the client-side latency histogram; unlike the server's it
+// is only touched under the run's mutex-free atomic counters.
+type histogram struct {
+	boundsMS []float64
+	counts   []atomic.Int64
+	count    atomic.Int64
+	sumNanos atomic.Int64
+	maxNanos atomic.Int64
+}
+
+func newHistogram() *histogram {
+	var bounds []float64
+	for b := 0.02; b < 90_000; b *= 1.5 {
+		bounds = append(bounds, b)
+	}
+	return &histogram{boundsMS: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	ms := float64(d.Nanoseconds()) / 1e6
+	h.counts[sort.SearchFloat64s(h.boundsMS, ms)].Add(1)
+	h.count.Add(1)
+	h.sumNanos.Add(d.Nanoseconds())
+	for {
+		cur := h.maxNanos.Load()
+		if d.Nanoseconds() <= cur || h.maxNanos.CompareAndSwap(cur, d.Nanoseconds()) {
+			break
+		}
+	}
+}
+
+func (h *histogram) quantile(q float64) float64 {
+	total := h.count.Load()
+	if total == 0 {
+		return 0
+	}
+	target := int64(q * float64(total))
+	if target >= total {
+		target = total - 1
+	}
+	var seen int64
+	for i := range h.counts {
+		seen += h.counts[i].Load()
+		if seen > target {
+			if i < len(h.boundsMS) {
+				return h.boundsMS[i]
+			}
+			return float64(h.maxNanos.Load()) / 1e6
+		}
+	}
+	return float64(h.maxNanos.Load()) / 1e6
+}
+
+func (h *histogram) stats() LatencyStats {
+	s := LatencyStats{
+		Count: h.count.Load(),
+		P50MS: h.quantile(0.50),
+		P90MS: h.quantile(0.90),
+		P99MS: h.quantile(0.99),
+		MaxMS: float64(h.maxNanos.Load()) / 1e6,
+	}
+	if s.Count > 0 {
+		s.MeanMS = float64(h.sumNanos.Load()) / 1e6 / float64(s.Count)
+	}
+	return s
+}
+
+// Run replays the workload against the target and reports.
+func Run(w *Workload, target Target, opts Options) (*Report, error) {
+	if opts.Concurrency < 1 {
+		opts.Concurrency = 1
+	}
+	rep := &Report{
+		Dataset:     w.Config.Dataset,
+		Seed:        w.Config.Seed,
+		Refs:        w.Config.Refs,
+		Mode:        "closed",
+		Concurrency: opts.Concurrency,
+		RateQPS:     opts.RateQPS,
+		Queries:     len(w.Queries),
+	}
+	if opts.RateQPS > 0 {
+		rep.Mode = "open"
+	}
+
+	var (
+		completed       atomic.Int64 // queries finished (gates the writer)
+		transportErrors atomic.Int64
+		queryErrors     atomic.Int64
+		emptyResults    atomic.Int64
+		plain           = newHistogram()
+		collective      = newHistogram()
+		ingestHist      = newHistogram()
+	)
+
+	runQuery := func(qi int, lat0 time.Time) {
+		q := w.Queries[qi]
+		out, err := target.Query(q)
+		d := time.Since(lat0)
+		if err != nil {
+			transportErrors.Add(1)
+		} else if out.Err {
+			queryErrors.Add(1)
+		} else {
+			if out.Results == 0 {
+				emptyResults.Add(1)
+			}
+			if q.Mode == serve.ModeCollective {
+				collective.observe(d)
+			} else {
+				plain.observe(d)
+			}
+		}
+		completed.Add(1)
+	}
+
+	// The writer: batches in order, each gated on query progress. Batch 0
+	// is issued synchronously before the clock starts so every run begins
+	// against a populated service.
+	if len(w.Batches) > 0 {
+		t0 := time.Now()
+		if err := target.Ingest(w.Batches[0]); err != nil {
+			return nil, fmt.Errorf("loadgen: seed ingest: %w", err)
+		}
+		ingestHist.observe(time.Since(t0))
+		rep.IngestBatches++
+		rep.IngestedRefs += len(w.Batches[0])
+	}
+
+	start := time.Now()
+	var writerWG sync.WaitGroup
+	writerWG.Add(1)
+	go func() {
+		defer writerWG.Done()
+		for i := 1; i < len(w.Batches); i++ {
+			for completed.Load() < int64(w.IngestAt[i]) {
+				time.Sleep(200 * time.Microsecond)
+			}
+			t0 := time.Now()
+			if err := target.Ingest(w.Batches[i]); err != nil {
+				transportErrors.Add(1)
+				continue
+			}
+			ingestHist.observe(time.Since(t0))
+			rep.IngestBatches++
+			rep.IngestedRefs += len(w.Batches[i])
+		}
+	}()
+
+	if opts.RateQPS > 0 {
+		// Open loop: arrivals at fixed intervals; latency from intended
+		// arrival, not actual dispatch.
+		interval := time.Duration(float64(time.Second) / opts.RateQPS)
+		var wg sync.WaitGroup
+		for qi := range w.Queries {
+			intended := start.Add(time.Duration(qi) * interval)
+			if d := time.Until(intended); d > 0 {
+				time.Sleep(d)
+			}
+			wg.Add(1)
+			go func(qi int, intended time.Time) {
+				defer wg.Done()
+				runQuery(qi, intended)
+			}(qi, intended)
+		}
+		wg.Wait()
+	} else {
+		// Closed loop: N workers, shared cursor.
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for c := 0; c < opts.Concurrency; c++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					qi := int(next.Add(1)) - 1
+					if qi >= len(w.Queries) {
+						return
+					}
+					runQuery(qi, time.Now())
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	writerWG.Wait()
+
+	rep.DurationSec = time.Since(start).Seconds()
+	if rep.DurationSec > 0 {
+		rep.QPS = float64(len(w.Queries)) / rep.DurationSec
+	}
+	rep.TransportErrors = transportErrors.Load()
+	rep.QueryErrors = queryErrors.Load()
+	rep.EmptyResults = emptyResults.Load()
+	rep.Plain = plain.stats()
+	rep.Collective = collective.stats()
+	rep.Ingest = ingestHist.stats()
+	rep.Degraded = -1
+	if m, err := target.Metrics(); err == nil && m != nil {
+		rep.Degraded = m.CollectiveDegraded
+	}
+	return rep, nil
+}

@@ -238,3 +238,40 @@ func Cora() *Schema {
 	}
 	return MustNew(person, venue, article)
 }
+
+// Canonical class and attribute names of the product-catalog schema (the
+// online-catalog scenario from the paper's introduction, grown from
+// examples/products into a servable information space).
+const (
+	ClassProduct      = "Product"
+	ClassManufacturer = "Manufacturer"
+
+	AttrModel   = "model"
+	AttrCountry = "country"
+	AttrMadeBy  = "madeBy"
+)
+
+// Catalog returns the product-catalog schema: products carry a title and a
+// model designation and link to their manufacturer, which in turn carries
+// a name and a country. Manufacturers rank below products so they are
+// compared first, exactly as venues rank below articles in the PIM schema.
+func Catalog() *Schema {
+	maker := &Class{
+		Name: ClassManufacturer,
+		Rank: 0,
+		Attrs: []Attribute{
+			{Name: AttrName, Kind: Atomic},
+			{Name: AttrCountry, Kind: Atomic},
+		},
+	}
+	product := &Class{
+		Name: ClassProduct,
+		Rank: 1,
+		Attrs: []Attribute{
+			{Name: AttrTitle, Kind: Atomic},
+			{Name: AttrModel, Kind: Atomic},
+			{Name: AttrMadeBy, Kind: Association, Target: ClassManufacturer},
+		},
+	}
+	return MustNew(maker, product)
+}

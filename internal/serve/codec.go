@@ -28,7 +28,35 @@ type Manifest struct {
 	SchemaSpace     string              `json:"schemaSpace"`
 	DefaultTypes    []TypeRef           `json:"defaultTypes"`
 	View            *ManifestView       `json:"view,omitempty"`
+	Preview         *ManifestPreview    `json:"preview,omitempty"`
+	Suggest         *SuggestManifest    `json:"suggest,omitempty"`
+	Extend          *ExtendManifest     `json:"extend,omitempty"`
 	Collective      *CollectiveManifest `json:"collective,omitempty"`
+}
+
+// ManifestPreview tells clients where to fetch the HTML flyout for an
+// entity id and how large to render it.
+type ManifestPreview struct {
+	URL    string `json:"url"`
+	Width  int    `json:"width"`
+	Height int    `json:"height"`
+}
+
+// SuggestService locates one suggest-family service endpoint.
+type SuggestService struct {
+	ServiceURL  string `json:"service_url"`
+	ServicePath string `json:"service_path"`
+}
+
+// SuggestManifest advertises the entity autocomplete service.
+type SuggestManifest struct {
+	Entity *SuggestService `json:"entity,omitempty"`
+}
+
+// ExtendManifest advertises data extension: propose_properties is the
+// property-discovery endpoint OpenRefine calls before extending.
+type ExtendManifest struct {
+	ProposeProperties *SuggestService `json:"propose_properties,omitempty"`
 }
 
 // CollectiveManifest advertises the query modes the service accepts and
@@ -139,10 +167,53 @@ type ReconResult struct {
 	Result []ReconCandidate `json:"result"`
 }
 
+// SuggestCandidate is one entity autocomplete hit.
+type SuggestCandidate struct {
+	ID          string `json:"id"`
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+}
+
+// SuggestResult is the /suggest/entity response envelope.
+type SuggestResult struct {
+	Result []SuggestCandidate `json:"result"`
+}
+
+// ExtendRequest is the data-extension payload: entity ids from earlier
+// reconcile responses plus the property ids to fetch for each.
+type ExtendRequest struct {
+	IDs        []string         `json:"ids"`
+	Properties []ExtendProperty `json:"properties"`
+}
+
+// ExtendProperty names one requested property.
+type ExtendProperty struct {
+	ID string `json:"id"`
+}
+
+// ExtendValue is one property value cell; this service only serves string
+// values.
+type ExtendValue struct {
+	Str string `json:"str"`
+}
+
+// ExtendResponse is the data-extension response: meta echoes the
+// requested properties, rows maps entity id → property id → values.
+type ExtendResponse struct {
+	Meta []TypeRef                           `json:"meta"`
+	Rows map[string]map[string][]ExtendValue `json:"rows"`
+}
+
+// ProposeDoc is the /properties (propose_properties) response.
+type ProposeDoc struct {
+	Type       string    `json:"type"`
+	Properties []TypeRef `json:"properties"`
+}
+
 // toWire renders recon candidates into the protocol shape. Scores are
 // scaled to [0, 100], the convention most OpenRefine services follow.
 func toWire(cands []recon.Candidate) ReconResult {
-	out := ReconResult{Result: []ReconCandidate{}}
+	out := ReconResult{Result: make([]ReconCandidate, 0, len(cands))}
 	for _, c := range cands {
 		out.Result = append(out.Result, ReconCandidate{
 			ID:    strconv.Itoa(int(c.Entity.Canonical)),

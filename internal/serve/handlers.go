@@ -23,7 +23,11 @@ const maxBodyBytes = 64 << 20 // 64 MiB ingest/batch ceiling
 // Handler returns the service's HTTP mux:
 //
 //	GET  /                    OpenRefine service manifest
-//	GET|POST /reconcile       batched reconciliation queries
+//	GET|POST /reconcile       batched reconciliation queries, or a data-
+//	                          extension request (extend payload)
+//	GET  /suggest/entity      entity-label prefix autocomplete
+//	GET  /preview/{id}        HTML entity flyout
+//	GET  /properties          propose extendable properties for a type
 //	GET  /entity/{id}         entity document for any member reference id
 //	GET  /explain/{a}/{b}     merge explanation for a reference pair
 //	POST /ingest              apply one reference batch
@@ -34,6 +38,9 @@ func (s *Service) Handler() http.Handler {
 	mux.HandleFunc("GET /{$}", s.handleManifest)
 	mux.HandleFunc("GET /reconcile", s.handleReconcile)
 	mux.HandleFunc("POST /reconcile", s.handleReconcile)
+	mux.HandleFunc("GET /suggest/entity", s.handleSuggest)
+	mux.HandleFunc("GET /preview/{id}", s.handlePreview)
+	mux.HandleFunc("GET /properties", s.handleProposeProperties)
 	mux.HandleFunc("GET /entity/{id}", s.handleEntity)
 	mux.HandleFunc("GET /explain/{a}/{b}", s.handleExplain)
 	mux.HandleFunc("POST /ingest", s.handleIngest)
@@ -110,18 +117,39 @@ func (s *Service) handleManifest(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.Manifest(scheme+"://"+r.Host))
 }
 
-// handleReconcile implements the batch query endpoint: the OpenRefine
-// protocol sends queries={"q0": {...}, ...} as a form value (GET query
-// string or POST form); a raw JSON object body is also accepted.
+// handleReconcile implements the batch query endpoint and, per the
+// OpenRefine 0.2 protocol, the data-extension endpoint on the same path:
+// queries={"q0": {...}, ...} or extend={"ids": [...], "properties":
+// [...]} as form values (GET query string or POST form). A raw JSON POST
+// body is also accepted — either the bare queries object or an
+// {"extend": {...}} envelope.
 func (s *Service) handleReconcile(w http.ResponseWriter, r *http.Request) {
 	raw := r.FormValue("queries")
-	if raw == "" && r.Method == http.MethodPost {
+	rawExtend := r.FormValue("extend")
+	if raw == "" && rawExtend == "" && r.Method == http.MethodPost {
 		body, err := io.ReadAll(io.LimitReader(r.Body, maxBodyBytes))
 		if err != nil {
 			writeErr(w, http.StatusBadRequest, "read body: %v", err)
 			return
 		}
-		raw = string(body)
+		var envelope struct {
+			Extend json.RawMessage `json:"extend"`
+		}
+		if json.Unmarshal(body, &envelope) == nil && len(envelope.Extend) > 0 {
+			rawExtend = string(envelope.Extend)
+		} else {
+			raw = string(body)
+		}
+	}
+	if rawExtend != "" {
+		var req ExtendRequest
+		if err := json.Unmarshal([]byte(rawExtend), &req); err != nil {
+			writeErr(w, http.StatusBadRequest, "parse extend: %v", err)
+			return
+		}
+		snapshotHeader(w, s.view.Load())
+		writeJSON(w, http.StatusOK, s.Extend(req))
+		return
 	}
 	if raw == "" {
 		writeErr(w, http.StatusBadRequest, "missing queries parameter")
@@ -173,6 +201,53 @@ func (s *Service) handleEntity(w http.ResponseWriter, r *http.Request) {
 		Atomic:          ent.Atomic,
 		SnapshotVersion: snap.Version,
 	})
+}
+
+// handleSuggest serves entity-label prefix autocomplete. OpenRefine
+// sends the typed text as "prefix"; "limit" optionally bounds the hits.
+func (s *Service) handleSuggest(w http.ResponseWriter, r *http.Request) {
+	limit := 0
+	if l := r.FormValue("limit"); l != "" {
+		n, err := strconv.Atoi(l)
+		if err != nil || n < 0 {
+			writeErr(w, http.StatusBadRequest, "bad limit %q", l)
+			return
+		}
+		limit = n
+	}
+	snapshotHeader(w, s.view.Load())
+	writeJSON(w, http.StatusOK, s.Suggest(r.FormValue("prefix"), limit))
+}
+
+// handlePreview serves the HTML flyout for one entity id (a canonical
+// reference id, as returned by reconcile and suggest).
+func (s *Service) handlePreview(w http.ResponseWriter, r *http.Request) {
+	s.met.previews.Add(1)
+	id, err := strconv.Atoi(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "bad entity id %q", r.PathValue("id"))
+		return
+	}
+	v := s.view.Load()
+	snapshotHeader(w, v)
+	snap := v.Snapshot
+	if id < 0 || id >= snap.RefCount() {
+		writeErr(w, http.StatusNotFound, "reference %d not in snapshot (have %d references)", id, snap.RefCount())
+		return
+	}
+	ent := snap.EntityOf(reference.ID(id))
+	if ent == nil {
+		writeErr(w, http.StatusNotFound, "reference %d has no entity assignment", id)
+		return
+	}
+	w.Header().Set("Content-Type", "text/html; charset=utf-8")
+	io.WriteString(w, previewHTML(ent, snap.Version))
+}
+
+// handleProposeProperties lists the extendable properties of a type.
+func (s *Service) handleProposeProperties(w http.ResponseWriter, r *http.Request) {
+	snapshotHeader(w, s.view.Load())
+	writeJSON(w, http.StatusOK, s.ProposeProperties(r.FormValue("type")))
 }
 
 func (s *Service) handleExplain(w http.ResponseWriter, r *http.Request) {

@@ -6,6 +6,7 @@ package serve
 // cmd/reconserve additionally publishes the same view through expvar.
 
 import (
+	"sort"
 	"sync/atomic"
 	"time"
 
@@ -35,10 +36,10 @@ func newHistogram() *histogram {
 
 func (h *histogram) observe(d time.Duration) {
 	ms := float64(d.Nanoseconds()) / 1e6
-	i := 0
-	for i < len(h.boundsMS) && ms > h.boundsMS[i] {
-		i++
-	}
+	// Binary search: the bucket array is ~37 entries and observe sits on
+	// the per-query hot path, so a linear scan costs real time at high
+	// request rates.
+	i := sort.SearchFloat64s(h.boundsMS, ms)
 	h.counts[i].Add(1)
 	h.count.Add(1)
 	h.sumNanos.Add(d.Nanoseconds())
@@ -198,10 +199,17 @@ type metrics struct {
 	collDegraded atomic.Int64 // queries that fell back to attribute-only scoring
 	collLat      *histogram
 	collSize     *sizeHistogram // expanded-subgraph pair nodes per query
-	batches      atomic.Int64
-	ingestRefs   atomic.Int64
-	ingestNS     atomic.Int64
-	lastInNS     atomic.Int64
+
+	// Ecosystem-surface counters: suggest autocompletes, preview flyouts,
+	// and data-extension requests.
+	suggests atomic.Int64
+	previews atomic.Int64
+	extends  atomic.Int64
+
+	batches    atomic.Int64
+	ingestRefs atomic.Int64
+	ingestNS   atomic.Int64
+	lastInNS   atomic.Int64
 
 	// poisoned counts session poisonings (commit or publish failures that
 	// forced a from-scratch rebuild on the next ingest); it ticks in both
@@ -292,10 +300,14 @@ type MetricsSnapshot struct {
 	CollectiveDegraded  int64          `json:"collectiveDegraded"`
 	CollectiveLatency   LatencySummary `json:"collectiveLatencyMs"`
 	CollectiveExpansion SizeSummary    `json:"collectiveExpansionNodes"`
-	Ingest              IngestMetrics  `json:"ingest"`
-	Snapshot            SnapshotInfo   `json:"snapshot"`
-	UptimeSeconds       float64        `json:"uptimeSeconds"`
-	StoreReferences     int            `json:"storeReferences"`
+	// Ecosystem-surface request counters (suggest/preview/data-extension).
+	SuggestRequests int64         `json:"suggestRequests"`
+	PreviewRequests int64         `json:"previewRequests"`
+	ExtendRequests  int64         `json:"extendRequests"`
+	Ingest          IngestMetrics `json:"ingest"`
+	Snapshot        SnapshotInfo  `json:"snapshot"`
+	UptimeSeconds   float64       `json:"uptimeSeconds"`
+	StoreReferences int           `json:"storeReferences"`
 	// SessionPoisoned counts commits that failed after their batch reached
 	// the store, forcing the next ingest to rebuild the session.
 	SessionPoisoned int64 `json:"sessionPoisoned"`
@@ -363,6 +375,9 @@ func (m *metrics) snapshot() MetricsSnapshot {
 		CollectiveDegraded:  m.collDegraded.Load(),
 		CollectiveLatency:   m.collLat.summary(),
 		CollectiveExpansion: m.collSize.summary(),
+		SuggestRequests:     m.suggests.Load(),
+		PreviewRequests:     m.previews.Load(),
+		ExtendRequests:      m.extends.Load(),
 		Candidates: CandidateStats{
 			Total: m.candRefs.Load(),
 			Last:  m.candLast.Load(),

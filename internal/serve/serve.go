@@ -73,6 +73,12 @@ type View struct {
 	Matcher    *recon.Matcher
 	Collective *recon.CollectiveMatcher
 	Published  time.Time
+
+	// suggestIdx is the lazily built prefix-autocomplete index over the
+	// snapshot's entity labels (see suggest.go). Built at most once per
+	// view, on the first /suggest request, so publishes stay cheap.
+	suggestOnce sync.Once
+	suggestIdx  []suggestEntry
 }
 
 // Service is the reconciliation service. One goroutine at a time may
@@ -85,6 +91,10 @@ type Service struct {
 	view    atomic.Pointer[View]
 	met     *metrics
 	started time.Time
+	// classNames is the schema's class-name fan-out order, cached once:
+	// Schema.Classes sorts and allocates per call, and typeless queries hit
+	// it on every request.
+	classNames []string
 
 	// Durability state (zero/nil without Config.DataDir); mu-guarded.
 	// history is the full record sequence — batches plus lifecycle
@@ -145,6 +155,9 @@ func NewFromStore(cfg Config, store *reference.Store) (*Service, error) {
 		return nil, fmt.Errorf("serve: initial store invalid: %w", err)
 	}
 	s := &Service{cfg: cfg, met: newMetrics(), started: time.Now()}
+	for _, c := range cfg.Schema.Classes() {
+		s.classNames = append(s.classNames, c.Name)
+	}
 	if cfg.DataDir != "" {
 		if err := s.recover(store); err != nil {
 			if s.log != nil {
@@ -429,19 +442,11 @@ func (s *Service) queryAttribute(q ReconQuery) ([]recon.Candidate, error) {
 	if limit <= 0 {
 		limit = s.cfg.DefaultLimit
 	}
-	rq := recon.Query{Atomic: make(map[string][]string), Limit: limit}
-	for _, p := range q.Properties {
-		if vals := p.values(); len(vals) > 0 {
-			rq.Atomic[p.PID] = append(rq.Atomic[p.PID], vals...)
-		}
-	}
-
 	var all []recon.Candidate
 	totalRefs := 0
 	for _, class := range s.queryClasses(q) {
-		cq := rq
-		cq.Class = class
-		cq.Atomic = s.bindQueryText(class, q, rq.Atomic)
+		cq := recon.Query{Class: class, Limit: limit}
+		cq.Atomic = s.bindQueryText(class, q)
 		if cq.Atomic == nil {
 			if q.Type != "" {
 				s.met.recordQuery(time.Since(start), 0, true)
@@ -455,8 +460,6 @@ func (s *Service) queryAttribute(q ReconQuery) ([]recon.Candidate, error) {
 				s.met.recordQuery(time.Since(start), 0, true)
 				return nil, err
 			}
-			// Fan-out: a property attribute foreign to this class just
-			// rules the class out.
 			continue
 		}
 		totalRefs += stats.CandidateRefs
@@ -503,7 +506,7 @@ func (s *Service) queryCollective(q ReconQuery) ([]recon.Candidate, error) {
 		return nil, err
 	}
 	for _, class := range s.queryClasses(q) {
-		rq, err := s.bindCollectiveQuery(class, q, limit)
+		rq, err := s.bindCollectiveQuery(v, class, q, limit)
 		if rq == nil {
 			if q.Type != "" {
 				return fail(fmt.Errorf("unknown type %q", q.Type))
@@ -539,25 +542,26 @@ func (s *Service) queryCollective(q ReconQuery) ([]recon.Candidate, error) {
 }
 
 // queryClasses resolves a query's class fan-out: the named type, or every
-// schema class when the type is empty.
+// schema class when the type is empty. The returned slice is shared; do
+// not mutate it.
 func (s *Service) queryClasses(q ReconQuery) []string {
 	if q.Type != "" {
 		return []string{q.Type}
 	}
-	var classes []string
-	for _, c := range s.cfg.Schema.Classes() {
-		classes = append(classes, c.Name)
-	}
-	return classes
+	return s.classNames
 }
 
 // bindCollectiveQuery builds the recon.Query for one class in collective
 // mode: properties naming an association attribute of the class become
-// association targets (values parsed as stored reference ids), everything
-// else stays an atomic constraint; the free-text query binds to the
-// class's name-like attribute as in the attribute path. Returns (nil,
-// nil) for an unknown class.
-func (s *Service) bindCollectiveQuery(class string, q ReconQuery, limit int) (*recon.Query, error) {
+// association targets (values parsed as stored reference ids), properties
+// naming an atomic attribute stay atomic constraints, and pids foreign to
+// the class are ignored per the OpenRefine spec; the free-text query
+// binds to the class's name-like attribute as in the attribute path.
+// Association ids that don't resolve in the published snapshot — a racing
+// ingest, or evidence from a newer snapshot than the one this query
+// landed on — are dropped as unmatched evidence rather than failing the
+// query. Returns (nil, nil) for an unknown class.
+func (s *Service) bindCollectiveQuery(v *View, class string, q ReconQuery, limit int) (*recon.Query, error) {
 	c, ok := s.cfg.Schema.Class(class)
 	if !ok {
 		return nil, nil
@@ -568,11 +572,19 @@ func (s *Service) bindCollectiveQuery(class string, q ReconQuery, limit int) (*r
 		if len(vals) == 0 {
 			continue
 		}
-		if a, ok := c.Attr(p.PID); ok && a.Kind == schema.Association {
+		a, ok := c.Attr(p.PID)
+		if !ok {
+			continue
+		}
+		if a.Kind == schema.Association {
 			for _, vs := range vals {
 				n, err := strconv.Atoi(vs)
 				if err != nil {
 					return nil, fmt.Errorf("association property %q: value %q is not a stored reference id", p.PID, vs)
+				}
+				sr, ok := v.Snapshot.Ref(reference.ID(n))
+				if !ok || sr.Class != a.Target {
+					continue
 				}
 				if rq.Assoc == nil {
 					rq.Assoc = make(map[string][]reference.ID)
@@ -593,16 +605,23 @@ func (s *Service) bindCollectiveQuery(class string, q ReconQuery, limit int) (*r
 
 // bindQueryText maps the free-text query string onto the class's
 // name-like attribute (name, then title, then the first atomic
-// attribute) and merges it with the property constraints. It returns nil
-// for an unknown class.
-func (s *Service) bindQueryText(class string, q ReconQuery, props map[string][]string) map[string][]string {
+// attribute) and merges it with the property constraints. Property pids
+// that don't name an atomic attribute of the class are ignored, as the
+// OpenRefine spec requires — clients send one properties array against
+// heterogeneous types, so an unknown pid is routine, not an error. It
+// returns nil for an unknown class.
+func (s *Service) bindQueryText(class string, q ReconQuery) map[string][]string {
 	c, ok := s.cfg.Schema.Class(class)
 	if !ok {
 		return nil
 	}
-	atomic := make(map[string][]string, len(props)+1)
-	for k, v := range props {
-		atomic[k] = v
+	atomic := make(map[string][]string, len(q.Properties)+1)
+	for _, p := range q.Properties {
+		if a, ok := c.Attr(p.PID); ok && a.Kind == schema.Atomic {
+			if vals := p.values(); len(vals) > 0 {
+				atomic[p.PID] = append(atomic[p.PID], vals...)
+			}
+		}
 	}
 	if q.Query != "" {
 		if attr := nameAttr(c); attr != "" {
@@ -659,6 +678,9 @@ func (s *Service) Manifest(baseURL string) Manifest {
 	}
 	if baseURL != "" {
 		m.View = &ManifestView{URL: baseURL + "/entity/{{id}}"}
+		m.Preview = &ManifestPreview{URL: baseURL + "/preview/{{id}}", Width: previewWidth, Height: previewHeight}
+		m.Suggest = &SuggestManifest{Entity: &SuggestService{ServiceURL: baseURL, ServicePath: "/suggest/entity"}}
+		m.Extend = &ExtendManifest{ProposeProperties: &SuggestService{ServiceURL: baseURL, ServicePath: "/properties"}}
 	}
 	if v := s.view.Load(); v != nil && v.Collective != nil {
 		cc := v.Collective.Config()

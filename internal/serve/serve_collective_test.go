@@ -212,8 +212,11 @@ func TestServeCollectiveBudgetKnobDegrades(t *testing.T) {
 }
 
 // TestServeCollectiveErrors pins the failure surface: an unknown mode and
-// a malformed association target both come back as per-query errors (the
-// batch itself still succeeds) and count as query errors.
+// a malformed association value come back as per-query errors (the batch
+// itself still succeeds) and count as query errors, while an association
+// id that does not resolve in the published snapshot is dropped as
+// unmatched evidence — clients race ingest, so stale or too-new ids are
+// routine, not errors.
 func TestServeCollectiveErrors(t *testing.T) {
 	_, ts, _, _, _ := newCollectiveServer(t)
 	out, _ := postReconcileRaw(t, ts.URL, map[string]ReconQuery{
@@ -226,7 +229,7 @@ func TestServeCollectiveErrors(t *testing.T) {
 				{PID: schema.AttrCoAuthor, V: json.RawMessage(`"not-an-id"`)},
 			},
 		},
-		"badTarget": {
+		"unresolvedTarget": {
 			Query: "J. Smith",
 			Type:  schema.ClassPerson,
 			Mode:  ModeCollective,
@@ -235,14 +238,17 @@ func TestServeCollectiveErrors(t *testing.T) {
 			},
 		},
 	})
-	for _, key := range []string{"badMode", "badAssoc", "badTarget"} {
+	for _, key := range []string{"badMode", "badAssoc"} {
 		if out[key].Error == "" {
 			t.Errorf("%s: want a per-query error, got %+v", key, out[key])
 		}
 	}
+	if out["unresolvedTarget"].Error != "" || len(out["unresolvedTarget"].Result) == 0 {
+		t.Errorf("unresolvedTarget: want scored candidates with the id dropped, got %+v", out["unresolvedTarget"])
+	}
 	var met MetricsSnapshot
 	getJSON(t, ts.URL+"/metrics", &met)
-	if met.QueryErrors != 3 {
-		t.Errorf("queryErrors = %d, want 3", met.QueryErrors)
+	if met.QueryErrors != 2 {
+		t.Errorf("queryErrors = %d, want 2", met.QueryErrors)
 	}
 }

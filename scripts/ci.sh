@@ -113,6 +113,25 @@ curl -fsS -D "$tmpdir/coll.headers" "$base/reconcile" \
 grep -i '^x-snapshot-version:' "$tmpdir/coll.headers" >/dev/null \
     || { echo "collective response missing X-Snapshot-Version" >&2; exit 1; }
 curl -fsS "$base/metrics" | grep '"collectiveQueries":1' >/dev/null
+# Ecosystem surface: the manifest must advertise suggest/preview/extend,
+# and each endpoint must answer over the same snapshot.
+curl -fsS "$base/" | grep '"suggest":{"entity":{' >/dev/null
+curl -fsS "$base/" | grep '"preview":{' >/dev/null
+curl -fsS "$base/" | grep '"propose_properties":{' >/dev/null
+prefix=$(printf '%s' "$name" | cut -c1-3)
+curl -fsS "$base/suggest/entity" --get --data-urlencode "prefix=$prefix" \
+    >"$tmpdir/suggest.json"
+grep '"result":\[{' "$tmpdir/suggest.json" >/dev/null
+# The first suggested entity (a Person, matched on a name prefix) feeds
+# the preview and extension checks.
+eid=$(grep -o '"id":"[0-9]*"' "$tmpdir/suggest.json" | head -1 | tr -dc 0-9)
+[ -n "$eid" ] || { echo "suggest returned no entity id" >&2; exit 1; }
+curl -fsS "$base/preview/$eid" | grep '<html>' >/dev/null
+curl -fsS "$base/properties?type=Person" | grep '"properties":\[{' >/dev/null
+# Data extension: the suggested entity's stored name values come back.
+curl -fsS "$base/reconcile" \
+    --data-urlencode "extend={\"ids\":[\"$eid\"],\"properties\":[{\"id\":\"name\"}]}" \
+    | grep "\"rows\":{\"$eid\":{\"name\":\[{\"str\":" >/dev/null
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
@@ -162,5 +181,27 @@ cmp -s "$tmpdir/entity0.json" "$tmpdir/entity0.restore.json" || { echo "entity/0
 kill "$server_pid"
 wait "$server_pid" 2>/dev/null || true
 server_pid=""
+
+echo "== loadgen smoke (mixed ingest+query replay, both datasets, 32 clients) =="
+# loadgen itself exits non-zero on any transport or per-query error; the
+# grep additionally asserts the per-mode histograms are non-empty.
+go build -o "$tmpdir/loadgen" ./cmd/loadgen
+base="http://127.0.0.1:18419"
+for ds in biblio catalog; do
+    sch=pim
+    [ "$ds" = catalog ] && sch=catalog
+    "$tmpdir/reconserve" -addr 127.0.0.1:18419 -schema "$sch" &
+    server_pid=$!
+    wait_ready
+    "$tmpdir/loadgen" -target "$base" -dataset "$ds" -refs 1200 -queries 300 \
+        -clients 32 -o "$tmpdir/loadgen.$ds.json"
+    for mode in plainLatencyMs collectiveLatencyMs; do
+        count=$(grep -A1 "\"$mode\"" "$tmpdir/loadgen.$ds.json" | awk -F'[ ,]' '/"count"/ {print $(NF-1)}')
+        [ "${count:-0}" -gt 0 ] || { echo "loadgen $ds: empty $mode histogram" >&2; exit 1; }
+    done
+    kill "$server_pid"
+    wait "$server_pid" 2>/dev/null || true
+    server_pid=""
+done
 
 echo "CI gate passed."
